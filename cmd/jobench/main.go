@@ -1,0 +1,322 @@
+// Command jobench drives the Join Order Benchmark reproduction: generate
+// the data set, explain and run individual queries, and regenerate every
+// table and figure of Leis et al., "How Good Are Query Optimizers, Really?"
+// (VLDB 2015).
+//
+// Usage:
+//
+//	jobench gen        [-scale 1.0] [-seed 42]
+//	jobench sql        -q 13d
+//	jobench graph      -q 13d
+//	jobench explain    -q 13d [-est postgres] [-model simple] [-idx pkfk] [-scale 0.3]
+//	jobench run        -q 13d [-est postgres] [-model simple] [-idx pkfk] [-rehash] [-no-nlj]
+//	jobench experiment -name table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|all
+//	                   [-scale 0.3] [-samples 10000] [-max-queries 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"jobench"
+	"jobench/internal/experiments"
+	"jobench/internal/optimizer"
+	"jobench/internal/plan"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "gen":
+		err = cmdGen(args)
+	case "sql":
+		err = cmdSQL(args)
+	case "graph":
+		err = cmdGraph(args)
+	case "explain":
+		err = cmdExplain(args)
+	case "run":
+		err = cmdRun(args)
+	case "experiment":
+		err = cmdExperiment(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jobench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: jobench <gen|sql|graph|explain|run|experiment> [flags]
+run "jobench <command> -h" for command flags`)
+}
+
+func openFlags(fs *flag.FlagSet) (*float64, *int64) {
+	scale := fs.Float64("scale", 0.3, "data scale factor (1.0 ~ 450k rows)")
+	seed := fs.Int64("seed", 42, "generator seed")
+	return scale, seed
+}
+
+func planFlags(fs *flag.FlagSet) (est, model, idx *string, noNLJ *bool, shape, algo *string) {
+	est = fs.String("est", "postgres", "estimator: postgres|dbms-a|dbms-b|dbms-c|hyper|true")
+	model = fs.String("model", "simple", "cost model: simple|postgres|tuned")
+	idx = fs.String("idx", "pkfk", "index config: none|pk|pkfk")
+	noNLJ = fs.Bool("no-nlj", true, "disable non-indexed nested-loop joins")
+	shape = fs.String("shape", "bushy", "tree shape: bushy|leftdeep|rightdeep|zigzag")
+	algo = fs.String("algo", "dp", "enumeration: dp|dpccp|quickpick|goo")
+	return
+}
+
+func parsePlanOptions(est, model, idx string, noNLJ bool, shape, algo string) (jobench.PlanOptions, error) {
+	opts := jobench.PlanOptions{Estimator: est, CostModel: model, DisableNestedLoops: noNLJ}
+	switch idx {
+	case "none":
+		opts.Indexes = jobench.NoIndexes
+	case "pk":
+		opts.Indexes = jobench.PKOnly
+	case "pkfk", "":
+		opts.Indexes = jobench.PKFK
+	default:
+		return opts, fmt.Errorf("unknown index config %q", idx)
+	}
+	switch shape {
+	case "bushy", "":
+		opts.Shape = plan.Bushy
+	case "leftdeep":
+		opts.Shape = plan.LeftDeep
+	case "rightdeep":
+		opts.Shape = plan.RightDeep
+	case "zigzag":
+		opts.Shape = plan.ZigZag
+	default:
+		return opts, fmt.Errorf("unknown shape %q", shape)
+	}
+	switch algo {
+	case "dp", "":
+		opts.Algorithm = optimizer.DP
+	case "dpccp":
+		opts.Algorithm = optimizer.DPccp
+	case "quickpick":
+		opts.Algorithm = optimizer.QuickPick1000
+	case "goo":
+		opts.Algorithm = optimizer.GOO
+	default:
+		return opts, fmt.Errorf("unknown algorithm %q", algo)
+	}
+	return opts, nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	scale, seed := openFlags(fs)
+	fs.Parse(args)
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	total := 0
+	rows := sys.TableRows()
+	fmt.Printf("%-18s %10s\n", "table", "rows")
+	for _, name := range []string{
+		"kind_type", "info_type", "company_type", "role_type", "link_type",
+		"comp_cast_type", "title", "company_name", "keyword", "name",
+		"char_name", "movie_companies", "movie_info", "movie_info_idx",
+		"movie_keyword", "cast_info", "aka_name", "aka_title", "movie_link",
+		"person_info", "complete_cast",
+	} {
+		fmt.Printf("%-18s %10d\n", name, rows[name])
+		total += rows[name]
+	}
+	fmt.Printf("%-18s %10d\n", "TOTAL", total)
+	fmt.Printf("\nworkload: %d queries\n", len(sys.QueryIDs()))
+	return nil
+}
+
+func cmdSQL(args []string) error {
+	fs := flag.NewFlagSet("sql", flag.ExitOnError)
+	q := fs.String("q", "13d", "query id")
+	scale, seed := openFlags(fs)
+	fs.Parse(args)
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	sql, err := sys.SQL(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Println(sql)
+	return nil
+}
+
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	q := fs.String("q", "13d", "query id")
+	scale, seed := openFlags(fs)
+	fs.Parse(args)
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	dot, err := sys.JoinGraphDot(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dot)
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	q := fs.String("q", "13d", "query id")
+	est, model, idx, noNLJ, shape, algo := planFlags(fs)
+	scale, seed := openFlags(fs)
+	fs.Parse(args)
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	opts, err := parsePlanOptions(*est, *model, *idx, *noNLJ, *shape, *algo)
+	if err != nil {
+		return err
+	}
+	text, cost, err := sys.Optimize(*q, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(text)
+	fmt.Printf("estimated cost: %.2f (%s model, %s estimates)\n", cost, *model, *est)
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	q := fs.String("q", "13d", "query id")
+	est, model, idx, noNLJ, shape, algo := planFlags(fs)
+	rehash := fs.Bool("rehash", true, "resize hash tables at runtime")
+	limit := fs.Int64("work-limit", 0, "abort after this many work units")
+	scale, seed := openFlags(fs)
+	fs.Parse(args)
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	opts, err := parsePlanOptions(*est, *model, *idx, *noNLJ, *shape, *algo)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := sys.Execute(*q, jobench.RunOptions{
+		PlanOptions: opts, Rehash: *rehash, WorkLimit: *limit,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Plan)
+	if res.TimedOut {
+		fmt.Printf("TIMED OUT after %d work units (%.1fms wall)\n",
+			res.Work, float64(time.Since(start).Microseconds())/1000)
+		return nil
+	}
+	truth, err := sys.TrueCardinality(*q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rows: %d (true cardinality %.0f)\nwork: %d units, %.1fms wall\n",
+		res.Rows, truth, res.Work, float64(time.Since(start).Microseconds())/1000)
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+	name := fs.String("name", "all", "experiment: table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|ablation-damping|ablation-rehash|hedging|all")
+	samples := fs.Int("samples", 10000, "random plans per query for fig9")
+	maxQ := fs.Int("max-queries", 0, "limit workload size (0 = all 113)")
+	parallel := fs.Int("parallel", 8, "workers for true-cardinality computation")
+	scale, seed := openFlags(fs)
+	fs.Parse(args)
+
+	lab, err := experiments.NewLab(experiments.Config{
+		Scale: *scale, Seed: *seed, MaxQueries: *maxQ, Parallel: *parallel,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "computing true cardinalities for %d queries...\n", len(lab.Queries))
+	start := time.Now()
+	if err := lab.Warmup(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	type renderer interface{ Render() string }
+	type exp struct {
+		id  string
+		run func() (renderer, error)
+	}
+	all := []exp{
+		{"table1", func() (renderer, error) { return lab.Table1() }},
+		{"fig3", func() (renderer, error) { return lab.Figure3() }},
+		{"fig4", func() (renderer, error) { return lab.Figure4() }},
+		{"fig5", func() (renderer, error) { return lab.Figure5() }},
+		{"sec41", func() (renderer, error) { return lab.Section41() }},
+		{"fig6", func() (renderer, error) { return lab.Figure6() }},
+		{"fig7", func() (renderer, error) {
+			r, err := lab.Figure7()
+			if err != nil {
+				return nil, err
+			}
+			return retitled{"Figure 7: PK vs PK+FK indexes (PostgreSQL estimates)\n", r}, nil
+		}},
+		{"fig8", func() (renderer, error) { return lab.Figure8() }},
+		{"fig9", func() (renderer, error) { return lab.Figure9(*samples) }},
+		{"table2", func() (renderer, error) { return lab.Table2() }},
+		{"table3", func() (renderer, error) { return lab.Table3() }},
+		{"ablation-damping", func() (renderer, error) { return lab.DampingAblation(nil) }},
+		{"ablation-rehash", func() (renderer, error) { return lab.RehashAblation("17e", nil) }},
+		{"hedging", func() (renderer, error) { return lab.Hedging() }},
+	}
+	matched := false
+	for _, e := range all {
+		if *name != "all" && *name != e.id {
+			continue
+		}
+		matched = true
+		t0 := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		fmt.Printf("=== %s (%v) ===\n%s\n", e.id, time.Since(t0).Round(time.Millisecond), res.Render())
+	}
+	if !matched {
+		return fmt.Errorf("unknown experiment %q", *name)
+	}
+	return nil
+}
+
+// retitled swaps the heading of a reused result type (Figure 7 reuses
+// Figure 6's layout).
+type retitled struct {
+	prefix string
+	inner  interface{ Render() string }
+}
+
+func (w retitled) Render() string {
+	s := w.inner.Render()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return w.prefix + s[i+1:]
+	}
+	return w.prefix + s
+}

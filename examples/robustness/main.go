@@ -1,0 +1,78 @@
+// Robustness: the paper's §4 story on one query. A deep underestimate makes
+// the optimizer pick a classic nested-loop join; executing it is
+// catastrophic. Disabling non-indexed nested loops and resizing hash tables
+// at runtime recovers near-optimal performance without fixing a single
+// estimate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jobench"
+)
+
+func main() {
+	sys, err := jobench.Open(jobench.Options{Scale: 0.2, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const qid = "17e" // character-name-in-title: large intermediates
+	truth, err := sys.TrueCardinality(qid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := sys.EstimateCardinality(qid, jobench.EstPostgres)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %s: true cardinality %.0f, PostgreSQL estimate %.1f (%.0fx off)\n\n",
+		qid, truth, est, truth/est)
+
+	// Baseline: the plan the optimizer finds when given true cardinalities.
+	optimal, err := sys.Execute(qid, jobench.RunOptions{
+		PlanOptions: jobench.PlanOptions{
+			Estimator:          jobench.EstTrue,
+			CostModel:          jobench.ModelPostgres,
+			Indexes:            jobench.PKOnly,
+			DisableNestedLoops: true,
+		},
+		Rehash: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal plan (true cardinalities):        %12d work units\n", optimal.Work)
+
+	run := func(label string, noNLJ, rehash bool) {
+		res, err := sys.Execute(qid, jobench.RunOptions{
+			PlanOptions: jobench.PlanOptions{
+				Estimator:          jobench.EstPostgres,
+				CostModel:          jobench.ModelPostgres,
+				Indexes:            jobench.PKOnly,
+				DisableNestedLoops: noNLJ,
+			},
+			Rehash: rehash,
+			// Time out runaway plans at 500x the optimal work (§4.1).
+			WorkLimit: 500 * optimal.Work,
+		})
+		if err != nil && !res.TimedOut {
+			log.Fatal(err)
+		}
+		if res.TimedOut {
+			fmt.Printf("%-42s TIMED OUT (>%d work units)\n", label, res.Work)
+			return
+		}
+		fmt.Printf("%-42s %12d work units (%.2fx optimal)\n",
+			label, res.Work, float64(res.Work)/float64(optimal.Work))
+	}
+
+	// The three engine configurations of Fig. 6.
+	run("(a) default engine:", false, false)
+	run("(b) nested-loop joins disabled:", true, false)
+	run("(c) + hash tables resized at runtime:", true, true)
+
+	fmt.Println("\nLesson (§4.1): robust execution-engine choices absorb most of the")
+	fmt.Println("damage of wrong estimates; no estimator improvements were needed.")
+}

@@ -1,0 +1,165 @@
+// Package costmodel implements the three cost models the paper compares in
+// §5: a PostgreSQL-style disk-oriented model (weighted page and CPU costs),
+// a main-memory-tuned variant of it (CPU weights raised 50x), and the
+// simple C_mm model of §5.4 that only counts tuples flowing through
+// operators (τ = 0.2, λ = 2).
+//
+// Models are pure functions of cardinalities: the plan walker supplies the
+// (estimated or true) input/output cardinalities of each operator.
+package costmodel
+
+import "math"
+
+// Model prices the operators of a physical plan. The per-operator costs are
+// local: the plan walker sums them over the tree.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// ScanCost prices a full table scan of rows tuples of the given width
+	// in bytes (selections are applied on the fly).
+	ScanCost(rows, width float64) float64
+	// HashJoinCost prices a hash join that builds on the left child
+	// (following the textbook convention the paper adopts in §6.2),
+	// probes with the right child, and emits out tuples.
+	HashJoinCost(build, probe, out float64) float64
+	// SortMergeJoinCost prices sorting both inputs and merging them.
+	SortMergeJoinCost(left, right, out float64) float64
+	// NestedLoopJoinCost prices a classic (non-indexed) nested-loop join.
+	NestedLoopJoinCost(outer, inner, out float64) float64
+	// IndexJoinCost prices an index-nested-loop join: outer tuples from the
+	// left child look up an index on the right base relation; lookups is
+	// the number of fetched inner tuples *before* the inner selection
+	// (|T1 ⋈ R|, the paper's §2.4 index intermediate), innerRows/innerWidth
+	// describe the full inner base table.
+	IndexJoinCost(outer, lookups, out, innerRows, innerWidth float64) float64
+}
+
+const pageSize = 8192
+
+// Postgres mirrors the structure of PostgreSQL's cost model: a weighted sum
+// of sequential page reads, random page reads and per-tuple CPU work, with
+// the default cost variables (seq_page_cost=1, random_page_cost=4,
+// cpu_tuple_cost=0.01, cpu_index_tuple_cost=0.005, cpu_operator_cost=0.0025).
+type Postgres struct {
+	SeqPage   float64
+	RandPage  float64
+	CPUTuple  float64
+	CPUIndex  float64
+	CPUOp     float64
+	modelName string
+}
+
+// NewPostgres returns the model with PostgreSQL's default cost variables.
+func NewPostgres() *Postgres {
+	return &Postgres{
+		SeqPage:   1.0,
+		RandPage:  4.0,
+		CPUTuple:  0.01,
+		CPUIndex:  0.005,
+		CPUOp:     0.0025,
+		modelName: "postgres",
+	}
+}
+
+// NewTuned returns the paper's §5.3 main-memory variant: all CPU cost
+// parameters multiplied by 50, shrinking the gap between I/O and CPU
+// weights (the default parameters assume processing a tuple is 400x cheaper
+// than reading it from a page).
+func NewTuned() *Postgres {
+	m := NewPostgres()
+	m.CPUTuple *= 50
+	m.CPUIndex *= 50
+	m.CPUOp *= 50
+	m.modelName = "tuned postgres"
+	return m
+}
+
+// Name implements Model.
+func (m *Postgres) Name() string { return m.modelName }
+
+func (m *Postgres) pages(rows, width float64) float64 {
+	return math.Ceil(rows * width / pageSize)
+}
+
+// ScanCost implements Model.
+func (m *Postgres) ScanCost(rows, width float64) float64 {
+	return m.SeqPage*m.pages(rows, width) + m.CPUTuple*rows
+}
+
+// HashJoinCost implements Model.
+func (m *Postgres) HashJoinCost(build, probe, out float64) float64 {
+	// Building is charged CPU per tuple plus hashing; probing is one hash
+	// computation per tuple; each output tuple costs CPU.
+	return (m.CPUTuple+m.CPUOp)*build + m.CPUOp*probe + m.CPUTuple*out
+}
+
+// SortMergeJoinCost implements Model.
+func (m *Postgres) SortMergeJoinCost(left, right, out float64) float64 {
+	sort := func(n float64) float64 {
+		if n < 2 {
+			return m.CPUOp
+		}
+		return m.CPUOp * n * math.Log2(n)
+	}
+	return sort(left) + sort(right) + m.CPUTuple*(left+right) + m.CPUTuple*out
+}
+
+// NestedLoopJoinCost implements Model.
+func (m *Postgres) NestedLoopJoinCost(outer, inner, out float64) float64 {
+	return m.CPUOp*outer*inner + m.CPUTuple*out
+}
+
+// IndexJoinCost implements Model.
+func (m *Postgres) IndexJoinCost(outer, lookups, out, innerRows, innerWidth float64) float64 {
+	// Each outer tuple descends the index (CPU) and each fetched inner
+	// tuple costs a random page access, discounted for cache hits as more
+	// of the relation gets touched.
+	innerPages := m.pages(innerRows, innerWidth)
+	fetch := math.Min(lookups, innerPages) // repeated page hits are free-ish
+	return m.CPUIndex*outer + m.RandPage*fetch + m.CPUTuple*(lookups-fetch) + m.CPUTuple*out
+}
+
+// Simple is the paper's C_mm (§5.4): it prices a plan purely by the number
+// of tuples that pass through each operator. τ discounts table scans, λ
+// makes index lookups more expensive than hash probes.
+type Simple struct {
+	Tau    float64
+	Lambda float64
+}
+
+// NewSimple returns C_mm with the paper's parameters τ=0.2, λ=2.
+func NewSimple() *Simple { return &Simple{Tau: 0.2, Lambda: 2} }
+
+// Name implements Model.
+func (s *Simple) Name() string { return "simple (C_mm)" }
+
+// ScanCost implements Model: C_mm(R) = τ·|R|.
+func (s *Simple) ScanCost(rows, width float64) float64 { return s.Tau * rows }
+
+// HashJoinCost implements Model: C_mm(T1 ⋈HJ T2) = |T| + children, and the
+// children are added by the walker.
+func (s *Simple) HashJoinCost(build, probe, out float64) float64 { return out }
+
+// SortMergeJoinCost implements Model. C_mm has no sort-merge case; we price
+// it as sorting both inputs at τ·n·log2(n) plus the output, which keeps it
+// dominated by hash joins, as in the paper's engine configuration.
+func (s *Simple) SortMergeJoinCost(left, right, out float64) float64 {
+	sort := func(n float64) float64 {
+		if n < 2 {
+			return s.Tau
+		}
+		return s.Tau * n * math.Log2(n)
+	}
+	return sort(left) + sort(right) + out
+}
+
+// NestedLoopJoinCost implements Model: every pair of tuples is touched.
+func (s *Simple) NestedLoopJoinCost(outer, inner, out float64) float64 {
+	return outer*inner + out
+}
+
+// IndexJoinCost implements Model:
+// C_mm(T1 ⋈INL R) = λ·|T1|·max(|T1 ⋈ R|/|T1|, 1) = λ·max(lookups, |T1|).
+func (s *Simple) IndexJoinCost(outer, lookups, out, innerRows, innerWidth float64) float64 {
+	return s.Lambda * math.Max(lookups, outer)
+}

@@ -1,0 +1,289 @@
+// Package engine executes physical plans over the column store and meters
+// the work they perform. It implements the paper's §2.3 execution model:
+// full table scans, unclustered index lookups, classic nested-loop joins,
+// in-memory hash joins, index-nested-loop joins and sort-merge joins.
+//
+// Two engine behaviours from §4.1 are modelled mechanically, not by
+// formula:
+//
+//   - Hash tables are sized from the *optimizer's cardinality estimate* of
+//     the build side. Underestimates produce undersized tables with long
+//     collision chains whose traversal is really performed (and counted).
+//     Config.Rehash enables the PostgreSQL 9.5 behaviour of growing the
+//     table at runtime.
+//   - Classic nested-loop joins really are O(n·m).
+//
+// Runtime is reported in deterministic work units (one unit ~ one sequential
+// tuple touch; index lookups cost a random-access factor), plus wall-clock
+// time. A work limit models the paper's query timeouts.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"jobench/internal/index"
+	"jobench/internal/plan"
+	"jobench/internal/query"
+	"jobench/internal/storage"
+)
+
+// Work-unit weights. One unit is one sequential tuple touch; a random index
+// access costs RandomAccessFactor units (main-memory setting: small, per
+// §4.2 index-nested-loop joins are never disastrous in RAM).
+const (
+	RandomAccessFactor = 4
+	HashBuildFactor    = 2
+)
+
+// Config controls execution.
+type Config struct {
+	// Rehash grows hash tables at runtime (the 9.5 backport of §4.1);
+	// without it the table is fixed at the estimate-derived size.
+	Rehash bool
+	// WorkLimit aborts execution after this many work units (0 = off).
+	// It is the timeout of §4.1.
+	WorkLimit int64
+}
+
+// Result reports an execution.
+type Result struct {
+	Rows     int64
+	Work     int64
+	Duration time.Duration
+	TimedOut bool
+}
+
+// ErrWorkLimit is returned (wrapped) when the work limit was exceeded.
+var ErrWorkLimit = errors.New("engine: work limit exceeded")
+
+// Run executes the plan over db, using idx for index-nested-loop joins.
+func Run(db *storage.Database, idx *index.Set, g *query.Graph, root *plan.Node, cfg Config) (Result, error) {
+	start := time.Now()
+	ex := &executor{db: db, idx: idx, g: g, cfg: cfg}
+	out, err := ex.exec(root)
+	res := Result{Work: ex.work, Duration: time.Since(start)}
+	if err != nil {
+		if errors.Is(err, ErrWorkLimit) {
+			res.TimedOut = true
+			return res, err
+		}
+		return res, err
+	}
+	res.Rows = int64(out.rows())
+	return res, nil
+}
+
+// batch is a materialised intermediate result: row ids per relation,
+// column-major, relations ascending.
+type batch struct {
+	rels []int
+	cols [][]int32
+}
+
+func (b *batch) rows() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	return len(b.cols[0])
+}
+
+func (b *batch) colOf(rel int) []int32 {
+	for i, r := range b.rels {
+		if r == rel {
+			return b.cols[i]
+		}
+	}
+	panic(fmt.Sprintf("engine: relation %d not in batch %v", rel, b.rels))
+}
+
+type executor struct {
+	db   *storage.Database
+	idx  *index.Set
+	g    *query.Graph
+	cfg  Config
+	work int64
+}
+
+func (ex *executor) charge(units int64) error {
+	ex.work += units
+	if ex.cfg.WorkLimit > 0 && ex.work > ex.cfg.WorkLimit {
+		return ErrWorkLimit
+	}
+	return nil
+}
+
+func (ex *executor) table(rel int) *storage.Table {
+	return ex.db.MustTable(ex.g.Q.Rels[rel].Table)
+}
+
+func (ex *executor) exec(n *plan.Node) (*batch, error) {
+	if n.IsLeaf() {
+		return ex.scan(n)
+	}
+	switch n.Algo {
+	case plan.HashJoin:
+		return ex.hashJoin(n)
+	case plan.IndexNLJoin:
+		return ex.indexJoin(n)
+	case plan.NestedLoopJoin:
+		return ex.nestedLoop(n)
+	case plan.SortMergeJoin:
+		return ex.sortMerge(n)
+	default:
+		return nil, fmt.Errorf("engine: unknown join algorithm %v", n.Algo)
+	}
+}
+
+// scan reads the base table sequentially, applying the selection.
+func (ex *executor) scan(n *plan.Node) (*batch, error) {
+	rel := n.Rel
+	t := ex.table(rel)
+	f, err := query.CompileAll(ex.g.Q.Rels[rel].Preds, t)
+	if err != nil {
+		return nil, err
+	}
+	var rows []int32
+	nr := t.NumRows()
+	for i := 0; i < nr; i++ {
+		if f(i) {
+			rows = append(rows, int32(i))
+		}
+	}
+	// One unit per tuple scanned plus one per emitted tuple.
+	if err := ex.charge(int64(nr) + int64(len(rows))); err != nil {
+		return nil, err
+	}
+	return &batch{rels: []int{rel}, cols: [][]int32{rows}}, nil
+}
+
+// joinCondition resolves the physical key and residual predicates of a join
+// node against its two children.
+type joinCondition struct {
+	probeRel  int // relation carrying the key on the probe side
+	probeCol  *storage.Column
+	buildRel  int
+	buildCol  *storage.Column
+	residuals []residualPred
+}
+
+type residualPred struct {
+	lRel int
+	lCol *storage.Column
+	rRel int
+	rCol *storage.Column
+}
+
+// condition computes the join condition with the build/outer side = left
+// child and probe/inner side = right child.
+func (ex *executor) condition(n *plan.Node) (*joinCondition, error) {
+	jc := &joinCondition{}
+	first := true
+	for _, ei := range n.EdgeIdxs {
+		e := ex.g.Edges[ei]
+		for _, j := range e.Preds {
+			li := ex.g.Q.RelIndex(j.LeftAlias)
+			ri := ex.g.Q.RelIndex(j.RightAlias)
+			lCol := ex.table(li).MustColumn(j.LeftCol)
+			rCol := ex.table(ri).MustColumn(j.RightCol)
+			// Normalise: l side in n.Left.S, r side in n.Right.S.
+			if n.Left.S.Has(ri) {
+				li, ri = ri, li
+				lCol, rCol = rCol, lCol
+			}
+			if !n.Left.S.Has(li) || !n.Right.S.Has(ri) {
+				return nil, fmt.Errorf("engine: edge %d does not span join %v", ei, n.S)
+			}
+			if first {
+				jc.buildRel, jc.buildCol = li, lCol
+				jc.probeRel, jc.probeCol = ri, rCol
+				first = false
+				continue
+			}
+			jc.residuals = append(jc.residuals, residualPred{lRel: li, lCol: lCol, rRel: ri, rCol: rCol})
+		}
+	}
+	if first {
+		return nil, fmt.Errorf("engine: join %v has no predicates", n.S)
+	}
+	return jc, nil
+}
+
+func mergeRels(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// emitter accumulates joined tuples.
+type emitter struct {
+	rels []int
+	cols [][]int32
+	lPos []int // for each output slot, index into left batch cols (or -1)
+	rPos []int
+}
+
+func newEmitter(l, r *batch) *emitter {
+	rels := mergeRels(l.rels, r.rels)
+	e := &emitter{rels: rels, cols: make([][]int32, len(rels)),
+		lPos: make([]int, len(rels)), rPos: make([]int, len(rels))}
+	for i, rel := range rels {
+		e.lPos[i], e.rPos[i] = -1, -1
+		for k, x := range l.rels {
+			if x == rel {
+				e.lPos[i] = k
+			}
+		}
+		for k, x := range r.rels {
+			if x == rel {
+				e.rPos[i] = k
+			}
+		}
+	}
+	return e
+}
+
+func (e *emitter) emit(l *batch, li int, r *batch, ri int) {
+	for k := range e.rels {
+		if p := e.lPos[k]; p >= 0 {
+			e.cols[k] = append(e.cols[k], l.cols[p][li])
+		} else {
+			e.cols[k] = append(e.cols[k], r.cols[e.rPos[k]][ri])
+		}
+	}
+}
+
+func (e *emitter) batch() *batch {
+	for k := range e.cols {
+		if e.cols[k] == nil {
+			e.cols[k] = []int32{}
+		}
+	}
+	return &batch{rels: e.rels, cols: e.cols}
+}
+
+// checkResiduals applies the non-primary join predicates.
+func checkResiduals(jc *joinCondition, l *batch, li int, r *batch, ri int) bool {
+	for _, rp := range jc.residuals {
+		lRow := int(l.colOf(rp.lRel)[li])
+		rRow := int(r.colOf(rp.rRel)[ri])
+		if rp.lCol.IsNull(lRow) || rp.rCol.IsNull(rRow) {
+			return false
+		}
+		if rp.lCol.Ints[lRow] != rp.rCol.Ints[rRow] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,378 @@
+// Package enum implements the plan-space enumeration algorithms of §6:
+// exhaustive dynamic programming over connected subgraphs without cross
+// products (DPccp, Moerkotte & Neumann), an O(3^n) DPsub used as a test
+// oracle, shape-restricted DP (left-deep / right-deep / zig-zag), the
+// randomized QuickPick algorithm (and its best-of-1000 variant), and Greedy
+// Operator Ordering (GOO).
+package enum
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"jobench/internal/cardest"
+	"jobench/internal/costmodel"
+	"jobench/internal/plan"
+	"jobench/internal/query"
+	"jobench/internal/storage"
+)
+
+// Space bundles everything a plan enumeration needs: the join graph, a
+// cardinality provider (estimates, injected values or truth), a cost model,
+// the physical design, and engine-level rules (the §4.1 nested-loop switch
+// and the §6.2 shape restriction).
+type Space struct {
+	G          *query.Graph
+	DB         *storage.Database
+	Cards      cardest.Provider
+	Model      costmodel.Model
+	Indexes    plan.IndexChecker
+	DisableNLJ bool
+	Shape      plan.Shape
+}
+
+func (sp *Space) indexes() plan.IndexChecker {
+	if sp.Indexes == nil {
+		return plan.NoIndexes{}
+	}
+	return sp.Indexes
+}
+
+// leafFor builds an annotated scan node.
+func (sp *Space) leafFor(r int) *plan.Node {
+	n := plan.Leaf(r)
+	t := sp.DB.MustTable(sp.G.Q.Rels[r].Table)
+	n.ECard = sp.Cards.Card(n.S)
+	n.ECost = sp.Model.ScanCost(sp.Cards.SansSelection(n.S, r), float64(t.TupleWidth()))
+	return n
+}
+
+// joinOf builds the cheapest join of (left, right) in this orientation, or
+// nil if the shape restriction or available algorithms rule it out. Both
+// orientations must be tried by the caller.
+func (sp *Space) joinOf(left, right *plan.Node) *plan.Node {
+	if !sp.Shape.Allows(left, right) {
+		return nil
+	}
+	edges := sp.G.EdgesBetween(left.S, right.S)
+	if len(edges) == 0 {
+		return nil
+	}
+	s := left.S.Union(right.S)
+	out := sp.Cards.Card(s)
+
+	best := math.Inf(1)
+	var bestAlgo plan.JoinAlgo
+	found := false
+
+	try := func(a plan.JoinAlgo, local float64) {
+		cost := left.ECost + local
+		if a != plan.IndexNLJoin {
+			cost += right.ECost
+		}
+		if cost < best {
+			best, bestAlgo, found = cost, a, true
+		}
+	}
+
+	try(plan.HashJoin, sp.Model.HashJoinCost(left.ECard, right.ECard, out))
+	try(plan.SortMergeJoin, sp.Model.SortMergeJoinCost(left.ECard, right.ECard, out))
+	if !sp.DisableNLJ {
+		try(plan.NestedLoopJoin, sp.Model.NestedLoopJoinCost(left.ECard, right.ECard, out))
+	}
+	if right.IsLeaf() {
+		n := &plan.Node{S: s, Rel: -1, Left: left, Right: right, EdgeIdxs: edges}
+		table, col := n.RightKeyColumn(sp.G)
+		if sp.indexes().Has(table, col) {
+			r := right.Rel
+			t := sp.DB.MustTable(table)
+			lookups := sp.Cards.SansSelection(s, r)
+			innerRows := sp.Cards.SansSelection(right.S, r)
+			try(plan.IndexNLJoin, sp.Model.IndexJoinCost(left.ECard, lookups, out, innerRows, float64(t.TupleWidth())))
+		}
+	}
+	if !found {
+		return nil
+	}
+	return &plan.Node{
+		S: s, Rel: -1, Algo: bestAlgo, Left: left, Right: right,
+		EdgeIdxs: edges, ECard: out, ECost: best,
+	}
+}
+
+// emit offers a (S1, S2) pair to the DP table in both orientations.
+func (sp *Space) emit(table map[query.BitSet]*plan.Node, s1, s2 query.BitSet) {
+	l, r := table[s1], table[s2]
+	if l == nil || r == nil {
+		return
+	}
+	s := s1.Union(s2)
+	cur := table[s]
+	if n := sp.joinOf(l, r); n != nil && (cur == nil || n.ECost < cur.ECost) {
+		table[s] = n
+		cur = n
+	}
+	if n := sp.joinOf(r, l); n != nil && (cur == nil || n.ECost < cur.ECost) {
+		table[s] = n
+	}
+}
+
+// DPccp enumerates all connected-subgraph/complement pairs of the join
+// graph and returns the optimal plan for the full query under the space's
+// provider, model and restrictions.
+func DPccp(sp *Space) (*plan.Node, error) {
+	g := sp.G
+	table := make(map[query.BitSet]*plan.Node, 1<<uint(g.N))
+	for r := 0; r < g.N; r++ {
+		table[query.Bit(r)] = sp.leafFor(r)
+	}
+
+	// Process csg-cmp pairs in an order where smaller unions come first:
+	// enumerate connected subsets ascending by size is not sufficient for
+	// DPccp's pairing, so we follow the classic emit order: for each csg S1
+	// (enumerated so that all its subsets were seen), for each cmp S2.
+	// Collect pairs and sort by union size to fill the table bottom-up.
+	type pair struct{ s1, s2 query.BitSet }
+	var pairs []pair
+	emitPair := func(s1, s2 query.BitSet) {
+		pairs = append(pairs, pair{s1, s2})
+	}
+	enumerateCsgCmpPairs(g, emitPair)
+
+	// Sort by union cardinality (stable counting sort over sizes).
+	bySize := make([][]pair, g.N+1)
+	for _, p := range pairs {
+		c := p.s1.Union(p.s2).Count()
+		bySize[c] = append(bySize[c], p)
+	}
+	for _, list := range bySize {
+		for _, p := range list {
+			sp.emit(table, p.s1, p.s2)
+		}
+	}
+
+	full := query.FullSet(g.N)
+	n := table[full]
+	if n == nil {
+		return nil, fmt.Errorf("enum: no plan for %s (shape %v too restrictive?)", g.Q.ID, sp.Shape)
+	}
+	return n, nil
+}
+
+// enumerateCsgCmpPairs implements the canonical Moerkotte/Neumann DPccp
+// enumeration: every connected subgraph S1 is paired with every connected
+// subgraph S2 of its complement that is reachable through at least one edge;
+// each unordered pair is emitted exactly once.
+func enumerateCsgCmpPairs(g *query.Graph, emit func(s1, s2 query.BitSet)) {
+	for i := g.N - 1; i >= 0; i-- {
+		v := query.Bit(i)
+		emitCsg(g, v, emit)
+		enumerateCsgRec(g, v, lowSet(i+1), emit)
+	}
+}
+
+// lowSet returns {0, .., i-1}.
+func lowSet(i int) query.BitSet { return query.BitSet(1)<<uint(i) - 1 }
+
+// enumerateCsgRec grows the connected subgraph S by non-empty subsets of its
+// neighbourhood excluding X, emitting each grown csg's complements first.
+func enumerateCsgRec(g *query.Graph, s, x query.BitSet, emit func(s1, s2 query.BitSet)) {
+	n := g.Neighborhood(s).Minus(x)
+	if n.Empty() {
+		return
+	}
+	forAllSubsets(n, func(sub query.BitSet) {
+		emitCsg(g, s.Union(sub), emit)
+	})
+	forAllSubsets(n, func(sub query.BitSet) {
+		enumerateCsgRec(g, s.Union(sub), x.Union(n), emit)
+	})
+}
+
+// emitCsg enumerates all connected complements of the csg S1.
+func emitCsg(g *query.Graph, s1 query.BitSet, emit func(a, b query.BitSet)) {
+	x := s1.Union(lowSet(s1.First() + 1)) // B_min(S1) ∪ S1
+	n := g.Neighborhood(s1).Minus(x)
+	if n.Empty() {
+		return
+	}
+	elems := n.Elems()
+	for idx := len(elems) - 1; idx >= 0; idx-- {
+		v := elems[idx]
+		s2 := query.Bit(v)
+		emit(s1, s2)
+		// Grow S2 within the complement, excluding smaller neighbours of
+		// S1 (B_v ∩ N) which later iterations of this loop handle.
+		enumerateCmpRec(g, s1, s2, x.Union(n.Intersect(lowSet(v+1))), emit)
+	}
+}
+
+func enumerateCmpRec(g *query.Graph, s1, s2, x query.BitSet, emit func(a, b query.BitSet)) {
+	n := g.Neighborhood(s2).Minus(x)
+	if n.Empty() {
+		return
+	}
+	forAllSubsets(n, func(sub query.BitSet) {
+		emit(s1, s2.Union(sub))
+	})
+	forAllSubsets(n, func(sub query.BitSet) {
+		enumerateCmpRec(g, s1, s2.Union(sub), x.Union(n), emit)
+	})
+}
+
+// forAllSubsets calls f on every non-empty subset of s (including s).
+func forAllSubsets(s query.BitSet, f func(sub query.BitSet)) {
+	if s.Empty() {
+		return
+	}
+	f(s)
+	s.SubsetsProper(f)
+}
+
+// DP is the exhaustive dynamic program over connected subgraphs: for every
+// connected relation set (ascending by size) it considers every split into
+// two connected, edge-linked parts. It is correct by construction and fast
+// enough for every JOB query; DPccp is the asymptotically better enumerator
+// and is tested to produce plans of identical cost.
+func DP(sp *Space) (*plan.Node, error) {
+	g := sp.G
+	full := query.FullSet(g.N)
+	table := make(map[query.BitSet]*plan.Node, 1<<uint(g.N))
+	for r := 0; r < g.N; r++ {
+		table[query.Bit(r)] = sp.leafFor(r)
+	}
+	g.ConnectedSubsets(func(s query.BitSet) {
+		if s.Single() {
+			return
+		}
+		s.SubsetsProper(func(s1 query.BitSet) {
+			s2 := s.Minus(s1)
+			// Each unordered split appears twice; visit it once. emit
+			// checks both orientations and that both halves have plans
+			// (i.e. are connected).
+			if s1 < s2 {
+				sp.emit(table, s1, s2)
+			}
+		})
+	})
+	n := table[full]
+	if n == nil {
+		return nil, fmt.Errorf("enum: no plan for %s", g.Q.ID)
+	}
+	return n, nil
+}
+
+// QuickPick builds one random cross-product-free plan by picking join edges
+// uniformly at random until all relations are connected (§6.1, [40]). Join
+// algorithms are chosen cheapest-first per join.
+func QuickPick(sp *Space, rng *rand.Rand) (*plan.Node, error) {
+	g := sp.G
+	comp := make([]*plan.Node, g.N) // component plan per relation (by root)
+	find := make([]int, g.N)
+	for r := 0; r < g.N; r++ {
+		comp[r] = sp.leafFor(r)
+		find[r] = r
+	}
+	root := func(r int) int {
+		for find[r] != r {
+			r = find[r]
+		}
+		return r
+	}
+	remaining := g.N
+	edgeOrder := rng.Perm(len(g.Edges))
+	// A random permutation of edges yields a random spanning sequence; we
+	// re-shuffle through the permutation until connected.
+	for _, ei := range edgeOrder {
+		if remaining == 1 {
+			break
+		}
+		e := g.Edges[ei]
+		ru, rv := root(e.U), root(e.V)
+		if ru == rv {
+			continue
+		}
+		l, r := comp[ru], comp[rv]
+		// Random orientation, cheapest algorithm.
+		if rng.Intn(2) == 0 {
+			l, r = r, l
+		}
+		n := sp.joinOf(l, r)
+		if n == nil {
+			n = sp.joinOf(r, l)
+		}
+		if n == nil {
+			return nil, fmt.Errorf("enum: quickpick could not join %v and %v", l.S, r.S)
+		}
+		find[ru] = rv
+		comp[rv] = n
+		remaining--
+	}
+	if remaining != 1 {
+		return nil, fmt.Errorf("enum: quickpick did not connect %s", g.Q.ID)
+	}
+	return comp[root(0)], nil
+}
+
+// QuickPickBest runs QuickPick k times and keeps the cheapest plan under the
+// space's own (estimated) costs — the paper's "QuickPick-1000" heuristic.
+func QuickPickBest(sp *Space, k int, seed int64) (*plan.Node, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var best *plan.Node
+	for i := 0; i < k; i++ {
+		n, err := QuickPick(sp, rng)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || n.ECost < best.ECost {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+// GOO is Greedy Operator Ordering [11]: start from one join tree per base
+// relation and repeatedly combine the connected pair whose join result has
+// the smallest estimated cardinality (ties broken by cost), producing a
+// bushy plan in O(n^3) combines.
+func GOO(sp *Space) (*plan.Node, error) {
+	g := sp.G
+	var trees []*plan.Node
+	for r := 0; r < g.N; r++ {
+		trees = append(trees, sp.leafFor(r))
+	}
+	for len(trees) > 1 {
+		bestI, bestJ := -1, -1
+		bestCard := math.Inf(1)
+		bestCost := math.Inf(1)
+		var bestNode *plan.Node
+		for i := 0; i < len(trees); i++ {
+			for j := i + 1; j < len(trees); j++ {
+				if !g.ConnectedPair(trees[i].S, trees[j].S) {
+					continue
+				}
+				card := sp.Cards.Card(trees[i].S.Union(trees[j].S))
+				if card > bestCard {
+					continue
+				}
+				n := sp.joinOf(trees[i], trees[j])
+				if m := sp.joinOf(trees[j], trees[i]); m != nil && (n == nil || m.ECost < n.ECost) {
+					n = m
+				}
+				if n == nil {
+					continue
+				}
+				if card < bestCard || n.ECost < bestCost {
+					bestCard, bestCost, bestI, bestJ, bestNode = card, n.ECost, i, j, n
+				}
+			}
+		}
+		if bestNode == nil {
+			return nil, fmt.Errorf("enum: GOO stuck on %s", g.Q.ID)
+		}
+		trees[bestI] = bestNode
+		trees = append(trees[:bestJ], trees[bestJ+1:]...)
+	}
+	return trees[0], nil
+}

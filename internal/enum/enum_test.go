@@ -1,0 +1,299 @@
+package enum
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"jobench/internal/cardest"
+	"jobench/internal/costmodel"
+	"jobench/internal/imdb"
+	"jobench/internal/index"
+	"jobench/internal/job"
+	"jobench/internal/plan"
+	"jobench/internal/query"
+	"jobench/internal/stats"
+	"jobench/internal/storage"
+)
+
+// testLab caches a small database + stats for all tests in this package.
+type testLab struct {
+	db   *storage.Database
+	sdb  *stats.DB
+	pg   cardest.Estimator
+	pkfk *index.Set
+	pk   *index.Set
+}
+
+var sharedLab *testLab
+
+func lab(t *testing.T) *testLab {
+	t.Helper()
+	if sharedLab != nil {
+		return sharedLab
+	}
+	db := imdb.Generate(imdb.Config{Scale: 0.05, Seed: 11})
+	sdb := stats.AnalyzeDatabase(db, stats.Options{SampleSize: 2000, Seed: 1})
+	pkfk, err := imdb.BuildIndexes(db, imdb.PKFK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := imdb.BuildIndexes(db, imdb.PKOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedLab = &testLab{db: db, sdb: sdb, pg: cardest.NewPostgres(db, sdb), pkfk: pkfk, pk: pk}
+	return sharedLab
+}
+
+func (l *testLab) space(t *testing.T, qid string, shape plan.Shape) *Space {
+	t.Helper()
+	q := job.ByID(qid)
+	if q == nil {
+		t.Fatalf("no query %s", qid)
+	}
+	g := query.MustBuildGraph(q)
+	return &Space{
+		G:          g,
+		DB:         l.db,
+		Cards:      l.pg.ForQuery(g),
+		Model:      costmodel.NewSimple(),
+		Indexes:    l.pkfk,
+		DisableNLJ: true,
+		Shape:      shape,
+	}
+}
+
+func TestDPProducesValidOptimalPlans(t *testing.T) {
+	l := lab(t)
+	for _, qid := range []string{"1a", "3b", "6a", "13d", "17b", "25c", "29a", "33a"} {
+		sp := l.space(t, qid, plan.Bushy)
+		root, err := DP(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		if err := plan.Validate(root, sp.G, query.FullSet(sp.G.N)); err != nil {
+			t.Fatalf("%s: invalid plan: %v", qid, err)
+		}
+		if root.ECost <= 0 || math.IsInf(root.ECost, 0) {
+			t.Fatalf("%s: cost %g", qid, root.ECost)
+		}
+	}
+}
+
+func TestDPccpMatchesDPOnAllJOBQueries(t *testing.T) {
+	l := lab(t)
+	for _, q := range job.Workload() {
+		g := query.MustBuildGraph(q)
+		sp := &Space{
+			G: g, DB: l.db, Cards: l.pg.ForQuery(g),
+			Model: costmodel.NewSimple(), Indexes: l.pkfk, DisableNLJ: true,
+		}
+		a, err := DP(sp)
+		if err != nil {
+			t.Fatalf("%s: DP: %v", q.ID, err)
+		}
+		b, err := DPccp(sp)
+		if err != nil {
+			t.Fatalf("%s: DPccp: %v", q.ID, err)
+		}
+		if err := plan.Validate(b, g, query.FullSet(g.N)); err != nil {
+			t.Fatalf("%s: DPccp invalid: %v", q.ID, err)
+		}
+		if math.Abs(a.ECost-b.ECost) > 1e-6*math.Max(1, a.ECost) {
+			t.Errorf("%s: DP cost %.4f != DPccp cost %.4f", q.ID, a.ECost, b.ECost)
+		}
+	}
+}
+
+func TestShapeRestrictionsConformAndOrder(t *testing.T) {
+	l := lab(t)
+	for _, qid := range []string{"13d", "25c", "6a", "17b"} {
+		costs := map[plan.Shape]float64{}
+		for _, shape := range []plan.Shape{plan.Bushy, plan.ZigZag, plan.LeftDeep, plan.RightDeep} {
+			sp := l.space(t, qid, shape)
+			root, err := DP(sp)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", qid, shape, err)
+			}
+			if !plan.Conforms(root, shape) {
+				t.Fatalf("%s: plan does not conform to %v", qid, shape)
+			}
+			costs[shape] = root.ECost
+		}
+		// Bushy <= ZigZag <= LeftDeep (supersets can only be cheaper);
+		// right-deep is not comparable to left-deep but >= bushy.
+		if costs[plan.Bushy] > costs[plan.ZigZag]+1e-9 {
+			t.Errorf("%s: bushy (%g) worse than zig-zag (%g)", qid, costs[plan.Bushy], costs[plan.ZigZag])
+		}
+		if costs[plan.ZigZag] > costs[plan.LeftDeep]+1e-9 {
+			t.Errorf("%s: zig-zag (%g) worse than left-deep (%g)", qid, costs[plan.ZigZag], costs[plan.LeftDeep])
+		}
+		if costs[plan.Bushy] > costs[plan.RightDeep]+1e-9 {
+			t.Errorf("%s: bushy (%g) worse than right-deep (%g)", qid, costs[plan.Bushy], costs[plan.RightDeep])
+		}
+	}
+}
+
+func TestDPIsOptimalAgainstExhaustiveSearch(t *testing.T) {
+	// On a small query, DP's plan must be at least as cheap as any plan
+	// QuickPick ever generates.
+	l := lab(t)
+	sp := l.space(t, "3a", plan.Bushy)
+	best, err := DP(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 500; i++ {
+		p, err := QuickPick(sp, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ECost < best.ECost-1e-9 {
+			t.Fatalf("QuickPick found cheaper plan (%g < %g): DP not optimal", p.ECost, best.ECost)
+		}
+	}
+}
+
+func TestQuickPickValidAndSeeded(t *testing.T) {
+	l := lab(t)
+	sp := l.space(t, "13d", plan.Bushy)
+	rng := rand.New(rand.NewSource(5))
+	seen := map[float64]bool{}
+	for i := 0; i < 50; i++ {
+		p, err := QuickPick(sp, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := plan.Validate(p, sp.G, query.FullSet(sp.G.N)); err != nil {
+			t.Fatalf("invalid quickpick plan: %v", err)
+		}
+		seen[p.ECost] = true
+	}
+	if len(seen) < 5 {
+		t.Fatalf("only %d distinct plan costs in 50 random plans", len(seen))
+	}
+	// Determinism for equal seeds.
+	a, _ := QuickPickBest(sp, 100, 3)
+	b, _ := QuickPickBest(sp, 100, 3)
+	if a.ECost != b.ECost {
+		t.Fatal("QuickPickBest not deterministic")
+	}
+	// Best-of-1000 is at least as good as best-of-10.
+	c, _ := QuickPickBest(sp, 10, 3)
+	if a.ECost > c.ECost+1e-9 {
+		t.Fatalf("best-of-100 (%g) worse than best-of-10 (%g)", a.ECost, c.ECost)
+	}
+}
+
+func TestGOOValidAndBetterThanWorstRandom(t *testing.T) {
+	l := lab(t)
+	for _, qid := range []string{"6a", "13d", "25c", "29a"} {
+		sp := l.space(t, qid, plan.Bushy)
+		g, err := GOO(sp)
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		if err := plan.Validate(g, sp.G, query.FullSet(sp.G.N)); err != nil {
+			t.Fatalf("%s: invalid GOO plan: %v", qid, err)
+		}
+		dp, err := DP(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.ECost < dp.ECost-1e-9 {
+			t.Fatalf("%s: GOO (%g) beat DP (%g): DP not optimal", qid, g.ECost, dp.ECost)
+		}
+	}
+}
+
+func TestIndexAvailabilityGatesINL(t *testing.T) {
+	l := lab(t)
+	// Without indexes, no plan may contain an IndexNLJoin; with PK+FK
+	// indexes on this workload, DP should use some.
+	var countINL func(n *plan.Node) int
+	countINL = func(n *plan.Node) int {
+		if n == nil || n.IsLeaf() {
+			return 0
+		}
+		c := 0
+		if n.Algo == plan.IndexNLJoin {
+			c = 1
+		}
+		return c + countINL(n.Left) + countINL(n.Right)
+	}
+	sawINL := false
+	for _, qid := range []string{"13d", "25c", "17b", "6a", "29a"} {
+		sp := l.space(t, qid, plan.Bushy)
+		sp.Indexes = nil // no indexes
+		root, err := DP(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if countINL(root) != 0 {
+			t.Fatalf("%s: INL join without any index", qid)
+		}
+		sp = l.space(t, qid, plan.Bushy)
+		root, err = DP(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if countINL(root) > 0 {
+			sawINL = true
+		}
+	}
+	if !sawINL {
+		t.Error("no query used an index-nested-loop join under PK+FK indexes")
+	}
+}
+
+func TestDisableNLJ(t *testing.T) {
+	l := lab(t)
+	var countNL func(n *plan.Node) int
+	countNL = func(n *plan.Node) int {
+		if n == nil || n.IsLeaf() {
+			return 0
+		}
+		c := 0
+		if n.Algo == plan.NestedLoopJoin {
+			c = 1
+		}
+		return c + countNL(n.Left) + countNL(n.Right)
+	}
+	for _, qid := range []string{"13d", "29a"} {
+		sp := l.space(t, qid, plan.Bushy)
+		sp.DisableNLJ = true
+		root, err := DP(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if countNL(root) != 0 {
+			t.Fatalf("%s: nested-loop join despite DisableNLJ", qid)
+		}
+	}
+}
+
+func TestRightDeepCannotUseUpperIndexes(t *testing.T) {
+	l := lab(t)
+	// In a right-deep plan, only the bottom join may be an INL (§6.2).
+	sp := l.space(t, "13d", plan.RightDeep)
+	root, err := DP(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *plan.Node, isBottom bool)
+	walk = func(n *plan.Node, isBottom bool) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		if n.Algo == plan.IndexNLJoin && !n.Right.IsLeaf() {
+			t.Fatal("INL with non-leaf right child in right-deep plan")
+		}
+		walk(n.Right, false)
+	}
+	walk(root, true)
+	if !plan.Conforms(root, plan.RightDeep) {
+		t.Fatal("plan not right-deep")
+	}
+}

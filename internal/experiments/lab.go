@@ -1,0 +1,207 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. Each experiment is a pure function of a Lab (the shared
+// setup: data, statistics, indexes, workload, true cardinalities) returning
+// a typed result with a text rendering; cmd/jobench and the root benchmark
+// suite drive them.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"jobench/internal/cardest"
+	"jobench/internal/imdb"
+	"jobench/internal/index"
+	"jobench/internal/job"
+	"jobench/internal/query"
+	"jobench/internal/stats"
+	"jobench/internal/storage"
+	"jobench/internal/truecard"
+)
+
+// Config controls the experimental setup.
+type Config struct {
+	// Scale is the IMDB data scale (1.0 ~ 10k titles, ~450k rows).
+	Scale float64
+	// Seed drives all generation and sampling.
+	Seed int64
+	// MaxQueries truncates the workload for quick runs (0 = all 113).
+	MaxQueries int
+	// Parallel workers for true-cardinality computation (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultConfig is the scale the experiment CLI uses.
+func DefaultConfig() Config {
+	return Config{Scale: 1.0, Seed: 42}
+}
+
+// QuickConfig is small enough for tests and benchmarks.
+func QuickConfig() Config {
+	return Config{Scale: 0.08, Seed: 42}
+}
+
+// Lab bundles everything the experiments share.
+type Lab struct {
+	Cfg Config
+
+	DB      *storage.Database
+	Stats   *stats.DB
+	StatsTD *stats.DB // ANALYZE with true distinct counts (Fig. 5)
+	Queries []*query.Query
+	Graphs  map[string]*query.Graph
+	IdxNone *index.Set
+	IdxPK   *index.Set
+	IdxPKFK *index.Set
+
+	// Estimators in the paper's presentation order.
+	Postgres   cardest.Estimator
+	PostgresTD cardest.Estimator
+	DBMSA      cardest.Estimator
+	DBMSB      cardest.Estimator
+	DBMSC      cardest.Estimator
+	HyPer      cardest.Estimator
+
+	mu    sync.Mutex
+	truth map[string]*truecard.Store
+}
+
+// NewLab builds the shared setup.
+func NewLab(cfg Config) (*Lab, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	db := imdb.Generate(imdb.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+	// The ANALYZE sample must be small relative to the big tables, like
+	// PostgreSQL's 30,000 rows against IMDB's 36M-row cast_info (~0.1%):
+	// sample-based distinct counts (Duj1) must underestimate on skewed
+	// columns for the paper's §3.4/Fig. 5 effect to exist. We keep the
+	// ratio, not the absolute number.
+	sampleSize := 600 + int(4000*cfg.Scale)
+	sopts := stats.Options{SampleSize: sampleSize, MCVTarget: 100, HistBuckets: 100, Seed: cfg.Seed}
+	sdb := stats.AnalyzeDatabase(db, sopts)
+	sopts.TrueDistinct = true
+	sdbTD := stats.AnalyzeDatabase(db, sopts)
+
+	qs := job.Workload()
+	if cfg.MaxQueries > 0 && cfg.MaxQueries < len(qs) {
+		qs = qs[:cfg.MaxQueries]
+	}
+	graphs := make(map[string]*query.Graph, len(qs))
+	for _, q := range qs {
+		graphs[q.ID] = query.MustBuildGraph(q)
+	}
+	idxNone, err := imdb.BuildIndexes(db, imdb.NoIndexes)
+	if err != nil {
+		return nil, err
+	}
+	idxPK, err := imdb.BuildIndexes(db, imdb.PKOnly)
+	if err != nil {
+		return nil, err
+	}
+	idxPKFK, err := imdb.BuildIndexes(db, imdb.PKFK)
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{
+		Cfg:        cfg,
+		DB:         db,
+		Stats:      sdb,
+		StatsTD:    sdbTD,
+		Queries:    qs,
+		Graphs:     graphs,
+		IdxNone:    idxNone,
+		IdxPK:      idxPK,
+		IdxPKFK:    idxPKFK,
+		Postgres:   cardest.NewPostgres(db, sdb),
+		PostgresTD: cardest.NewPostgres(db, sdbTD),
+		DBMSA:      cardest.NewDBMSA(db, sdb),
+		DBMSB:      cardest.NewDBMSB(db, sdb),
+		DBMSC:      cardest.NewDBMSC(db, sdb),
+		HyPer:      cardest.NewSample(db, sdb),
+		truth:      make(map[string]*truecard.Store),
+	}, nil
+}
+
+// Systems returns the five estimators in the paper's order.
+func (l *Lab) Systems() []cardest.Estimator {
+	return []cardest.Estimator{l.Postgres, l.DBMSA, l.DBMSB, l.DBMSC, l.HyPer}
+}
+
+// Truth returns (computing and caching on first use) the full true-
+// cardinality store of a query.
+func (l *Lab) Truth(qid string) (*truecard.Store, error) {
+	l.mu.Lock()
+	st, ok := l.truth[qid]
+	l.mu.Unlock()
+	if ok {
+		return st, nil
+	}
+	g := l.Graphs[qid]
+	if g == nil {
+		return nil, fmt.Errorf("experiments: unknown query %s", qid)
+	}
+	st, err := truecard.Compute(l.DB, g, truecard.Options{})
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.truth[qid] = st
+	l.mu.Unlock()
+	return st, nil
+}
+
+// Warmup computes the true cardinalities of every workload query in
+// parallel. All experiments call Truth lazily; warming up front makes a
+// full experiment run dramatically faster on multi-core machines.
+func (l *Lab) Warmup() error {
+	workers := l.Cfg.Parallel
+	if workers <= 0 {
+		workers = 8
+	}
+	type job struct{ qid string }
+	jobs := make(chan string)
+	errs := make(chan error, len(l.Queries))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for qid := range jobs {
+				if _, err := l.Truth(qid); err != nil {
+					errs <- fmt.Errorf("%s: %w", qid, err)
+				}
+			}
+		}()
+	}
+	for _, q := range l.Queries {
+		jobs <- q.ID
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+	return nil
+}
+
+// QueryIDs returns the workload's query ids in order.
+func (l *Lab) QueryIDs() []string {
+	ids := make([]string, len(l.Queries))
+	for i, q := range l.Queries {
+		ids[i] = q.ID
+	}
+	return ids
+}
+
+// sortedKeys is a rendering helper.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,254 @@
+package imdb
+
+// Token vocabularies for the synthetic IMDB generator. The specific strings
+// matter: JOB queries select on them (country codes, genres, info types,
+// keywords, LIKE-able name fragments), so they are chosen to mirror the real
+// data set's vocabulary closely enough that the workload reads like JOB.
+
+// kindTypes are the 7 title kinds of IMDB.
+var kindTypes = []string{
+	"movie", "tv series", "tv movie", "video movie", "tv mini series",
+	"video game", "episode",
+}
+
+// kindShare is the approximate share of each kind among titles. Episodes
+// dominate the real title table.
+var kindShare = []float64{0.25, 0.04, 0.03, 0.06, 0.005, 0.015, 0.60}
+
+// companyTypes are the 4 IMDB company roles.
+var companyTypes = []string{
+	"production companies", "distributors", "special effects companies",
+	"miscellaneous companies",
+}
+
+// roleTypes are the 12 IMDB cast roles.
+var roleTypes = []string{
+	"actor", "actress", "producer", "writer", "cinematographer", "composer",
+	"costume designer", "director", "editor", "miscellaneous crew",
+	"production designer", "guest",
+}
+
+// linkTypes are the 18 IMDB movie-link kinds.
+var linkTypes = []string{
+	"follows", "followed by", "remake of", "remade as", "references",
+	"referenced in", "spoofs", "spoofed in", "features", "featured in",
+	"spin off from", "spin off", "version of", "similar to", "edited into",
+	"edited from", "alternate language version of", "unknown link",
+}
+
+// compCastTypes are the 4 complete_cast subject/status kinds.
+var compCastTypes = []string{"cast", "crew", "complete", "complete+verified"}
+
+// infoTypes is our info_type dimension. The first block is used by
+// movie_info_idx, the middle by movie_info, the last by person_info.
+var infoTypes = []string{
+	// movie_info_idx types (0-3)
+	"top 250 rank", "bottom 10 rank", "rating", "votes",
+	// movie_info types (4-19)
+	"genres", "countries", "languages", "budget", "release dates",
+	"runtimes", "color info", "sound mix", "certificates", "gross",
+	"production dates", "filming dates", "tech info", "copyright holder",
+	"camera", "trivia",
+	// person_info types (20-27)
+	"mini biography", "birth notes", "birth date", "death date", "height",
+	"spouse", "trade mark", "other works",
+}
+
+const (
+	itTop250       = 1 // info_type ids are 1-based
+	itBottom10     = 2
+	itRating       = 3
+	itVotes        = 4
+	itGenres       = 5
+	itCountries    = 6
+	itLanguages    = 7
+	itBudget       = 8
+	itReleaseDates = 9
+	itRuntimes     = 10
+	itMiniBio      = 21
+	itBirthNotes   = 22
+	itBirthDate    = 23
+	itHeight       = 25
+)
+
+// countries drive a three-way correlation: company country codes
+// (company_name.country_code), movie production countries
+// (movie_info 'countries') and release-date notes all derive from the same
+// latent per-title country. Shares are Zipf-ish with the US dominant, as in
+// IMDB.
+type country struct {
+	code  string // company_name.country_code
+	name  string // movie_info 'countries' value
+	lang  string // dominant language
+	share float64
+}
+
+var countries = []country{
+	{"[us]", "USA", "English", 0.36},
+	{"[gb]", "UK", "English", 0.10},
+	{"[de]", "Germany", "German", 0.08},
+	{"[fr]", "France", "French", 0.07},
+	{"[it]", "Italy", "Italian", 0.05},
+	{"[jp]", "Japan", "Japanese", 0.05},
+	{"[in]", "India", "Hindi", 0.04},
+	{"[ca]", "Canada", "English", 0.04},
+	{"[es]", "Spain", "Spanish", 0.03},
+	{"[nl]", "Netherlands", "Dutch", 0.02},
+	{"[se]", "Sweden", "Swedish", 0.02},
+	{"[au]", "Australia", "English", 0.02},
+	{"[dk]", "Denmark", "Danish", 0.015},
+	{"[mx]", "Mexico", "Spanish", 0.015},
+	{"[br]", "Brazil", "Portuguese", 0.015},
+	{"[ar]", "Argentina", "Spanish", 0.01},
+	{"[pl]", "Poland", "Polish", 0.01},
+	{"[ru]", "Russia", "Russian", 0.01},
+	{"[fi]", "Finland", "Finnish", 0.01},
+	{"[no]", "Norway", "Norwegian", 0.01},
+	{"[at]", "Austria", "German", 0.008},
+	{"[ch]", "Switzerland", "German", 0.008},
+	{"[be]", "Belgium", "French", 0.008},
+	{"[cn]", "China", "Chinese", 0.008},
+	{"[kr]", "South Korea", "Korean", 0.008},
+	{"[hk]", "Hong Kong", "Chinese", 0.006},
+	{"[ie]", "Ireland", "English", 0.006},
+	{"[cz]", "Czech Republic", "Czech", 0.005},
+	{"[hu]", "Hungary", "Hungarian", 0.005},
+	{"[gr]", "Greece", "Greek", 0.005},
+	{"[pt]", "Portugal", "Portuguese", 0.004},
+	{"[tr]", "Turkey", "Turkish", 0.004},
+	{"[il]", "Israel", "Hebrew", 0.004},
+	{"[ir]", "Iran", "Persian", 0.003},
+	{"[eg]", "Egypt", "Arabic", 0.003},
+	{"[ng]", "Nigeria", "English", 0.003},
+	{"[ph]", "Philippines", "Filipino", 0.003},
+	{"[th]", "Thailand", "Thai", 0.002},
+	{"[ro]", "Romania", "Romanian", 0.002},
+	{"[bg]", "Bulgaria", "Bulgarian", 0.002},
+}
+
+// genres with skewed shares, as found in movie_info 'genres' rows.
+var genres = []string{
+	"Drama", "Comedy", "Documentary", "Short", "Romance", "Action",
+	"Thriller", "Horror", "Crime", "Adventure", "Family", "Animation",
+	"Sci-Fi", "Fantasy", "Mystery", "Music", "War", "Western", "Musical",
+	"Sport", "Biography", "History", "News", "Reality-TV", "Talk-Show",
+	"Game-Show", "Adult",
+}
+
+var genreShare = []float64{
+	0.18, 0.14, 0.10, 0.09, 0.06, 0.06, 0.05, 0.045, 0.04, 0.035, 0.03,
+	0.025, 0.02, 0.02, 0.018, 0.015, 0.012, 0.01, 0.008, 0.008, 0.012,
+	0.01, 0.012, 0.02, 0.025, 0.015, 0.01,
+}
+
+// genreByKind biases genre choice per title kind (index into kindTypes).
+// Episodes skew towards talk/reality/drama; video games towards action.
+var genreByKind = map[int][]string{
+	5: {"Action", "Adventure", "Sci-Fi", "Fantasy", "Sport"},       // video game
+	6: {"Drama", "Comedy", "Talk-Show", "Reality-TV", "Game-Show"}, // episode
+}
+
+// specialKeywords are keywords JOB queries select on; they occupy the first
+// rows of the keyword table and are assigned with genre correlation.
+var specialKeywords = []string{
+	"character-name-in-title", "sequel", "based-on-novel", "number-in-title",
+	"murder", "blood", "violence", "gore", "revenge", "marvel-cinematic-universe",
+	"superhero", "based-on-comic", "fight", "magnet", "web", "flying",
+	"nerd", "hospital", "female-nudity", "love", "death", "friendship",
+	"police", "independent-film", "martial-arts", "kung-fu-master",
+	"tv-special", "new-york-city", "second-part", "alien", "vampire",
+	"zombie", "dystopia", "time-travel", "prison", "escape", "heist",
+	"serial-killer", "hero", "villain",
+}
+
+// keywordGenrePool maps genres to the special keywords they favour.
+var keywordGenrePool = map[string][]string{
+	"Horror":    {"blood", "gore", "murder", "vampire", "zombie", "violence", "serial-killer"},
+	"Thriller":  {"murder", "revenge", "violence", "serial-killer", "police", "heist"},
+	"Crime":     {"murder", "police", "violence", "prison", "heist", "revenge"},
+	"Action":    {"fight", "violence", "superhero", "martial-arts", "kung-fu-master", "hero", "villain"},
+	"Sci-Fi":    {"alien", "dystopia", "time-travel", "flying", "web"},
+	"Adventure": {"hero", "escape", "flying", "fight"},
+	"Romance":   {"love", "friendship"},
+	"Drama":     {"love", "death", "friendship", "hospital"},
+	"Fantasy":   {"superhero", "hero", "villain", "magnet"},
+	"Animation": {"superhero", "based-on-comic", "flying", "hero"},
+}
+
+// adjectives / nouns for synthetic movie titles. Several tokens are targets
+// of LIKE predicates in the workload.
+var titleAdjectives = []string{
+	"Dark", "Silent", "Golden", "Lost", "Hidden", "Broken", "Eternal",
+	"Crimson", "Savage", "Gentle", "Iron", "Burning", "Frozen", "Secret",
+	"Wild", "Ancient", "Final", "Little", "Great", "Shadow",
+}
+
+var titleNouns = []string{
+	"Champion", "Murder", "King", "Love", "Dream", "River", "Mountain",
+	"City", "Money", "Glory", "Justice", "Storm", "Garden", "Empire",
+	"Voyage", "Promise", "Harvest", "Kingdom", "Affair", "Witness",
+	"Honor", "Freedom", "Legacy", "Destiny", "Fortune",
+}
+
+// firstNamesF / firstNamesM drive the gender column of name and the
+// actor/actress role correlation in cast_info. Many contain the substrings
+// JOB's LIKE predicates search for ("%An%", "%Bert%", "B%").
+var firstNamesF = []string{
+	"Anna", "Angela", "Andrea", "Maria", "Julia", "Sophie", "Emma",
+	"Laura", "Nina", "Carla", "Diane", "Grace", "Helen", "Irene", "Jane",
+	"Karen", "Linda", "Mona", "Nora", "Olivia", "Paula", "Rita", "Sara",
+	"Tina", "Ursula", "Vera", "Wendy", "Yvonne", "Zoe", "Bertha",
+}
+
+var firstNamesM = []string{
+	"Andrew", "Anton", "Bernard", "Albert", "Bert", "Carl", "David",
+	"Erik", "Frank", "George", "Henry", "Ivan", "James", "Kevin", "Louis",
+	"Martin", "Niels", "Oscar", "Peter", "Quentin", "Robert", "Samuel",
+	"Thomas", "Victor", "Walter", "Xavier", "Yusuf", "Zachary", "Hugo",
+	"Viktor",
+}
+
+var lastNames = []string{
+	"Anderson", "Baker", "Carter", "Dawson", "Ellis", "Fischer", "Garcia",
+	"Hoffman", "Ivanov", "Jansen", "Keller", "Lambert", "Miller", "Novak",
+	"Olsen", "Petrov", "Quinn", "Rossi", "Schmidt", "Tanaka", "Umarov",
+	"Vogel", "Weber", "Xu", "Yamamoto", "Zimmermann", "Boehm", "Downey",
+	"Kaurismaeki", "Moreno",
+}
+
+// companyTokens per country bias company names so that LIKE predicates on
+// company names correlate with country codes.
+var companyTokens = map[string][]string{
+	"[us]": {"Universal", "Warner", "Paramount", "Columbia", "Fox", "Lion", "Summit", "Marvel", "Liberty", "Apex"},
+	"[gb]": {"Ealing", "Pinewood", "Albion", "Crown", "Thames"},
+	"[de]": {"Constantin", "Bavaria", "UFA", "Rhein", "Berlin"},
+	"[fr]": {"Gaumont", "Pathe", "Lumiere", "Seine", "Riviera"},
+	"[it]": {"Cinecitta", "Roma", "Titanus", "Venezia"},
+	"[jp]": {"Toho", "Shochiku", "Nikkatsu", "Sakura"},
+	"[in]": {"Bollywood", "Chennai", "Ganges", "Mumbai"},
+}
+
+var companyTokensDefault = []string{
+	"Northern", "Central", "Global", "Royal", "Pacific", "Atlantic",
+	"Meridian", "Pioneer", "Horizon", "Capital",
+}
+
+var companySuffixes = []string{
+	"Pictures", "Film", "Entertainment", "Studios", "Productions",
+	"Media", "Television", "International", "Releasing", "Home Video",
+}
+
+// mcNoteTokens generates movie_companies.note values such as
+// "(2004) (USA) (TV)"; the presentation country correlates with the
+// company's country.
+var mcNoteMedia = []string{"(TV)", "(video)", "(theatrical)", "(VHS)", "(DVD)", "(worldwide)"}
+
+// ciNotes are cast_info note values with their base shares; "(voice)" is
+// boosted for Animation titles (a join-crossing correlation the estimators
+// cannot see).
+var ciNotes = []string{
+	"(voice)", "(uncredited)", "(archive footage)", "(as himself)",
+	"(voice) (uncredited)", "(singing voice)", "(credit only)",
+}
+
+var ciNoteShare = []float64{0.08, 0.07, 0.03, 0.05, 0.02, 0.01, 0.01}

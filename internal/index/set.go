@@ -1,0 +1,73 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"jobench/internal/storage"
+)
+
+// Set is a registry of indexes keyed by (table, column). It doubles as the
+// optimizer's physical-design oracle: a join side can use an index-nested-
+// loop join only if Has(table, column) is true, which is how the paper's
+// three index configurations (none / PK / PK+FK) are expressed.
+type Set struct {
+	m map[setKey]Index
+}
+
+type setKey struct{ table, column string }
+
+// NewSet returns an empty index set (the "no indexes" configuration).
+func NewSet() *Set { return &Set{m: make(map[setKey]Index)} }
+
+// Add registers an index for (table, column), replacing any previous one.
+func (s *Set) Add(table, column string, idx Index) {
+	s.m[setKey{table, column}] = idx
+}
+
+// Get returns the index on (table, column), or nil.
+func (s *Set) Get(table, column string) Index {
+	return s.m[setKey{table, column}]
+}
+
+// Has reports whether an index exists on (table, column). It implements the
+// optimizer's IndexChecker interface.
+func (s *Set) Has(table, column string) bool {
+	_, ok := s.m[setKey{table, column}]
+	return ok
+}
+
+// Size returns the number of registered indexes.
+func (s *Set) Size() int { return len(s.m) }
+
+// Describe returns a sorted human-readable list of indexed columns.
+func (s *Set) Describe() []string {
+	out := make([]string, 0, len(s.m))
+	for k, idx := range s.m {
+		kind := "non-unique"
+		if idx.Unique() {
+			kind = "unique"
+		}
+		out = append(out, fmt.Sprintf("%s.%s (%s, %d entries)", k.table, k.column, kind, idx.Len()))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildHashOn builds and registers a hash index on table.column of db.
+func (s *Set) BuildHashOn(db *storage.Database, table, column string, unique bool) error {
+	t := db.Table(table)
+	if t == nil {
+		return fmt.Errorf("index: no table %q", table)
+	}
+	col := t.Column(column)
+	if col == nil {
+		return fmt.Errorf("index: no column %q.%q", table, column)
+	}
+	idx, err := BuildHash(col, unique)
+	if err != nil {
+		return err
+	}
+	s.Add(table, column, idx)
+	return nil
+}

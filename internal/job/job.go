@@ -1,0 +1,1214 @@
+// Package job defines the Join Order Benchmark workload over the synthetic
+// IMDB schema: 33 query families, each with 2-6 variants that differ only in
+// their selection predicates, 113 queries in total (the same family/variant
+// structure as the original JOB). Queries have between 4 and 16 join
+// predicates with an average of about 8, are pure select-project-join
+// blocks, and include the transitive join predicates (n:m "dotted edges" of
+// the paper's Fig. 2) that the original queries carry.
+package job
+
+import (
+	"fmt"
+	"strings"
+
+	"jobench/internal/query"
+)
+
+// Workload returns all 113 JOB queries in family order (1a, 1b, ..., 33c).
+func Workload() []*query.Query {
+	var qs []*query.Query
+	for _, fam := range families {
+		qs = append(qs, fam()...)
+	}
+	return qs
+}
+
+// ByID returns the query with the given id (e.g. "13d"), or nil.
+func ByID(id string) *query.Query {
+	for _, q := range Workload() {
+		if q.ID == id {
+			return q
+		}
+	}
+	return nil
+}
+
+// FamilyOf returns the family number of a query id like "17c".
+func FamilyOf(id string) string {
+	return strings.TrimRight(id, "abcdef")
+}
+
+var families = []func() []*query.Query{
+	family1, family2, family3, family4, family5, family6, family7, family8,
+	family9, family10, family11, family12, family13, family14, family15,
+	family16, family17, family18, family19, family20, family21, family22,
+	family23, family24, family25, family26, family27, family28, family29,
+	family30, family31, family32, family33,
+}
+
+// --- tiny construction DSL -------------------------------------------------
+
+type qb struct{ q *query.Query }
+
+func newQ(id string) *qb { return &qb{q: &query.Query{ID: id}} }
+
+func (b *qb) rel(alias, table string, preds ...*query.Pred) *qb {
+	b.q.Rels = append(b.q.Rels, query.Rel{Alias: alias, Table: table, Preds: preds})
+	return b
+}
+
+// on adds join predicates given as "a.col = b.col" specs.
+func (b *qb) on(specs ...string) *qb {
+	for _, s := range specs {
+		parts := strings.Split(s, "=")
+		if len(parts) != 2 {
+			panic(fmt.Sprintf("job: bad join spec %q", s))
+		}
+		l := strings.Split(strings.TrimSpace(parts[0]), ".")
+		r := strings.Split(strings.TrimSpace(parts[1]), ".")
+		if len(l) != 2 || len(r) != 2 {
+			panic(fmt.Sprintf("job: bad join spec %q", s))
+		}
+		b.q.Joins = append(b.q.Joins, query.Join{
+			LeftAlias: l[0], LeftCol: l[1], RightAlias: r[0], RightCol: r[1],
+		})
+	}
+	return b
+}
+
+func (b *qb) build() *query.Query { return b.q }
+
+// Shorthands for the predicate constructors used throughout the workload.
+var (
+	eqS   = query.EqStr
+	neS   = query.NeStr
+	inS   = query.InStr
+	like  = query.Like
+	nlike = query.NotLike
+	eqI   = query.EqInt
+	gtI   = query.GtInt
+	ltI   = query.LtInt
+	geI   = query.GeInt
+	btw   = query.Between
+	null  = query.IsNull
+	nn    = query.NotNull
+	or    = query.Or
+)
+
+// europeanCountries is a reusable IN-list (cf. JOB 3a).
+var europeanCountries = []string{
+	"Sweden", "Norway", "Germany", "Denmark", "Netherlands", "Finland",
+}
+
+// --- family 1: company type x top-250 rank (5 rels, 5 joins) ---------------
+
+func family1() []*query.Query {
+	mk := func(id string, itInfo string, mcNote, tYear *query.Pred) *query.Query {
+		b := newQ(id).
+			rel("ct", "company_type", eqS("kind", "production companies")).
+			rel("it", "info_type", eqS("info", itInfo)).
+			rel("mc", "movie_companies", mcNote).
+			rel("mi_idx", "movie_info_idx").
+			rel("t", "title", tYear).
+			on("ct.id = mc.company_type_id",
+				"t.id = mc.movie_id",
+				"t.id = mi_idx.movie_id",
+				"mc.movie_id = mi_idx.movie_id",
+				"it.id = mi_idx.info_type_id")
+		return b.build()
+	}
+	return []*query.Query{
+		mk("1a", "top 250 rank", nlike("note", "%(TV)%"), btw("production_year", 2005, 2010)),
+		mk("1b", "bottom 10 rank", nlike("note", "%(TV)%"), btw("production_year", 2005, 2010)),
+		mk("1c", "top 250 rank", like("note", "%(co-production)%"), gtI("production_year", 2010)),
+		mk("1d", "bottom 10 rank", like("note", "%(co-production)%"), gtI("production_year", 2000)),
+	}
+}
+
+// --- family 2: keyword x company country (5 rels, 5 joins) ------------------
+
+func family2() []*query.Query {
+	mk := func(id, code string) *query.Query {
+		return newQ(id).
+			rel("cn", "company_name", eqS("country_code", code)).
+			rel("k", "keyword", eqS("keyword", "character-name-in-title")).
+			rel("mc", "movie_companies").
+			rel("mk", "movie_keyword").
+			rel("t", "title").
+			on("cn.id = mc.company_id",
+				"mc.movie_id = t.id",
+				"t.id = mk.movie_id",
+				"mk.keyword_id = k.id",
+				"mc.movie_id = mk.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("2a", "[de]"), mk("2b", "[nl]"), mk("2c", "[se]"), mk("2d", "[us]"),
+	}
+}
+
+// --- family 3: sequels in northern Europe (4 rels, 4 joins) -----------------
+
+func family3() []*query.Query {
+	mk := func(id string, miIn []string, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("k", "keyword", like("keyword", "%sequel%")).
+			rel("mi", "movie_info", inS("info", miIn...)).
+			rel("mk", "movie_keyword").
+			rel("t", "title", tYear).
+			on("k.id = mk.keyword_id",
+				"mk.movie_id = t.id",
+				"t.id = mi.movie_id",
+				"mi.movie_id = mk.movie_id").
+			build()
+	}
+	big := append(append([]string{}, europeanCountries...),
+		"German", "Swedish", "Danish", "Norwegian", "USA", "American")
+	return []*query.Query{
+		mk("3a", append(append([]string{}, europeanCountries...), "German", "Swedish", "Danish", "Norwegian"), gtI("production_year", 2005)),
+		mk("3b", []string{"Bulgaria"}, gtI("production_year", 2010)),
+		mk("3c", big, gtI("production_year", 1990)),
+	}
+}
+
+// --- family 4: sequel ratings (5 rels, 5 joins) -----------------------------
+
+func family4() []*query.Query {
+	mk := func(id string, rating int64, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("it", "info_type", eqS("info", "rating")).
+			rel("k", "keyword", like("keyword", "%sequel%")).
+			rel("mi_idx", "movie_info_idx", gtI("info_num", rating)).
+			rel("mk", "movie_keyword").
+			rel("t", "title", tYear).
+			on("t.id = mi_idx.movie_id",
+				"t.id = mk.movie_id",
+				"mk.movie_id = mi_idx.movie_id",
+				"k.id = mk.keyword_id",
+				"it.id = mi_idx.info_type_id").
+			build()
+	}
+	return []*query.Query{
+		mk("4a", 50, gtI("production_year", 2005)),
+		mk("4b", 80, gtI("production_year", 2010)),
+		mk("4c", 20, gtI("production_year", 1990)),
+	}
+}
+
+// --- family 5: production companies x languages (5 rels, 5 joins) ----------
+
+func family5() []*query.Query {
+	mk := func(id string, mcNote *query.Pred, miIn []string, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("ct", "company_type", eqS("kind", "production companies")).
+			rel("it", "info_type").
+			rel("mc", "movie_companies", mcNote).
+			rel("mi", "movie_info", inS("info", miIn...)).
+			rel("t", "title", tYear).
+			on("t.id = mc.movie_id",
+				"mc.movie_id = mi.movie_id",
+				"t.id = mi.movie_id",
+				"ct.id = mc.company_type_id",
+				"it.id = mi.info_type_id").
+			build()
+	}
+	return []*query.Query{
+		mk("5a", like("note", "%(theatrical)%"), []string{"English", "German", "French"}, gtI("production_year", 2000)),
+		mk("5b", like("note", "%(VHS)%"), []string{"USA", "Germany"}, gtI("production_year", 2010)),
+		mk("5c", like("note", "%(TV)%"), []string{"Horror", "Drama", "Comedy"}, gtI("production_year", 1990)),
+	}
+}
+
+// --- family 6: actors of keyword-tagged movies (5 rels, 5 joins) -----------
+
+func family6() []*query.Query {
+	mk := func(id, kw string, nName *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("ci", "cast_info").
+			rel("k", "keyword", eqS("keyword", kw)).
+			rel("mk", "movie_keyword").
+			rel("n", "name", nName).
+			rel("t", "title", tYear).
+			on("k.id = mk.keyword_id",
+				"mk.movie_id = t.id",
+				"t.id = ci.movie_id",
+				"ci.movie_id = mk.movie_id",
+				"n.id = ci.person_id").
+			build()
+	}
+	return []*query.Query{
+		mk("6a", "superhero", like("name", "Downey%"), gtI("production_year", 2005)),
+		mk("6b", "superhero", like("name", "%Robert%"), gtI("production_year", 2010)),
+		mk("6c", "marvel-cinematic-universe", like("name", "Downey%"), gtI("production_year", 2010)),
+		mk("6d", "sequel", like("name", "%Bert%"), gtI("production_year", 1990)),
+		mk("6e", "sequel", like("name", "%B%"), gtI("production_year", 1950)),
+		mk("6f", "sequel", nn("name"), gtI("production_year", 1950)),
+	}
+}
+
+// --- family 7: biographies of linked-movie cast (8 rels, 9 joins) ----------
+
+func family7() []*query.Query {
+	mk := func(id string, anName, nPred *query.Pred, piNote *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("an", "aka_name", anName).
+			rel("ci", "cast_info").
+			rel("it", "info_type", eqS("info", "mini biography")).
+			rel("lt", "link_type", eqS("link", "features")).
+			rel("ml", "movie_link").
+			rel("n", "name", nPred).
+			rel("pi", "person_info", piNote).
+			rel("t", "title", tYear).
+			on("an.person_id = n.id",
+				"n.id = pi.person_id",
+				"ci.person_id = n.id",
+				"t.id = ci.movie_id",
+				"ml.linked_movie_id = t.id",
+				"lt.id = ml.link_type_id",
+				"it.id = pi.info_type_id",
+				"pi.person_id = an.person_id",
+				"pi.person_id = ci.person_id").
+			build()
+	}
+	return []*query.Query{
+		mk("7a", like("name", "%An%"), eqS("gender", "m"), eqS("note", "Volker Boehm"), btw("production_year", 1980, 1995)),
+		mk("7b", like("name", "%A%"), eqS("gender", "m"), eqS("note", "Volker Boehm"), btw("production_year", 1980, 2013)),
+		mk("7c", nn("name"), or(eqS("gender", "m"), eqS("gender", "f")), nn("note"), btw("production_year", 1950, 2013)),
+	}
+}
+
+// --- family 8: voice roles for foreign productions (7 rels, 8 joins) -------
+
+func family8() []*query.Query {
+	mk := func(id string, ciNote *query.Pred, code string, mcNote *query.Pred, rtRole string, nName *query.Pred) *query.Query {
+		return newQ(id).
+			rel("an", "aka_name").
+			rel("ci", "cast_info", ciNote).
+			rel("cn", "company_name", eqS("country_code", code)).
+			rel("mc", "movie_companies", mcNote).
+			rel("n", "name", nName).
+			rel("rt", "role_type", eqS("role", rtRole)).
+			rel("t", "title").
+			on("an.person_id = n.id",
+				"ci.person_id = n.id",
+				"ci.movie_id = t.id",
+				"mc.movie_id = t.id",
+				"mc.company_id = cn.id",
+				"ci.role_id = rt.id",
+				"an.person_id = ci.person_id",
+				"ci.movie_id = mc.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("8a", eqS("note", "(voice)"), "[jp]", like("note", "%(Japan)%"), "actress", like("name", "%Yamamoto%")),
+		mk("8b", eqS("note", "(voice)"), "[jp]", nlike("note", "%(USA)%"), "actress", like("name", "%Yo%")),
+		mk("8c", nn("note"), "[us]", nn("note"), "writer", nn("name")),
+		mk("8d", nn("note"), "[us]", nn("note"), "costume designer", nn("name")),
+	}
+}
+
+// --- family 9: US voice actresses with characters (8 rels, 9 joins) --------
+
+func family9() []*query.Query {
+	mk := func(id string, ciNote *query.Pred, nName *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("an", "aka_name").
+			rel("chn", "char_name").
+			rel("ci", "cast_info", ciNote).
+			rel("cn", "company_name", eqS("country_code", "[us]")).
+			rel("mc", "movie_companies").
+			rel("n", "name", eqS("gender", "f"), nName).
+			rel("rt", "role_type", eqS("role", "actress")).
+			rel("t", "title", tYear).
+			on("ci.movie_id = t.id",
+				"mc.movie_id = t.id",
+				"ci.movie_id = mc.movie_id",
+				"mc.company_id = cn.id",
+				"ci.role_id = rt.id",
+				"n.id = ci.person_id",
+				"chn.id = ci.person_role_id",
+				"an.person_id = n.id",
+				"an.person_id = ci.person_id").
+			build()
+	}
+	return []*query.Query{
+		mk("9a", inS("note", "(voice)", "(voice) (uncredited)"), like("name", "%Ang%"), btw("production_year", 2005, 2013)),
+		mk("9b", eqS("note", "(voice)"), like("name", "%Ang%"), btw("production_year", 2007, 2010)),
+		mk("9c", inS("note", "(voice)", "(voice) (uncredited)", "(singing voice)"), like("name", "%An%"), gtI("production_year", 1990)),
+		mk("9d", inS("note", "(voice)", "(voice) (uncredited)", "(singing voice)"), nn("name"), gtI("production_year", 1950)),
+	}
+}
+
+// --- family 10: Russian voice-over actors (7 rels, 7 joins) -----------------
+
+func family10() []*query.Query {
+	mk := func(id string, ciNote *query.Pred, code, rtRole string, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("chn", "char_name").
+			rel("ci", "cast_info", ciNote).
+			rel("cn", "company_name", eqS("country_code", code)).
+			rel("ct", "company_type").
+			rel("mc", "movie_companies").
+			rel("rt", "role_type", eqS("role", rtRole)).
+			rel("t", "title", tYear).
+			on("t.id = mc.movie_id",
+				"t.id = ci.movie_id",
+				"ci.movie_id = mc.movie_id",
+				"chn.id = ci.person_role_id",
+				"rt.id = ci.role_id",
+				"cn.id = mc.company_id",
+				"ct.id = mc.company_type_id").
+			build()
+	}
+	return []*query.Query{
+		mk("10a", like("note", "%(voice)%"), "[ru]", "actor", gtI("production_year", 2005)),
+		mk("10b", like("note", "%(voice)%"), "[ru]", "actor", gtI("production_year", 2010)),
+		mk("10c", nn("note"), "[us]", "producer", gtI("production_year", 1990)),
+	}
+}
+
+// --- family 11: sequel distribution chains (8 rels, 8 joins) ----------------
+
+func family11() []*query.Query {
+	mk := func(id string, cnPred []*query.Pred, ltLink *query.Pred, tYear *query.Pred) *query.Query {
+		b := newQ(id).
+			rel("cn", "company_name", cnPred...).
+			rel("ct", "company_type", eqS("kind", "production companies")).
+			rel("k", "keyword", eqS("keyword", "sequel")).
+			rel("lt", "link_type", ltLink).
+			rel("mc", "movie_companies", null("note")).
+			rel("mk", "movie_keyword").
+			rel("ml", "movie_link").
+			rel("t", "title", tYear).
+			on("t.id = mc.movie_id",
+				"mc.company_id = cn.id",
+				"mc.company_type_id = ct.id",
+				"t.id = mk.movie_id",
+				"mk.keyword_id = k.id",
+				"mc.movie_id = mk.movie_id",
+				"ml.movie_id = t.id",
+				"ml.link_type_id = lt.id")
+		return b.build()
+	}
+	return []*query.Query{
+		mk("11a", []*query.Pred{neS("country_code", "[pl]"), like("name", "%Film%")}, like("link", "%follow%"), btw("production_year", 1950, 2000)),
+		mk("11b", []*query.Pred{neS("country_code", "[pl]"), like("name", "%Warner%")}, eqS("link", "follows"), eqI("production_year", 2007)),
+		mk("11c", []*query.Pred{neS("country_code", "[pl]"), like("name", "%Film%")}, nn("link"), btw("production_year", 1950, 2013)),
+		mk("11d", []*query.Pred{neS("country_code", "[pl]")}, nn("link"), btw("production_year", 1950, 2013)),
+	}
+}
+
+// --- family 12: rated US drama/horror productions (8 rels, 10 joins) -------
+
+func family12() []*query.Query {
+	mk := func(id string, genreIn []string, rating int64, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cn", "company_name", eqS("country_code", "[us]")).
+			rel("ct", "company_type", eqS("kind", "production companies")).
+			rel("it1", "info_type", eqS("info", "genres")).
+			rel("it2", "info_type", eqS("info", "rating")).
+			rel("mc", "movie_companies").
+			rel("mi", "movie_info", inS("info", genreIn...)).
+			rel("mi_idx", "movie_info_idx", gtI("info_num", rating)).
+			rel("t", "title", tYear).
+			on("t.id = mi.movie_id",
+				"t.id = mi_idx.movie_id",
+				"mi.info_type_id = it1.id",
+				"mi_idx.info_type_id = it2.id",
+				"t.id = mc.movie_id",
+				"mc.company_id = cn.id",
+				"mc.company_type_id = ct.id",
+				"mc.movie_id = mi.movie_id",
+				"mc.movie_id = mi_idx.movie_id",
+				"mi.movie_id = mi_idx.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("12a", []string{"Drama", "Horror"}, 80, btw("production_year", 2005, 2008)),
+		mk("12b", []string{"Drama", "Horror", "Western", "Family"}, 70, btw("production_year", 2000, 2010)),
+		mk("12c", []string{"Drama", "Horror", "Comedy"}, 20, gtI("production_year", 2000)),
+	}
+}
+
+// --- family 13: ratings and release dates of company movies (9 rels,
+// 11 joins — the paper's running example 13d) --------------------------------
+
+func family13() []*query.Query {
+	mk := func(id, code, ktKind string, tYear *query.Pred) *query.Query {
+		b := newQ(id).
+			rel("cn", "company_name", eqS("country_code", code)).
+			rel("ct", "company_type", eqS("kind", "production companies")).
+			rel("it", "info_type", eqS("info", "rating")).
+			rel("it2", "info_type", eqS("info", "release dates")).
+			rel("kt", "kind_type", eqS("kind", ktKind)).
+			rel("mc", "movie_companies").
+			rel("mi", "movie_info").
+			rel("mi_idx", "movie_info_idx").
+			rel("t", "title")
+		if tYear != nil {
+			b.q.Rels[8].Preds = append(b.q.Rels[8].Preds, tYear)
+		}
+		return b.on(
+			"mi.movie_id = t.id",
+			"it2.id = mi.info_type_id",
+			"kt.id = t.kind_id",
+			"mc.movie_id = t.id",
+			"cn.id = mc.company_id",
+			"ct.id = mc.company_type_id",
+			"mi_idx.movie_id = t.id",
+			"it.id = mi_idx.info_type_id",
+			"mi.movie_id = mi_idx.movie_id",
+			"mc.movie_id = mi.movie_id",
+			"mc.movie_id = mi_idx.movie_id").build()
+	}
+	return []*query.Query{
+		mk("13a", "[de]", "movie", nil),
+		mk("13b", "[us]", "movie", gtI("production_year", 2010)),
+		mk("13c", "[us]", "movie", btw("production_year", 1990, 2000)),
+		mk("13d", "[us]", "movie", nil),
+	}
+}
+
+// --- family 14: violent-keyword countries with low ratings (8 rels,
+// 10 joins) ------------------------------------------------------------------
+
+func family14() []*query.Query {
+	mk := func(id string, kwIn []string, miIn []string, rating int64, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("it1", "info_type", eqS("info", "countries")).
+			rel("it2", "info_type", eqS("info", "rating")).
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("kt", "kind_type", eqS("kind", "movie")).
+			rel("mi", "movie_info", inS("info", miIn...)).
+			rel("mi_idx", "movie_info_idx", ltI("info_num", rating)).
+			rel("mk", "movie_keyword").
+			rel("t", "title", tYear).
+			on("t.id = mi.movie_id",
+				"t.id = mi_idx.movie_id",
+				"t.id = mk.movie_id",
+				"mi.movie_id = mi_idx.movie_id",
+				"mi.movie_id = mk.movie_id",
+				"mi_idx.movie_id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"it1.id = mi.info_type_id",
+				"it2.id = mi_idx.info_type_id",
+				"kt.id = t.kind_id").
+			build()
+	}
+	violent := []string{"murder", "blood", "gore", "violence"}
+	return []*query.Query{
+		mk("14a", violent, []string{"Germany", "Sweden", "USA"}, 85, gtI("production_year", 2005)),
+		mk("14b", []string{"murder", "blood"}, []string{"USA"}, 70, gtI("production_year", 2010)),
+		mk("14c", violent, append([]string{"USA"}, europeanCountries...), 95, gtI("production_year", 1990)),
+	}
+}
+
+// --- family 15: worldwide releases with aka titles (9 rels, 11 joins) -------
+
+func family15() []*query.Query {
+	mk := func(id, code string, mcNote, miNote *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("at", "aka_title").
+			rel("cn", "company_name", eqS("country_code", code)).
+			rel("ct", "company_type", eqS("kind", "production companies")).
+			rel("it1", "info_type", eqS("info", "release dates")).
+			rel("k", "keyword").
+			rel("mc", "movie_companies", mcNote).
+			rel("mi", "movie_info", miNote).
+			rel("mk", "movie_keyword").
+			rel("t", "title", tYear).
+			on("t.id = at.movie_id",
+				"t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"ct.id = mc.company_type_id",
+				"t.id = mi.movie_id",
+				"it1.id = mi.info_type_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"mc.movie_id = mi.movie_id",
+				"mi.movie_id = mk.movie_id",
+				"at.movie_id = mi.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("15a", "[us]", like("note", "%(worldwide)%"), like("note", "%(premiere)%"), gtI("production_year", 2000)),
+		mk("15b", "[us]", like("note", "%(worldwide)%"), like("note", "%(premiere)%"), gtI("production_year", 2010)),
+		mk("15c", "[us]", nn("note"), like("info", "USA:%"), gtI("production_year", 1990)),
+		mk("15d", "[us]", nn("note"), like("info", "USA:%"), gtI("production_year", 1950)),
+	}
+}
+
+// --- family 16: episodes with character names in title (8 rels, 10 joins) --
+
+func family16() []*query.Query {
+	mk := func(id, code string, eps *query.Pred) *query.Query {
+		b := newQ(id).
+			rel("an", "aka_name").
+			rel("ci", "cast_info").
+			rel("cn", "company_name", eqS("country_code", code)).
+			rel("k", "keyword", eqS("keyword", "character-name-in-title")).
+			rel("mc", "movie_companies").
+			rel("mk", "movie_keyword").
+			rel("n", "name").
+			rel("t", "title")
+		if eps != nil {
+			b.q.Rels[7].Preds = append(b.q.Rels[7].Preds, eps)
+		}
+		return b.on(
+			"an.person_id = n.id",
+			"n.id = ci.person_id",
+			"ci.movie_id = t.id",
+			"t.id = mk.movie_id",
+			"mk.keyword_id = k.id",
+			"t.id = mc.movie_id",
+			"mc.company_id = cn.id",
+			"ci.movie_id = mc.movie_id",
+			"ci.movie_id = mk.movie_id",
+			"mc.movie_id = mk.movie_id").build()
+	}
+	return []*query.Query{
+		mk("16a", "[us]", btw("episode_nr", 5, 100)),
+		mk("16b", "[us]", nil),
+		mk("16c", "[us]", ltI("episode_nr", 10)),
+		mk("16d", "[us]", geI("episode_nr", 5)),
+	}
+}
+
+// --- family 17: actors by initial in US character-name movies (7 rels,
+// 9 joins) --------------------------------------------------------------------
+
+func family17() []*query.Query {
+	mk := func(id string, nName *query.Pred, code *query.Pred) *query.Query {
+		cn := []*query.Pred{}
+		if code != nil {
+			cn = append(cn, code)
+		}
+		return newQ(id).
+			rel("ci", "cast_info").
+			rel("cn", "company_name", cn...).
+			rel("k", "keyword", eqS("keyword", "character-name-in-title")).
+			rel("mc", "movie_companies").
+			rel("mk", "movie_keyword").
+			rel("n", "name", nName).
+			rel("t", "title").
+			on("n.id = ci.person_id",
+				"ci.movie_id = t.id",
+				"t.id = mk.movie_id",
+				"mk.keyword_id = k.id",
+				"t.id = mc.movie_id",
+				"mc.company_id = cn.id",
+				"ci.movie_id = mc.movie_id",
+				"ci.movie_id = mk.movie_id",
+				"mc.movie_id = mk.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("17a", like("name", "B%"), eqS("country_code", "[us]")),
+		mk("17b", like("name", "Z%"), nil),
+		mk("17c", like("name", "X%"), nil),
+		mk("17d", like("name", "%Bert%"), nil),
+		mk("17e", nn("name"), eqS("country_code", "[us]")),
+		mk("17f", like("name", "%B%"), nil),
+	}
+}
+
+// --- family 18: budgets and votes of male-cast movies (7 rels, 9 joins) ----
+
+func family18() []*query.Query {
+	mk := func(id string, ciNote *query.Pred, nPred []*query.Pred) *query.Query {
+		return newQ(id).
+			rel("ci", "cast_info", ciNote).
+			rel("it1", "info_type", eqS("info", "budget")).
+			rel("it2", "info_type", eqS("info", "votes")).
+			rel("mi", "movie_info").
+			rel("mi_idx", "movie_info_idx").
+			rel("n", "name", nPred...).
+			rel("t", "title").
+			on("t.id = mi.movie_id",
+				"t.id = mi_idx.movie_id",
+				"t.id = ci.movie_id",
+				"ci.movie_id = mi.movie_id",
+				"ci.movie_id = mi_idx.movie_id",
+				"mi.movie_id = mi_idx.movie_id",
+				"n.id = ci.person_id",
+				"it1.id = mi.info_type_id",
+				"it2.id = mi_idx.info_type_id").
+			build()
+	}
+	return []*query.Query{
+		mk("18a", inS("note", "(credit only)", "(uncredited)"), []*query.Pred{eqS("gender", "m"), like("name", "%Tim%")}),
+		mk("18b", eqS("note", "(uncredited)"), []*query.Pred{eqS("gender", "m")}),
+		mk("18c", nn("note"), []*query.Pred{eqS("gender", "m")}),
+	}
+}
+
+// --- family 19: US voice actresses in dated releases (10 rels, 12 joins) ---
+
+func family19() []*query.Query {
+	mk := func(id string, ciNote *query.Pred, miLike *query.Pred, nName *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("an", "aka_name").
+			rel("chn", "char_name").
+			rel("ci", "cast_info", ciNote).
+			rel("cn", "company_name", eqS("country_code", "[us]")).
+			rel("it", "info_type", eqS("info", "release dates")).
+			rel("mc", "movie_companies").
+			rel("mi", "movie_info", miLike).
+			rel("n", "name", eqS("gender", "f"), nName).
+			rel("rt", "role_type", eqS("role", "actress")).
+			rel("t", "title", tYear).
+			on("t.id = mi.movie_id",
+				"it.id = mi.info_type_id",
+				"t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"t.id = ci.movie_id",
+				"n.id = ci.person_id",
+				"rt.id = ci.role_id",
+				"chn.id = ci.person_role_id",
+				"an.person_id = n.id",
+				"ci.movie_id = mc.movie_id",
+				"ci.movie_id = mi.movie_id",
+				"mc.movie_id = mi.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("19a", eqS("note", "(voice)"), like("info", "Japan:%"), like("name", "%Ang%"), btw("production_year", 2005, 2009)),
+		mk("19b", eqS("note", "(voice)"), like("info", "USA:%"), like("name", "%Ang%"), eqI("production_year", 2007)),
+		mk("19c", inS("note", "(voice)", "(voice) (uncredited)", "(singing voice)"), like("info", "USA:%"), like("name", "%An%"), gtI("production_year", 2000)),
+		mk("19d", inS("note", "(voice)", "(voice) (uncredited)", "(singing voice)"), nn("info"), nn("name"), gtI("production_year", 1990)),
+	}
+}
+
+// --- family 20: complete-cast superhero movies (10 rels, 12 joins) ----------
+
+func family20() []*query.Query {
+	mk := func(id string, cct2Kind *query.Pred, kwIn []string, chnName *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cct1", "comp_cast_type", eqS("kind", "cast")).
+			rel("cct2", "comp_cast_type", cct2Kind).
+			rel("chn", "char_name", chnName).
+			rel("ci", "cast_info").
+			rel("cc", "complete_cast").
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("kt", "kind_type", eqS("kind", "movie")).
+			rel("mk", "movie_keyword").
+			rel("n", "name").
+			rel("t", "title", tYear).
+			on("t.id = mk.movie_id",
+				"mk.keyword_id = k.id",
+				"t.id = ci.movie_id",
+				"ci.person_role_id = chn.id",
+				"n.id = ci.person_id",
+				"kt.id = t.kind_id",
+				"cc.movie_id = t.id",
+				"cc.subject_id = cct1.id",
+				"cc.status_id = cct2.id",
+				"ci.movie_id = mk.movie_id",
+				"ci.movie_id = cc.movie_id",
+				"mk.movie_id = cc.movie_id").
+			build()
+	}
+	hero := []string{"superhero", "fight", "violence", "hero", "based-on-comic"}
+	return []*query.Query{
+		mk("20a", like("kind", "%complete%"), hero, nlike("name", "%Anna%"), gtI("production_year", 1950)),
+		mk("20b", like("kind", "%complete%"), hero, like("name", "%Viktor%"), gtI("production_year", 2000)),
+		mk("20c", eqS("kind", "complete+verified"), hero, nn("name"), gtI("production_year", 1990)),
+	}
+}
+
+// --- family 21: European sequel co-productions (9 rels, 10 joins) -----------
+
+func family21() []*query.Query {
+	mk := func(id string, cnName *query.Pred, miIn []string, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cn", "company_name", neS("country_code", "[pl]"), cnName).
+			rel("ct", "company_type", eqS("kind", "production companies")).
+			rel("k", "keyword", eqS("keyword", "sequel")).
+			rel("lt", "link_type", like("link", "%follow%")).
+			rel("mc", "movie_companies", null("note")).
+			rel("mi", "movie_info", inS("info", miIn...)).
+			rel("mk", "movie_keyword").
+			rel("ml", "movie_link").
+			rel("t", "title", tYear).
+			on("t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"ct.id = mc.company_type_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"t.id = mi.movie_id",
+				"t.id = ml.movie_id",
+				"lt.id = ml.link_type_id",
+				"mc.movie_id = mi.movie_id",
+				"mi.movie_id = mk.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("21a", like("name", "%Film%"), europeanCountries, btw("production_year", 1950, 2000)),
+		mk("21b", like("name", "%Film%"), []string{"Germany", "German"}, btw("production_year", 2000, 2010)),
+		mk("21c", like("name", "%Film%"), append([]string{"USA"}, europeanCountries...), btw("production_year", 1950, 2013)),
+	}
+}
+
+// --- family 22: violent western-world movies (11 rels, 13 joins) -----------
+
+func family22() []*query.Query {
+	mk := func(id string, kwIn []string, mcNote *query.Pred, rating int64, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cn", "company_name", neS("country_code", "[us]")).
+			rel("ct", "company_type").
+			rel("it1", "info_type", eqS("info", "countries")).
+			rel("it2", "info_type", eqS("info", "rating")).
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("kt", "kind_type", inS("kind", "movie", "episode")).
+			rel("mc", "movie_companies", mcNote).
+			rel("mi", "movie_info", inS("info", append([]string{"Germany", "USA"}, europeanCountries...)...)).
+			rel("mi_idx", "movie_info_idx", ltI("info_num", rating)).
+			rel("mk", "movie_keyword").
+			rel("t", "title", tYear).
+			on("kt.id = t.kind_id",
+				"t.id = mi.movie_id",
+				"it1.id = mi.info_type_id",
+				"t.id = mi_idx.movie_id",
+				"it2.id = mi_idx.info_type_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"ct.id = mc.company_type_id",
+				"mi.movie_id = mi_idx.movie_id",
+				"mk.movie_id = mi.movie_id",
+				"mc.movie_id = mi.movie_id").
+			build()
+	}
+	violent := []string{"murder", "blood", "gore", "violence"}
+	return []*query.Query{
+		mk("22a", violent, nlike("note", "%(USA)%"), 70, gtI("production_year", 2008)),
+		mk("22b", violent, nlike("note", "%(USA)%"), 70, gtI("production_year", 2009)),
+		mk("22c", append(violent, "fight", "revenge"), nn("note"), 85, gtI("production_year", 2005)),
+		mk("22d", append(violent, "fight", "revenge"), nn("note"), 95, gtI("production_year", 1990)),
+	}
+}
+
+// --- family 23: verified complete casts of US releases (11 rels, 12 joins) --
+
+func family23() []*query.Query {
+	mk := func(id string, cctKind string, ktKind *query.Pred, miNote *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cct1", "comp_cast_type", eqS("kind", cctKind)).
+			rel("cn", "company_name", eqS("country_code", "[us]")).
+			rel("ct", "company_type").
+			rel("it1", "info_type", eqS("info", "release dates")).
+			rel("k", "keyword").
+			rel("kt", "kind_type", ktKind).
+			rel("mc", "movie_companies").
+			rel("mi", "movie_info", miNote).
+			rel("mk", "movie_keyword").
+			rel("t", "title", tYear).
+			rel("cc", "complete_cast").
+			on("kt.id = t.kind_id",
+				"t.id = mi.movie_id",
+				"it1.id = mi.info_type_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"ct.id = mc.company_type_id",
+				"cc.movie_id = t.id",
+				"cct1.id = cc.status_id",
+				"mi.movie_id = mk.movie_id",
+				"mi.movie_id = mc.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("23a", "complete+verified", eqS("kind", "movie"), like("note", "%(premiere)%"), gtI("production_year", 2000)),
+		mk("23b", "complete", eqS("kind", "movie"), like("note", "%(premiere)%"), gtI("production_year", 2000)),
+		mk("23c", "complete+verified", inS("kind", "movie", "tv movie", "video movie"), nn("note"), gtI("production_year", 1990)),
+	}
+}
+
+// --- family 24: martial-arts voice actresses (12 rels, 14 joins) ------------
+
+func family24() []*query.Query {
+	mk := func(id string, kwIn []string, nName *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("an", "aka_name").
+			rel("chn", "char_name").
+			rel("ci", "cast_info", inS("note", "(voice)", "(voice) (uncredited)", "(singing voice)")).
+			rel("cn", "company_name", eqS("country_code", "[us]")).
+			rel("it", "info_type", eqS("info", "release dates")).
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("mc", "movie_companies").
+			rel("mi", "movie_info", like("info", "USA:%")).
+			rel("mk", "movie_keyword").
+			rel("n", "name", eqS("gender", "f"), nName).
+			rel("rt", "role_type", eqS("role", "actress")).
+			rel("t", "title", tYear).
+			on("t.id = mi.movie_id",
+				"it.id = mi.info_type_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"t.id = ci.movie_id",
+				"n.id = ci.person_id",
+				"rt.id = ci.role_id",
+				"chn.id = ci.person_role_id",
+				"an.person_id = n.id",
+				"ci.movie_id = mc.movie_id",
+				"ci.movie_id = mi.movie_id",
+				"ci.movie_id = mk.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("24a", []string{"hero", "martial-arts", "fight"}, like("name", "%An%"), gtI("production_year", 2010)),
+		mk("24b", []string{"hero", "martial-arts", "fight", "kung-fu-master"}, nn("name"), gtI("production_year", 1990)),
+	}
+}
+
+// --- family 25: male cast of gory horror movies (9 rels, 12 joins) ----------
+
+func family25() []*query.Query {
+	mk := func(id string, kwIn []string, miVal []string) *query.Query {
+		return newQ(id).
+			rel("ci", "cast_info").
+			rel("it1", "info_type", eqS("info", "genres")).
+			rel("it2", "info_type", eqS("info", "votes")).
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("mi", "movie_info", inS("info", miVal...)).
+			rel("mi_idx", "movie_info_idx").
+			rel("mk", "movie_keyword").
+			rel("n", "name", eqS("gender", "m")).
+			rel("t", "title").
+			on("t.id = mi.movie_id",
+				"it1.id = mi.info_type_id",
+				"t.id = mi_idx.movie_id",
+				"it2.id = mi_idx.info_type_id",
+				"t.id = ci.movie_id",
+				"n.id = ci.person_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"ci.movie_id = mi.movie_id",
+				"ci.movie_id = mi_idx.movie_id",
+				"ci.movie_id = mk.movie_id",
+				"mi.movie_id = mi_idx.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("25a", []string{"murder", "blood", "gore"}, []string{"Horror"}),
+		mk("25b", []string{"murder", "blood", "gore", "violence"}, []string{"Horror", "Thriller"}),
+		mk("25c", []string{"murder", "violence", "blood", "gore", "fight", "revenge"}, []string{"Horror", "Action", "Thriller", "Crime", "War"}),
+	}
+}
+
+// --- family 26: complete-cast superhero ratings (11 rels, 13 joins) ---------
+
+func family26() []*query.Query {
+	mk := func(id string, kwIn []string, rating int64, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cct1", "comp_cast_type", eqS("kind", "cast")).
+			rel("chn", "char_name").
+			rel("ci", "cast_info").
+			rel("cc", "complete_cast").
+			rel("it2", "info_type", eqS("info", "rating")).
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("kt", "kind_type", eqS("kind", "movie")).
+			rel("mi_idx", "movie_info_idx", gtI("info_num", rating)).
+			rel("mk", "movie_keyword").
+			rel("n", "name").
+			rel("t", "title", tYear).
+			on("t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"t.id = ci.movie_id",
+				"chn.id = ci.person_role_id",
+				"n.id = ci.person_id",
+				"kt.id = t.kind_id",
+				"cc.movie_id = t.id",
+				"cct1.id = cc.subject_id",
+				"t.id = mi_idx.movie_id",
+				"it2.id = mi_idx.info_type_id",
+				"ci.movie_id = mk.movie_id",
+				"ci.movie_id = mi_idx.movie_id",
+				"mk.movie_id = mi_idx.movie_id").
+			build()
+	}
+	hero := []string{"superhero", "fight", "based-on-comic", "hero"}
+	return []*query.Query{
+		mk("26a", hero, 70, gtI("production_year", 2000)),
+		mk("26b", hero, 80, gtI("production_year", 2005)),
+		mk("26c", append(hero, "violence", "magnet", "web"), 20, gtI("production_year", 1990)),
+	}
+}
+
+// --- family 27: complete-cast sequel co-productions (12 rels, 14 joins) -----
+
+func family27() []*query.Query {
+	mk := func(id string, cct2Kind *query.Pred, miIn []string, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cct1", "comp_cast_type", eqS("kind", "cast")).
+			rel("cct2", "comp_cast_type", cct2Kind).
+			rel("cc", "complete_cast").
+			rel("cn", "company_name", neS("country_code", "[pl]"), like("name", "%Film%")).
+			rel("ct", "company_type", eqS("kind", "production companies")).
+			rel("k", "keyword", eqS("keyword", "sequel")).
+			rel("lt", "link_type", like("link", "%follow%")).
+			rel("mc", "movie_companies", null("note")).
+			rel("mi", "movie_info", inS("info", miIn...)).
+			rel("mk", "movie_keyword").
+			rel("ml", "movie_link").
+			rel("t", "title", tYear).
+			on("t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"ct.id = mc.company_type_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"t.id = mi.movie_id",
+				"t.id = ml.movie_id",
+				"lt.id = ml.link_type_id",
+				"cc.movie_id = t.id",
+				"cct1.id = cc.subject_id",
+				"cct2.id = cc.status_id",
+				"mc.movie_id = mi.movie_id",
+				"mi.movie_id = mk.movie_id",
+				"ml.movie_id = mk.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("27a", like("kind", "%complete%"), europeanCountries, btw("production_year", 1950, 2000)),
+		mk("27b", eqS("kind", "complete"), []string{"Germany", "Sweden"}, btw("production_year", 1950, 2010)),
+		mk("27c", like("kind", "complete%"), append([]string{"USA"}, europeanCountries...), btw("production_year", 1950, 2013)),
+	}
+}
+
+// --- family 28: the 16-join family (14 rels) ---------------------------------
+
+func family28() []*query.Query {
+	mk := func(id string, cct2Kind *query.Pred, kwIn []string, rating int64, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cct1", "comp_cast_type", eqS("kind", "crew")).
+			rel("cct2", "comp_cast_type", cct2Kind).
+			rel("cc", "complete_cast").
+			rel("cn", "company_name", neS("country_code", "[us]")).
+			rel("ct", "company_type").
+			rel("it1", "info_type", eqS("info", "countries")).
+			rel("it2", "info_type", eqS("info", "rating")).
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("kt", "kind_type", inS("kind", "movie", "episode")).
+			rel("mc", "movie_companies", nlike("note", "%(USA)%")).
+			rel("mi", "movie_info", inS("info", append([]string{"Germany", "USA"}, europeanCountries...)...)).
+			rel("mi_idx", "movie_info_idx", ltI("info_num", rating)).
+			rel("mk", "movie_keyword").
+			rel("t", "title", tYear).
+			on("kt.id = t.kind_id",
+				"mi.movie_id = t.id",
+				"it1.id = mi.info_type_id",
+				"mi_idx.movie_id = t.id",
+				"it2.id = mi_idx.info_type_id",
+				"mk.movie_id = t.id",
+				"k.id = mk.keyword_id",
+				"mc.movie_id = t.id",
+				"cn.id = mc.company_id",
+				"ct.id = mc.company_type_id",
+				"cc.movie_id = t.id",
+				"cct1.id = cc.subject_id",
+				"cct2.id = cc.status_id",
+				"mi.movie_id = mi_idx.movie_id",
+				"mi.movie_id = mk.movie_id",
+				"mc.movie_id = mi_idx.movie_id").
+			build()
+	}
+	violent := []string{"murder", "violence", "blood"}
+	return []*query.Query{
+		mk("28a", neS("kind", "complete+verified"), violent, 85, gtI("production_year", 2000)),
+		mk("28b", like("kind", "%complete%"), violent, 70, gtI("production_year", 2005)),
+		mk("28c", eqS("kind", "complete"), append(violent, "gore", "fight"), 95, gtI("production_year", 1990)),
+	}
+}
+
+// --- family 29: the 17-relation, 16-join flagship ---------------------------
+
+func family29() []*query.Query {
+	mk := func(id string, chnName *query.Pred, tTitle *query.Pred, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("an", "aka_name").
+			rel("cct1", "comp_cast_type", eqS("kind", "cast")).
+			rel("cct2", "comp_cast_type", eqS("kind", "complete+verified")).
+			rel("cc", "complete_cast").
+			rel("chn", "char_name", chnName).
+			rel("ci", "cast_info", eqS("note", "(voice)")).
+			rel("cn", "company_name", eqS("country_code", "[us]")).
+			rel("it", "info_type", eqS("info", "release dates")).
+			rel("it3", "info_type", eqS("info", "mini biography")).
+			rel("k", "keyword", eqS("keyword", "superhero")).
+			rel("mc", "movie_companies").
+			rel("mi", "movie_info", like("info", "USA:%")).
+			rel("mk", "movie_keyword").
+			rel("n", "name", eqS("gender", "f")).
+			rel("pi", "person_info", eqS("note", "Volker Boehm")).
+			rel("rt", "role_type", eqS("role", "actress")).
+			rel("t", "title", tTitle, tYear).
+			on("t.id = mi.movie_id",
+				"it.id = mi.info_type_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"t.id = ci.movie_id",
+				"n.id = ci.person_id",
+				"rt.id = ci.role_id",
+				"chn.id = ci.person_role_id",
+				"cc.movie_id = t.id",
+				"cct1.id = cc.subject_id",
+				"cct2.id = cc.status_id",
+				"an.person_id = n.id",
+				"pi.person_id = n.id",
+				"it3.id = pi.info_type_id").
+			build()
+	}
+	return []*query.Query{
+		mk("29a", like("name", "%Anna%"), like("title", "%Champion%"), btw("production_year", 2000, 2010)),
+		mk("29b", like("name", "%Anna%"), like("title", "%Champion%"), gtI("production_year", 2005)),
+		mk("29c", nn("name"), nn("title"), gtI("production_year", 1990)),
+	}
+}
+
+// --- family 30: complete-cast horror votes (12 rels, 14 joins) --------------
+
+func family30() []*query.Query {
+	mk := func(id string, ciNote *query.Pred, kwIn []string, tYear *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cct1", "comp_cast_type", eqS("kind", "cast")).
+			rel("cct2", "comp_cast_type", eqS("kind", "complete+verified")).
+			rel("cc", "complete_cast").
+			rel("ci", "cast_info", ciNote).
+			rel("it1", "info_type", eqS("info", "genres")).
+			rel("it2", "info_type", eqS("info", "votes")).
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("mi", "movie_info", inS("info", "Horror", "Thriller")).
+			rel("mi_idx", "movie_info_idx").
+			rel("mk", "movie_keyword").
+			rel("n", "name", eqS("gender", "m")).
+			rel("t", "title", tYear).
+			on("t.id = mi.movie_id",
+				"it1.id = mi.info_type_id",
+				"t.id = mi_idx.movie_id",
+				"it2.id = mi_idx.info_type_id",
+				"t.id = ci.movie_id",
+				"n.id = ci.person_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"cc.movie_id = t.id",
+				"cct1.id = cc.subject_id",
+				"cct2.id = cc.status_id",
+				"ci.movie_id = cc.movie_id",
+				"mi.movie_id = mk.movie_id",
+				"mi.movie_id = mi_idx.movie_id").
+			build()
+	}
+	violent := []string{"murder", "violence", "blood", "gore"}
+	return []*query.Query{
+		mk("30a", inS("note", "(uncredited)", "(credit only)"), violent, gtI("production_year", 2000)),
+		mk("30b", nn("note"), violent, gtI("production_year", 2000)),
+		mk("30c", nn("note"), append(violent, "fight", "revenge"), gtI("production_year", 1990)),
+	}
+}
+
+// --- family 31: studio horror votes (11 rels, 13 joins) ---------------------
+
+func family31() []*query.Query {
+	mk := func(id string, cnName *query.Pred, kwIn []string, miIn []string) *query.Query {
+		return newQ(id).
+			rel("ci", "cast_info").
+			rel("cn", "company_name", cnName).
+			rel("it1", "info_type", eqS("info", "genres")).
+			rel("it2", "info_type", eqS("info", "votes")).
+			rel("k", "keyword", inS("keyword", kwIn...)).
+			rel("mc", "movie_companies").
+			rel("mi", "movie_info", inS("info", miIn...)).
+			rel("mi_idx", "movie_info_idx").
+			rel("mk", "movie_keyword").
+			rel("n", "name", eqS("gender", "m")).
+			rel("t", "title").
+			on("t.id = mi.movie_id",
+				"it1.id = mi.info_type_id",
+				"t.id = mi_idx.movie_id",
+				"it2.id = mi_idx.info_type_id",
+				"t.id = ci.movie_id",
+				"n.id = ci.person_id",
+				"t.id = mk.movie_id",
+				"k.id = mk.keyword_id",
+				"t.id = mc.movie_id",
+				"cn.id = mc.company_id",
+				"ci.movie_id = mi.movie_id",
+				"mi.movie_id = mi_idx.movie_id",
+				"mc.movie_id = mi.movie_id").
+			build()
+	}
+	violent := []string{"murder", "violence", "blood", "gore"}
+	return []*query.Query{
+		mk("31a", like("name", "Lion%"), violent, []string{"Horror"}),
+		mk("31b", like("name", "Lion%"), violent, []string{"Horror", "Thriller", "Crime"}),
+		mk("31c", nn("name"), append(violent, "fight"), []string{"Horror", "Action", "Thriller", "Crime"}),
+	}
+}
+
+// --- family 32: linked keyword movies (6 rels, 5 joins) ---------------------
+
+func family32() []*query.Query {
+	mk := func(id, kw string) *query.Query {
+		return newQ(id).
+			rel("k", "keyword", eqS("keyword", kw)).
+			rel("lt", "link_type").
+			rel("mk", "movie_keyword").
+			rel("ml", "movie_link").
+			rel("t1", "title").
+			rel("t2", "title").
+			on("mk.keyword_id = k.id",
+				"t1.id = mk.movie_id",
+				"ml.movie_id = t1.id",
+				"ml.linked_movie_id = t2.id",
+				"lt.id = ml.link_type_id").
+			build()
+	}
+	return []*query.Query{mk("32a", "second-part"), mk("32b", "character-name-in-title")}
+}
+
+// --- family 33: linked tv-series self-join (14 rels, 13 joins) --------------
+
+func family33() []*query.Query {
+	mk := func(id string, ltIn []string, rating int64, t2Year *query.Pred) *query.Query {
+		return newQ(id).
+			rel("cn1", "company_name", neS("country_code", "[us]")).
+			rel("cn2", "company_name").
+			rel("it1", "info_type", eqS("info", "rating")).
+			rel("it2", "info_type", eqS("info", "rating")).
+			rel("kt1", "kind_type", eqS("kind", "tv series")).
+			rel("kt2", "kind_type", eqS("kind", "tv series")).
+			rel("lt", "link_type", inS("link", ltIn...)).
+			rel("mc1", "movie_companies").
+			rel("mc2", "movie_companies").
+			rel("mi_idx1", "movie_info_idx").
+			rel("mi_idx2", "movie_info_idx", ltI("info_num", rating)).
+			rel("ml", "movie_link").
+			rel("t1", "title").
+			rel("t2", "title", t2Year).
+			on("lt.id = ml.link_type_id",
+				"t1.id = ml.movie_id",
+				"t2.id = ml.linked_movie_id",
+				"it1.id = mi_idx1.info_type_id",
+				"t1.id = mi_idx1.movie_id",
+				"kt1.id = t1.kind_id",
+				"cn1.id = mc1.company_id",
+				"t1.id = mc1.movie_id",
+				"it2.id = mi_idx2.info_type_id",
+				"t2.id = mi_idx2.movie_id",
+				"kt2.id = t2.kind_id",
+				"cn2.id = mc2.company_id",
+				"t2.id = mc2.movie_id").
+			build()
+	}
+	return []*query.Query{
+		mk("33a", []string{"follows", "followed by"}, 35, eqI("production_year", 2005)),
+		mk("33b", []string{"follows", "followed by"}, 35, eqI("production_year", 2007)),
+		mk("33c", []string{"follows", "followed by", "remake of", "remade as"}, 85, btw("production_year", 2000, 2010)),
+	}
+}

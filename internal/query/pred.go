@@ -1,0 +1,345 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"jobench/internal/storage"
+)
+
+// PredKind enumerates the base-table predicate forms JOB uses: surrogate-key
+// and categorical equality, ranges on numeric attributes, IN lists,
+// substring search with LIKE, disjunctions, and NULL tests.
+type PredKind uint8
+
+const (
+	// PredEqInt is col = <int>.
+	PredEqInt PredKind = iota
+	// PredNeInt is col <> <int>.
+	PredNeInt
+	// PredLtInt is col < <int>.
+	PredLtInt
+	// PredLeInt is col <= <int>.
+	PredLeInt
+	// PredGtInt is col > <int>.
+	PredGtInt
+	// PredGeInt is col >= <int>.
+	PredGeInt
+	// PredBetween is <lo> <= col <= <hi>.
+	PredBetween
+	// PredInInt is col IN (<ints>).
+	PredInInt
+	// PredEqStr is col = '<str>'.
+	PredEqStr
+	// PredNeStr is col <> '<str>'.
+	PredNeStr
+	// PredInStr is col IN ('<strs>').
+	PredInStr
+	// PredLike is col LIKE '<pattern>' with % wildcards.
+	PredLike
+	// PredNotLike is col NOT LIKE '<pattern>'.
+	PredNotLike
+	// PredIsNull is col IS NULL.
+	PredIsNull
+	// PredNotNull is col IS NOT NULL.
+	PredNotNull
+	// PredOr is a disjunction of sub-predicates on the same relation.
+	PredOr
+)
+
+// Pred is one base-table predicate applied to a single relation.
+type Pred struct {
+	Kind PredKind
+	Col  string
+
+	Val  int64   // EqInt/NeInt/Lt/Le/Gt/Ge and Between low bound
+	Val2 int64   // Between high bound
+	Vals []int64 // InInt
+
+	Str  string   // EqStr/NeStr and Like pattern
+	Strs []string // InStr
+
+	Disj []*Pred // Or
+}
+
+// Convenience constructors keep workload definitions terse and readable.
+
+// EqInt returns col = v.
+func EqInt(col string, v int64) *Pred { return &Pred{Kind: PredEqInt, Col: col, Val: v} }
+
+// NeInt returns col <> v.
+func NeInt(col string, v int64) *Pred { return &Pred{Kind: PredNeInt, Col: col, Val: v} }
+
+// LtInt returns col < v.
+func LtInt(col string, v int64) *Pred { return &Pred{Kind: PredLtInt, Col: col, Val: v} }
+
+// LeInt returns col <= v.
+func LeInt(col string, v int64) *Pred { return &Pred{Kind: PredLeInt, Col: col, Val: v} }
+
+// GtInt returns col > v.
+func GtInt(col string, v int64) *Pred { return &Pred{Kind: PredGtInt, Col: col, Val: v} }
+
+// GeInt returns col >= v.
+func GeInt(col string, v int64) *Pred { return &Pred{Kind: PredGeInt, Col: col, Val: v} }
+
+// Between returns lo <= col <= hi.
+func Between(col string, lo, hi int64) *Pred {
+	return &Pred{Kind: PredBetween, Col: col, Val: lo, Val2: hi}
+}
+
+// InInt returns col IN (vs).
+func InInt(col string, vs ...int64) *Pred { return &Pred{Kind: PredInInt, Col: col, Vals: vs} }
+
+// EqStr returns col = s.
+func EqStr(col, s string) *Pred { return &Pred{Kind: PredEqStr, Col: col, Str: s} }
+
+// NeStr returns col <> s.
+func NeStr(col, s string) *Pred { return &Pred{Kind: PredNeStr, Col: col, Str: s} }
+
+// InStr returns col IN (ss).
+func InStr(col string, ss ...string) *Pred { return &Pred{Kind: PredInStr, Col: col, Strs: ss} }
+
+// Like returns col LIKE pattern ('%' wildcards only, as in JOB).
+func Like(col, pattern string) *Pred { return &Pred{Kind: PredLike, Col: col, Str: pattern} }
+
+// NotLike returns col NOT LIKE pattern.
+func NotLike(col, pattern string) *Pred { return &Pred{Kind: PredNotLike, Col: col, Str: pattern} }
+
+// IsNull returns col IS NULL.
+func IsNull(col string) *Pred { return &Pred{Kind: PredIsNull, Col: col} }
+
+// NotNull returns col IS NOT NULL.
+func NotNull(col string) *Pred { return &Pred{Kind: PredNotNull, Col: col} }
+
+// Or returns a disjunction. All sub-predicates must be on the same relation.
+func Or(ps ...*Pred) *Pred { return &Pred{Kind: PredOr, Disj: ps} }
+
+// String renders the predicate as SQL-ish text.
+func (p *Pred) String() string {
+	switch p.Kind {
+	case PredEqInt:
+		return fmt.Sprintf("%s = %d", p.Col, p.Val)
+	case PredNeInt:
+		return fmt.Sprintf("%s <> %d", p.Col, p.Val)
+	case PredLtInt:
+		return fmt.Sprintf("%s < %d", p.Col, p.Val)
+	case PredLeInt:
+		return fmt.Sprintf("%s <= %d", p.Col, p.Val)
+	case PredGtInt:
+		return fmt.Sprintf("%s > %d", p.Col, p.Val)
+	case PredGeInt:
+		return fmt.Sprintf("%s >= %d", p.Col, p.Val)
+	case PredBetween:
+		return fmt.Sprintf("%s BETWEEN %d AND %d", p.Col, p.Val, p.Val2)
+	case PredInInt:
+		parts := make([]string, len(p.Vals))
+		for i, v := range p.Vals {
+			parts[i] = fmt.Sprintf("%d", v)
+		}
+		return fmt.Sprintf("%s IN (%s)", p.Col, strings.Join(parts, ", "))
+	case PredEqStr:
+		return fmt.Sprintf("%s = '%s'", p.Col, p.Str)
+	case PredNeStr:
+		return fmt.Sprintf("%s <> '%s'", p.Col, p.Str)
+	case PredInStr:
+		return fmt.Sprintf("%s IN ('%s')", p.Col, strings.Join(p.Strs, "','"))
+	case PredLike:
+		return fmt.Sprintf("%s LIKE '%s'", p.Col, p.Str)
+	case PredNotLike:
+		return fmt.Sprintf("%s NOT LIKE '%s'", p.Col, p.Str)
+	case PredIsNull:
+		return fmt.Sprintf("%s IS NULL", p.Col)
+	case PredNotNull:
+		return fmt.Sprintf("%s IS NOT NULL", p.Col)
+	case PredOr:
+		parts := make([]string, len(p.Disj))
+		for i, d := range p.Disj {
+			parts[i] = d.String()
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	default:
+		return fmt.Sprintf("pred(%d)", p.Kind)
+	}
+}
+
+// LikeMatch reports whether s matches a SQL LIKE pattern restricted to '%'
+// wildcards (JOB uses no '_' wildcards).
+func LikeMatch(s, pattern string) bool {
+	parts := strings.Split(pattern, "%")
+	// No wildcard: exact match.
+	if len(parts) == 1 {
+		return s == pattern
+	}
+	// Anchored prefix.
+	if parts[0] != "" {
+		if !strings.HasPrefix(s, parts[0]) {
+			return false
+		}
+		s = s[len(parts[0]):]
+	}
+	// Anchored suffix; middle parts must appear in order.
+	last := parts[len(parts)-1]
+	middle := parts[1 : len(parts)-1]
+	for _, m := range middle {
+		if m == "" {
+			continue
+		}
+		i := strings.Index(s, m)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(m):]
+	}
+	if last == "" {
+		return true
+	}
+	return strings.HasSuffix(s, last)
+}
+
+// Compile resolves the predicate against a table and returns a fast row
+// filter. NULL rows never satisfy any predicate except IS NULL, matching
+// SQL three-valued logic for our predicate forms.
+func (p *Pred) Compile(t *storage.Table) (func(row int) bool, error) {
+	if p.Kind == PredOr {
+		subs := make([]func(int) bool, len(p.Disj))
+		for i, d := range p.Disj {
+			f, err := d.Compile(t)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = f
+		}
+		return func(row int) bool {
+			for _, f := range subs {
+				if f(row) {
+					return true
+				}
+			}
+			return false
+		}, nil
+	}
+	col := t.Column(p.Col)
+	if col == nil {
+		return nil, fmt.Errorf("query: table %q has no column %q", t.Name, p.Col)
+	}
+	notNull := func(row int) bool { return !col.IsNull(row) }
+	switch p.Kind {
+	case PredEqInt:
+		v := p.Val
+		return func(row int) bool { return notNull(row) && col.Ints[row] == v }, nil
+	case PredNeInt:
+		v := p.Val
+		return func(row int) bool { return notNull(row) && col.Ints[row] != v }, nil
+	case PredLtInt:
+		v := p.Val
+		return func(row int) bool { return notNull(row) && col.Ints[row] < v }, nil
+	case PredLeInt:
+		v := p.Val
+		return func(row int) bool { return notNull(row) && col.Ints[row] <= v }, nil
+	case PredGtInt:
+		v := p.Val
+		return func(row int) bool { return notNull(row) && col.Ints[row] > v }, nil
+	case PredGeInt:
+		v := p.Val
+		return func(row int) bool { return notNull(row) && col.Ints[row] >= v }, nil
+	case PredBetween:
+		lo, hi := p.Val, p.Val2
+		return func(row int) bool {
+			return notNull(row) && col.Ints[row] >= lo && col.Ints[row] <= hi
+		}, nil
+	case PredInInt:
+		set := make(map[int64]struct{}, len(p.Vals))
+		for _, v := range p.Vals {
+			set[v] = struct{}{}
+		}
+		return func(row int) bool {
+			if !notNull(row) {
+				return false
+			}
+			_, ok := set[col.Ints[row]]
+			return ok
+		}, nil
+	case PredEqStr:
+		if col.Kind != storage.KindString {
+			return nil, fmt.Errorf("query: string predicate on %s column %q", col.Kind, p.Col)
+		}
+		code, ok := col.Code(p.Str)
+		if !ok {
+			return func(int) bool { return false }, nil
+		}
+		return func(row int) bool { return notNull(row) && col.Ints[row] == code }, nil
+	case PredNeStr:
+		if col.Kind != storage.KindString {
+			return nil, fmt.Errorf("query: string predicate on %s column %q", col.Kind, p.Col)
+		}
+		code, ok := col.Code(p.Str)
+		if !ok {
+			return notNull, nil
+		}
+		return func(row int) bool { return notNull(row) && col.Ints[row] != code }, nil
+	case PredInStr:
+		if col.Kind != storage.KindString {
+			return nil, fmt.Errorf("query: string predicate on %s column %q", col.Kind, p.Col)
+		}
+		set := make(map[int64]struct{}, len(p.Strs))
+		for _, s := range p.Strs {
+			if code, ok := col.Code(s); ok {
+				set[code] = struct{}{}
+			}
+		}
+		return func(row int) bool {
+			if !notNull(row) {
+				return false
+			}
+			_, ok := set[col.Ints[row]]
+			return ok
+		}, nil
+	case PredLike, PredNotLike:
+		if col.Kind != storage.KindString {
+			return nil, fmt.Errorf("query: LIKE on %s column %q", col.Kind, p.Col)
+		}
+		pattern := p.Str
+		matches := make(map[int64]struct{})
+		for _, code := range col.SortedDictCodes(func(s string) bool { return LikeMatch(s, pattern) }) {
+			matches[code] = struct{}{}
+		}
+		neg := p.Kind == PredNotLike
+		return func(row int) bool {
+			if !notNull(row) {
+				return false
+			}
+			_, ok := matches[col.Ints[row]]
+			return ok != neg
+		}, nil
+	case PredIsNull:
+		return func(row int) bool { return col.IsNull(row) }, nil
+	case PredNotNull:
+		return notNull, nil
+	default:
+		return nil, fmt.Errorf("query: unknown predicate kind %d", p.Kind)
+	}
+}
+
+// CompileAll compiles a conjunction of predicates against a table into a
+// single filter. An empty slice compiles to an always-true filter.
+func CompileAll(preds []*Pred, t *storage.Table) (func(row int) bool, error) {
+	if len(preds) == 0 {
+		return func(int) bool { return true }, nil
+	}
+	fs := make([]func(int) bool, len(preds))
+	for i, p := range preds {
+		f, err := p.Compile(t)
+		if err != nil {
+			return nil, err
+		}
+		fs[i] = f
+	}
+	return func(row int) bool {
+		for _, f := range fs {
+			if !f(row) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}

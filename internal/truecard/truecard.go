@@ -1,0 +1,439 @@
+// Package truecard computes the true cardinality of every intermediate
+// result of a query: for each connected subgraph S of the join graph, the
+// exact number of result tuples of joining the relations in S with all base-
+// table selections applied. This replicates the paper's §2.4 methodology
+// (SELECT COUNT(*) for every subexpression), including the additional
+// "index intermediates": |S ⋈ R| with R's selection *discarded*, which
+// index-nested-loop costing needs because the filter applies only after the
+// index lookups.
+//
+// The computation is a level-wise dynamic program: results of size k are
+// materialised as row-id tuples by probing a size-(k-1) result into a hash
+// table of the extending relation; only two levels are kept in memory.
+package truecard
+
+import (
+	"fmt"
+
+	"jobench/internal/query"
+	"jobench/internal/storage"
+)
+
+// Options control the computation.
+type Options struct {
+	// MaxSize limits the subgraph size (number of relations); 0 computes
+	// every connected subgraph. The estimation-quality experiments only
+	// need subexpressions of up to 7 relations (0-6 joins).
+	MaxSize int
+	// MaxRows aborts if an intermediate result exceeds this many tuples
+	// (guards against misconfigured scales). 0 means 50M.
+	MaxRows int
+}
+
+// Store holds the computed cardinalities of one query.
+type Store struct {
+	G *query.Graph
+
+	cards map[query.BitSet]float64
+	sans  map[sansKey]float64
+	// maxSize is the largest subgraph size computed.
+	maxSize int
+}
+
+type sansKey struct {
+	s query.BitSet
+	r int
+}
+
+// Card returns the true cardinality of the connected subgraph s, and whether
+// it was computed.
+func (st *Store) Card(s query.BitSet) (float64, bool) {
+	v, ok := st.cards[s]
+	return v, ok
+}
+
+// MustCard returns the cardinality of s or panics; callers use it after
+// computing the full query.
+func (st *Store) MustCard(s query.BitSet) float64 {
+	v, ok := st.cards[s]
+	if !ok {
+		panic(fmt.Sprintf("truecard: no cardinality for %v", s))
+	}
+	return v
+}
+
+// SansSelection returns |join of s with relation r's selection discarded|.
+// For relations without predicates this equals Card(s).
+func (st *Store) SansSelection(s query.BitSet, r int) (float64, bool) {
+	if len(st.G.Q.Rels[r].Preds) == 0 {
+		return st.Card(s)
+	}
+	if s.Single() {
+		// A single unfiltered relation is just the base table.
+		v, ok := st.sans[sansKey{s, r}]
+		return v, ok
+	}
+	v, ok := st.sans[sansKey{s, r}]
+	return v, ok
+}
+
+// MaxSize returns the largest subgraph size computed.
+func (st *Store) MaxSize() int { return st.maxSize }
+
+// NumSubgraphs returns the number of connected subgraphs computed.
+func (st *Store) NumSubgraphs() int { return len(st.cards) }
+
+// result is a materialised intermediate: for each tuple, one base-table row
+// id per relation. Column-major: cols[k][i] is the row of rels[k] in tuple i.
+type result struct {
+	rels []int
+	cols [][]int32
+}
+
+func (r *result) rows() int {
+	if len(r.cols) == 0 {
+		return 0
+	}
+	return len(r.cols[0])
+}
+
+func (r *result) colOf(rel int) []int32 {
+	for k, x := range r.rels {
+		if x == rel {
+			return r.cols[k]
+		}
+	}
+	panic(fmt.Sprintf("truecard: relation %d not in result %v", rel, r.rels))
+}
+
+// computer bundles the per-query state.
+type computer struct {
+	db   *storage.Database
+	g    *query.Graph
+	opts Options
+
+	tables   []*storage.Table // per relation
+	filters  []func(int) bool // compiled selections per relation
+	filtered [][]int32        // selected row ids per relation
+
+	// Hash maps per (relation, column, filtered?) are built lazily.
+	hashes map[hashKey]map[int64][]int32
+}
+
+type hashKey struct {
+	rel      int
+	col      string
+	filtered bool
+}
+
+// Compute runs the DP for one query over db.
+func Compute(db *storage.Database, g *query.Graph, opts Options) (*Store, error) {
+	if opts.MaxRows <= 0 {
+		opts.MaxRows = 50_000_000
+	}
+	maxSize := g.N
+	if opts.MaxSize > 0 && opts.MaxSize < maxSize {
+		maxSize = opts.MaxSize
+	}
+	c := &computer{
+		db:     db,
+		g:      g,
+		opts:   opts,
+		hashes: make(map[hashKey]map[int64][]int32),
+	}
+	st := &Store{
+		G:       g,
+		cards:   make(map[query.BitSet]float64),
+		sans:    make(map[sansKey]float64),
+		maxSize: maxSize,
+	}
+
+	// Level 1: apply base-table selections.
+	c.tables = make([]*storage.Table, g.N)
+	c.filters = make([]func(int) bool, g.N)
+	c.filtered = make([][]int32, g.N)
+	prev := make(map[query.BitSet]*result, g.N)
+	for i, rel := range g.Q.Rels {
+		t := db.Table(rel.Table)
+		if t == nil {
+			return nil, fmt.Errorf("truecard: no table %q", rel.Table)
+		}
+		c.tables[i] = t
+		f, err := query.CompileAll(rel.Preds, t)
+		if err != nil {
+			return nil, fmt.Errorf("truecard: %s: %v", g.Q.ID, err)
+		}
+		c.filters[i] = f
+		var rows []int32
+		for r := 0; r < t.NumRows(); r++ {
+			if f(r) {
+				rows = append(rows, int32(r))
+			}
+		}
+		c.filtered[i] = rows
+		s := query.Bit(i)
+		st.cards[s] = float64(len(rows))
+		if len(rel.Preds) > 0 {
+			st.sans[sansKey{s, i}] = float64(t.NumRows())
+		}
+		prev[s] = &result{rels: []int{i}, cols: [][]int32{rows}}
+	}
+
+	// Group connected subsets by size.
+	bySize := make([][]query.BitSet, g.N+1)
+	g.ConnectedSubsets(func(s query.BitSet) {
+		bySize[s.Count()] = append(bySize[s.Count()], s)
+	})
+
+	for size := 2; size <= maxSize; size++ {
+		cur := make(map[query.BitSet]*result, len(bySize[size]))
+		for _, s := range bySize[size] {
+			var materialised *result
+			// Extend from every relation r with connected S\{r}: the first
+			// gives us the materialised result, all give the sans counts.
+			var lastErr error
+			found := false
+			for _, r := range s.Elems() {
+				rest := s.Remove(r)
+				base, ok := prev[rest]
+				if !ok {
+					continue // rest disconnected
+				}
+				edges := c.g.EdgesBetween(rest, query.Bit(r))
+				if len(edges) == 0 {
+					continue
+				}
+				found = true
+				if materialised == nil {
+					res, err := c.join(base, r, edges, true)
+					if err != nil {
+						lastErr = err
+						break
+					}
+					materialised = res
+					st.cards[s] = float64(res.rows())
+				}
+				if len(c.g.Q.Rels[r].Preds) > 0 {
+					n := c.countJoin(base, r, edges, false)
+					st.sans[sansKey{s, r}] = float64(n)
+				}
+			}
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			if !found {
+				return nil, fmt.Errorf("truecard: subgraph %v has no connected extension", s)
+			}
+			cur[s] = materialised
+		}
+		prev = cur
+	}
+	return st, nil
+}
+
+// hashOf returns (building lazily) a hash of relation rel's column col over
+// either the filtered rows or all rows. NULL keys are never inserted.
+func (c *computer) hashOf(rel int, col string, filtered bool) map[int64][]int32 {
+	key := hashKey{rel, col, filtered}
+	if h, ok := c.hashes[key]; ok {
+		return h
+	}
+	column := c.tables[rel].MustColumn(col)
+	h := make(map[int64][]int32)
+	if filtered {
+		for _, row := range c.filtered[rel] {
+			if !column.IsNull(int(row)) {
+				v := column.Ints[row]
+				h[v] = append(h[v], row)
+			}
+		}
+	} else {
+		for row := 0; row < column.Len(); row++ {
+			if !column.IsNull(row) {
+				v := column.Ints[row]
+				h[v] = append(h[v], int32(row))
+			}
+		}
+	}
+	c.hashes[key] = h
+	return h
+}
+
+// joinCols resolves, for each edge, the probe column (on the base side) and
+// the build column (on relation r).
+type edgeCols struct {
+	probeRel  int
+	probeCol  *storage.Column
+	buildCol  *storage.Column
+	buildName string
+}
+
+func (c *computer) edgeCols(r int, edges []int) []edgeCols {
+	out := make([]edgeCols, len(edges))
+	for i, ei := range edges {
+		e := c.g.Edges[ei]
+		other := e.Other(r)
+		j := e.Preds[0]
+		// Determine which side of the predicate belongs to r. The edge may
+		// carry several predicates; all are applied, the first keyed.
+		var probeName, buildName string
+		if c.g.Q.RelIndex(j.LeftAlias) == r {
+			buildName, probeName = j.LeftCol, j.RightCol
+		} else {
+			buildName, probeName = j.RightCol, j.LeftCol
+		}
+		out[i] = edgeCols{
+			probeRel:  other,
+			probeCol:  c.tables[other].MustColumn(probeName),
+			buildCol:  c.tables[r].MustColumn(buildName),
+			buildName: buildName,
+		}
+	}
+	return out
+}
+
+// residuals returns the extra predicates of the given edges beyond the
+// primary predicate of the first edge: pairs of (base-side column of some
+// relation in the result, r-side column).
+type residual struct {
+	baseRel int
+	baseCol *storage.Column
+	rCol    *storage.Column
+}
+
+func (c *computer) residuals(r int, edges []int) []residual {
+	var out []residual
+	for i, ei := range edges {
+		e := c.g.Edges[ei]
+		other := e.Other(r)
+		preds := e.Preds
+		if i == 0 {
+			preds = preds[1:] // the first predicate of the first edge is the hash key
+		}
+		for _, j := range preds {
+			var baseName, rName string
+			if c.g.Q.RelIndex(j.LeftAlias) == r {
+				rName, baseName = j.LeftCol, j.RightCol
+			} else {
+				rName, baseName = j.RightCol, j.LeftCol
+			}
+			out = append(out, residual{
+				baseRel: other,
+				baseCol: c.tables[other].MustColumn(baseName),
+				rCol:    c.tables[r].MustColumn(rName),
+			})
+		}
+	}
+	return out
+}
+
+// join probes base against relation r on the given edges and materialises
+// the combined result (filtered selects whether r's selection applies).
+func (c *computer) join(base *result, r int, edges []int, filtered bool) (*result, error) {
+	ecs := c.edgeCols(r, edges)
+	primary := ecs[0]
+	h := c.hashOf(r, primary.buildName, filtered)
+	res := c.residuals(r, edges)
+
+	// Output layout: base relations plus r, ascending.
+	outRels := make([]int, 0, len(base.rels)+1)
+	outRels = append(outRels, base.rels...)
+	pos := len(outRels)
+	for i, x := range outRels {
+		if r < x {
+			pos = i
+			break
+		}
+	}
+	outRels = append(outRels, 0)
+	copy(outRels[pos+1:], outRels[pos:])
+	outRels[pos] = r
+
+	outCols := make([][]int32, len(outRels))
+	probe := base.colOf(primary.probeRel)
+	n := base.rows()
+
+	baseColCache := make(map[int][]int32, len(base.rels))
+	for _, rel := range base.rels {
+		baseColCache[rel] = base.colOf(rel)
+	}
+
+	for i := 0; i < n; i++ {
+		pRow := int(probe[i])
+		if primary.probeCol.IsNull(pRow) {
+			continue
+		}
+		key := primary.probeCol.Ints[pRow]
+		matches := h[key]
+		if len(matches) == 0 {
+			continue
+		}
+	match:
+		for _, rRow := range matches {
+			for _, rs := range res {
+				bRow := int(baseColCache[rs.baseRel][i])
+				if rs.baseCol.IsNull(bRow) || rs.rCol.IsNull(int(rRow)) {
+					continue match
+				}
+				if rs.baseCol.Ints[bRow] != rs.rCol.Ints[rRow] {
+					continue match
+				}
+			}
+			// Emit tuple.
+			for k, rel := range outRels {
+				if rel == r {
+					outCols[k] = append(outCols[k], rRow)
+				} else {
+					outCols[k] = append(outCols[k], baseColCache[rel][i])
+				}
+			}
+			if len(outCols[0]) > c.opts.MaxRows {
+				return nil, fmt.Errorf("truecard: %s: intermediate %v exceeds %d rows",
+					c.g.Q.ID, query.BitSet(0), c.opts.MaxRows)
+			}
+		}
+	}
+	if outCols[0] == nil {
+		for k := range outCols {
+			outCols[k] = []int32{}
+		}
+	}
+	return &result{rels: outRels, cols: outCols}, nil
+}
+
+// countJoin is join without materialisation, for the sans-selection counts.
+func (c *computer) countJoin(base *result, r int, edges []int, filtered bool) int64 {
+	ecs := c.edgeCols(r, edges)
+	primary := ecs[0]
+	h := c.hashOf(r, primary.buildName, filtered)
+	res := c.residuals(r, edges)
+
+	probe := base.colOf(primary.probeRel)
+	n := base.rows()
+	baseColCache := make(map[int][]int32, len(base.rels))
+	for _, rel := range base.rels {
+		baseColCache[rel] = base.colOf(rel)
+	}
+	var count int64
+	for i := 0; i < n; i++ {
+		pRow := int(probe[i])
+		if primary.probeCol.IsNull(pRow) {
+			continue
+		}
+		matches := h[primary.probeCol.Ints[pRow]]
+	match:
+		for _, rRow := range matches {
+			for _, rs := range res {
+				bRow := int(baseColCache[rs.baseRel][i])
+				if rs.baseCol.IsNull(bRow) || rs.rCol.IsNull(int(rRow)) {
+					continue match
+				}
+				if rs.baseCol.Ints[bRow] != rs.rCol.Ints[rRow] {
+					continue match
+				}
+			}
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,292 @@
+package truecard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"jobench/internal/imdb"
+	"jobench/internal/job"
+	"jobench/internal/query"
+	"jobench/internal/storage"
+)
+
+// bruteForce counts the join result of subgraph s by nested loops over the
+// base tables, the reference implementation for correctness tests.
+func bruteForce(db *storage.Database, g *query.Graph, s query.BitSet) int64 {
+	rels := s.Elems()
+	tables := make([]*storage.Table, len(rels))
+	filters := make([]func(int) bool, len(rels))
+	for i, r := range rels {
+		tables[i] = db.MustTable(g.Q.Rels[r].Table)
+		f, err := query.CompileAll(g.Q.Rels[r].Preds, tables[i])
+		if err != nil {
+			panic(err)
+		}
+		filters[i] = f
+	}
+	pos := make(map[int]int, len(rels))
+	for i, r := range rels {
+		pos[r] = i
+	}
+	var edges []query.Join
+	for _, ei := range g.EdgesWithin(s) {
+		edges = append(edges, g.Edges[ei].Preds...)
+	}
+	var count int64
+	rows := make([]int, len(rels))
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == len(rels) {
+			for _, j := range edges {
+				li, ri := pos[g.Q.RelIndex(j.LeftAlias)], pos[g.Q.RelIndex(j.RightAlias)]
+				lc := tables[li].MustColumn(j.LeftCol)
+				rc := tables[ri].MustColumn(j.RightCol)
+				if lc.IsNull(rows[li]) || rc.IsNull(rows[ri]) {
+					return
+				}
+				if lc.Ints[rows[li]] != rc.Ints[rows[ri]] {
+					return
+				}
+			}
+			count++
+			return
+		}
+		for r := 0; r < tables[depth].NumRows(); r++ {
+			if !filters[depth](r) {
+				continue
+			}
+			rows[depth] = r
+			rec(depth + 1)
+		}
+	}
+	rec(0)
+	return count
+}
+
+// tinyDB builds a 3-table star with known cardinalities.
+func tinyDB() (*storage.Database, *query.Graph) {
+	db := storage.NewDatabase()
+	tid := storage.NewIntColumn("id")
+	tv := storage.NewIntColumn("v")
+	for i := int64(1); i <= 10; i++ {
+		tid.AppendInt(i)
+		tv.AppendInt(i % 3)
+	}
+	db.Add(storage.NewTable("t", tid, tv))
+
+	aid := storage.NewIntColumn("id")
+	atid := storage.NewIntColumn("t_id")
+	av := storage.NewIntColumn("v")
+	for i := int64(1); i <= 30; i++ {
+		aid.AppendInt(i)
+		atid.AppendInt(1 + (i % 10))
+		av.AppendInt(i % 5)
+	}
+	db.Add(storage.NewTable("a", aid, atid, av))
+
+	bid := storage.NewIntColumn("id")
+	btid := storage.NewIntColumn("t_id")
+	for i := int64(1); i <= 20; i++ {
+		bid.AppendInt(i)
+		if i%7 == 0 {
+			btid.AppendNull()
+		} else {
+			btid.AppendInt(1 + (i % 5)) // only t.id 1..5 matched
+		}
+	}
+	db.Add(storage.NewTable("b", bid, btid))
+
+	q := &query.Query{
+		ID: "tiny",
+		Rels: []query.Rel{
+			{Alias: "t", Table: "t", Preds: []*query.Pred{query.LtInt("v", 2)}},
+			{Alias: "a", Table: "a", Preds: []*query.Pred{query.EqInt("v", 1)}},
+			{Alias: "b", Table: "b"},
+		},
+		Joins: []query.Join{
+			{LeftAlias: "a", LeftCol: "t_id", RightAlias: "t", RightCol: "id"},
+			{LeftAlias: "b", LeftCol: "t_id", RightAlias: "t", RightCol: "id"},
+		},
+	}
+	return db, query.MustBuildGraph(q)
+}
+
+func TestTinyStarAgainstBruteForce(t *testing.T) {
+	db, g := tinyDB()
+	st, err := Compute(db, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.ConnectedSubsets(func(s query.BitSet) {
+		want := bruteForce(db, g, s)
+		got, ok := st.Card(s)
+		if !ok {
+			t.Fatalf("no card for %v", s)
+		}
+		if int64(got) != want {
+			t.Errorf("card(%v) = %g, want %d", s, got, want)
+		}
+	})
+	if st.NumSubgraphs() != 5 {
+		// t, a, b, {t,a}, {t,b}, {t,a,b} minus... a-b not adjacent: subsets
+		// are {t},{a},{b},{ta},{tb},{tab} = 6.
+		if st.NumSubgraphs() != 6 {
+			t.Fatalf("computed %d subgraphs", st.NumSubgraphs())
+		}
+	}
+}
+
+func TestSansSelection(t *testing.T) {
+	db, g := tinyDB()
+	st, err := Compute(db, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sans({t,a}, a) joins filtered t with *unfiltered* a.
+	ta := query.NewBitSet(0, 1)
+	got, ok := st.SansSelection(ta, 1)
+	if !ok {
+		t.Fatal("no sans-selection value")
+	}
+	// Brute force: t rows with v<2 joined against all of a.
+	gNoPred := *g.Q
+	gNoPred.Rels = append([]query.Rel(nil), g.Q.Rels...)
+	gNoPred.Rels[1] = query.Rel{Alias: "a", Table: "a"}
+	g2 := query.MustBuildGraph(&gNoPred)
+	want := bruteForce(db, g2, ta)
+	if int64(got) != want {
+		t.Fatalf("sans = %g, want %d", got, want)
+	}
+	// b has no predicates: sans == card.
+	tb := query.NewBitSet(0, 2)
+	sv, ok := st.SansSelection(tb, 2)
+	cv, _ := st.Card(tb)
+	if !ok || sv != cv {
+		t.Fatalf("sans for unfiltered rel = %g, want card %g", sv, cv)
+	}
+	// Single relation: sans is the raw table size.
+	sv, ok = st.SansSelection(query.Bit(1), 1)
+	if !ok || sv != 30 {
+		t.Fatalf("sans single = %g, want 30", sv)
+	}
+}
+
+// Property: on random small schemas/queries, the DP matches brute force for
+// every connected subgraph.
+func TestRandomQueriesAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := storage.NewDatabase()
+		nRels := 2 + rng.Intn(3)
+		q := &query.Query{ID: "rnd"}
+		for i := 0; i < nRels; i++ {
+			id := storage.NewIntColumn("id")
+			fk := storage.NewIntColumn("fk")
+			v := storage.NewIntColumn("v")
+			rows := 3 + rng.Intn(10)
+			for r := 0; r < rows; r++ {
+				id.AppendInt(int64(rng.Intn(6)))
+				if rng.Intn(8) == 0 {
+					fk.AppendNull()
+				} else {
+					fk.AppendInt(int64(rng.Intn(6)))
+				}
+				v.AppendInt(int64(rng.Intn(3)))
+			}
+			name := string(rune('A' + i))
+			db.Add(storage.NewTable(name, id, fk, v))
+			rel := query.Rel{Alias: string(rune('a' + i)), Table: name}
+			if rng.Intn(2) == 0 {
+				rel.Preds = []*query.Pred{query.LeInt("v", int64(rng.Intn(3)))}
+			}
+			q.Rels = append(q.Rels, rel)
+		}
+		cols := []string{"id", "fk", "v"}
+		for i := 1; i < nRels; i++ {
+			p := rng.Intn(i)
+			q.Joins = append(q.Joins, query.Join{
+				LeftAlias: q.Rels[p].Alias, LeftCol: cols[rng.Intn(3)],
+				RightAlias: q.Rels[i].Alias, RightCol: cols[rng.Intn(3)],
+			})
+		}
+		// Occasionally add a parallel or transitive edge.
+		if nRels >= 3 && rng.Intn(2) == 0 {
+			q.Joins = append(q.Joins, query.Join{
+				LeftAlias: q.Rels[0].Alias, LeftCol: cols[rng.Intn(3)],
+				RightAlias: q.Rels[nRels-1].Alias, RightCol: cols[rng.Intn(3)],
+			})
+		}
+		g := query.MustBuildGraph(q)
+		st, err := Compute(db, g, Options{})
+		if err != nil {
+			return false
+		}
+		ok := true
+		g.ConnectedSubsets(func(s query.BitSet) {
+			want := bruteForce(db, g, s)
+			got, found := st.Card(s)
+			if !found || int64(got) != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxSizeOption(t *testing.T) {
+	db, g := tinyDB()
+	st, err := Compute(db, g, Options{MaxSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Card(query.NewBitSet(0, 1, 2)); ok {
+		t.Fatal("size-3 subgraph computed despite MaxSize=2")
+	}
+	if _, ok := st.Card(query.NewBitSet(0, 1)); !ok {
+		t.Fatal("size-2 subgraph missing")
+	}
+	if st.MaxSize() != 2 {
+		t.Fatalf("MaxSize = %d", st.MaxSize())
+	}
+}
+
+func TestJOBQueryOnSmallData(t *testing.T) {
+	db := imdb.Generate(imdb.Config{Scale: 0.05, Seed: 3})
+	q := job.ByID("3b")
+	g := query.MustBuildGraph(q)
+	st, err := Compute(db, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := query.FullSet(g.N)
+	want := bruteForceSmart(t, db, g, full)
+	got, ok := st.Card(full)
+	if !ok || int64(got) != want {
+		t.Fatalf("JOB 3b card = %g, want %d", got, want)
+	}
+}
+
+// bruteForceSmart is bruteForce but bails out if the tables are too large
+// for a nested-loop reference run.
+func bruteForceSmart(t *testing.T, db *storage.Database, g *query.Graph, s query.BitSet) int64 {
+	prod := 1.0
+	s.ForEach(func(r int) {
+		n := 0
+		tbl := db.MustTable(g.Q.Rels[r].Table)
+		f, _ := query.CompileAll(g.Q.Rels[r].Preds, tbl)
+		for i := 0; i < tbl.NumRows(); i++ {
+			if f(i) {
+				n++
+			}
+		}
+		prod *= float64(n + 1)
+	})
+	if prod > 5e7 {
+		t.Skip("reference cross product too large")
+	}
+	return bruteForce(db, g, s)
+}

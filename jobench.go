@@ -1,0 +1,431 @@
+// Package jobench is a from-scratch Go reproduction of "How Good Are Query
+// Optimizers, Really?" (Leis et al., VLDB 2015): the Join Order Benchmark
+// (JOB) over a synthetic correlated IMDB data set, five cardinality
+// estimator profiles, cardinality injection, three cost models, five plan
+// enumeration algorithms, and a metered execution engine.
+//
+// This package is the high-level facade. A System owns a generated
+// database, its statistics and indexes, and the 113-query workload;
+// Optimize, Execute and Estimate expose the optimizer pipeline with every
+// knob the paper turns (estimator, cost model, physical design, engine
+// rules, enumeration algorithm, tree shape). The full experiment drivers
+// that regenerate the paper's tables and figures live in
+// internal/experiments and are reachable through cmd/jobench.
+package jobench
+
+import (
+	"fmt"
+	"strings"
+
+	"jobench/internal/cardest"
+	"jobench/internal/costmodel"
+	"jobench/internal/engine"
+	"jobench/internal/imdb"
+	"jobench/internal/index"
+	"jobench/internal/job"
+	"jobench/internal/optimizer"
+	"jobench/internal/plan"
+	"jobench/internal/query"
+	"jobench/internal/stats"
+	"jobench/internal/storage"
+	"jobench/internal/truecard"
+)
+
+// Options configure Open.
+type Options struct {
+	// Scale sizes the data set; 1.0 generates ~10,000 movies and ~450,000
+	// rows across the 21 IMDB tables. Zero defaults to 1.0.
+	Scale float64
+	// Seed makes everything deterministic. Zero defaults to 42.
+	Seed int64
+}
+
+// IndexConfig selects a physical design (§4 of the paper).
+type IndexConfig = imdb.IndexConfig
+
+// The three physical designs.
+const (
+	NoIndexes = imdb.NoIndexes
+	PKOnly    = imdb.PKOnly
+	PKFK      = imdb.PKFK
+)
+
+// Estimator names accepted by PlanOptions.Estimator.
+const (
+	EstPostgres = "postgres"
+	EstDBMSA    = "dbms-a"
+	EstDBMSB    = "dbms-b"
+	EstDBMSC    = "dbms-c"
+	EstHyPer    = "hyper"
+	EstTrue     = "true"
+)
+
+// Cost model names accepted by PlanOptions.CostModel.
+const (
+	ModelPostgres = "postgres"
+	ModelTuned    = "tuned"
+	ModelSimple   = "simple"
+)
+
+// PlanOptions control one optimization.
+type PlanOptions struct {
+	// Estimator is one of the Est* names; empty means EstPostgres.
+	// EstTrue uses exact cardinalities (computed on demand).
+	Estimator string
+	// CostModel is one of the Model* names; empty means ModelSimple.
+	CostModel string
+	// Indexes selects the physical design (default PKFK).
+	Indexes IndexConfig
+	// DisableNestedLoops removes non-indexed nested-loop joins (§4.1).
+	DisableNestedLoops bool
+	// Shape restricts tree shapes (default bushy).
+	Shape plan.Shape
+	// Algorithm selects the enumerator (default exhaustive DP).
+	Algorithm optimizer.Algorithm
+	// Seed drives randomized enumerators.
+	Seed int64
+}
+
+// RunOptions control one execution.
+type RunOptions struct {
+	PlanOptions
+	// Rehash lets hash joins grow their tables at runtime (§4.1).
+	Rehash bool
+	// WorkLimit aborts after this many work units (0 = unlimited).
+	WorkLimit int64
+}
+
+// Result reports one executed query.
+type Result struct {
+	Rows     int64
+	Work     int64
+	TimedOut bool
+	Plan     string // EXPLAIN rendering of the executed plan
+}
+
+// System is an opened benchmark instance.
+type System struct {
+	db    *storage.Database
+	stats *stats.DB
+	idx   map[IndexConfig]*index.Set
+
+	queries map[string]*query.Query
+	order   []string
+	graphs  map[string]*query.Graph
+	truth   map[string]*truecard.Store
+
+	estimators map[string]cardest.Estimator
+}
+
+// Open generates the data set, computes statistics and indexes, and loads
+// the JOB workload.
+func Open(opts Options) (*System, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	db := imdb.Generate(imdb.Config{Scale: opts.Scale, Seed: opts.Seed})
+	sdb := stats.AnalyzeDatabase(db, stats.Options{
+		SampleSize: 30000, MCVTarget: 100, HistBuckets: 100, Seed: opts.Seed,
+	})
+	s := &System{
+		db:      db,
+		stats:   sdb,
+		idx:     make(map[IndexConfig]*index.Set, 3),
+		queries: make(map[string]*query.Query),
+		graphs:  make(map[string]*query.Graph),
+		truth:   make(map[string]*truecard.Store),
+		estimators: map[string]cardest.Estimator{
+			EstPostgres: cardest.NewPostgres(db, sdb),
+			EstDBMSA:    cardest.NewDBMSA(db, sdb),
+			EstDBMSB:    cardest.NewDBMSB(db, sdb),
+			EstDBMSC:    cardest.NewDBMSC(db, sdb),
+			EstHyPer:    cardest.NewSample(db, sdb),
+		},
+	}
+	for _, cfg := range []IndexConfig{NoIndexes, PKOnly, PKFK} {
+		set, err := imdb.BuildIndexes(db, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.idx[cfg] = set
+	}
+	for _, q := range job.Workload() {
+		if err := q.Validate(db); err != nil {
+			return nil, fmt.Errorf("jobench: workload query %s: %w", q.ID, err)
+		}
+		s.queries[q.ID] = q
+		s.order = append(s.order, q.ID)
+		s.graphs[q.ID] = query.MustBuildGraph(q)
+	}
+	return s, nil
+}
+
+// AddQuery registers a user-defined query from SQL text (the JOB dialect:
+// SELECT ... FROM tbl alias, ... WHERE <conjunction of predicates and
+// equi-joins>). The query is validated against the schema and becomes
+// addressable by id in Optimize, Execute and the cardinality methods.
+func (s *System) AddQuery(id, sql string) error {
+	if _, exists := s.queries[id]; exists {
+		return fmt.Errorf("jobench: query %q already exists", id)
+	}
+	q, err := query.ParseSQL(id, sql)
+	if err != nil {
+		return err
+	}
+	if err := q.Validate(s.db); err != nil {
+		return err
+	}
+	g, err := query.BuildGraph(q)
+	if err != nil {
+		return err
+	}
+	s.queries[id] = q
+	s.order = append(s.order, id)
+	s.graphs[id] = g
+	return nil
+}
+
+// ExplainAnalyze optimizes a query, executes it, and renders the plan with
+// the optimizer's estimated cardinality next to the true cardinality of
+// every operator — the classic way to see where estimates collapse.
+func (s *System) ExplainAnalyze(queryID string, opts RunOptions) (string, error) {
+	root, g, err := s.optimize(queryID, opts.PlanOptions)
+	if err != nil {
+		return "", err
+	}
+	st, err := s.TruthStore(queryID)
+	if err != nil {
+		return "", err
+	}
+	idxCfg := opts.Indexes
+	if _, ok := s.idx[idxCfg]; !ok {
+		idxCfg = PKFK
+	}
+	res, err := engine.Run(s.db, s.idx[idxCfg], g, root, engine.Config{
+		Rehash: opts.Rehash, WorkLimit: opts.WorkLimit,
+	})
+	if err != nil && !res.TimedOut {
+		return "", err
+	}
+	var b strings.Builder
+	var walk func(n *plan.Node, depth int)
+	walk = func(n *plan.Node, depth int) {
+		if n == nil {
+			return
+		}
+		truth, _ := st.Card(n.S)
+		label := "scan"
+		if !n.IsLeaf() {
+			label = n.Algo.String()
+		} else {
+			rel := g.Q.Rels[n.Rel]
+			label = "Scan " + rel.Table + " " + rel.Alias
+		}
+		fmt.Fprintf(&b, "%s%-40s est %12.0f   true %12.0f   q-err %8.1f\n",
+			strings.Repeat("  ", depth), label, n.ECard, truth, qerr(n.ECard, truth))
+		walk(n.Left, depth+1)
+		walk(n.Right, depth+1)
+	}
+	walk(root, 0)
+	fmt.Fprintf(&b, "executed: %d rows, %d work units (timed out: %v)\n", res.Rows, res.Work, res.TimedOut)
+	return b.String(), nil
+}
+
+func qerr(est, truth float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if truth < 1 {
+		truth = 1
+	}
+	if est > truth {
+		return est / truth
+	}
+	return truth / est
+}
+
+// QueryIDs lists the 113 workload queries in family order.
+func (s *System) QueryIDs() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// SQL renders a workload query as SQL text.
+func (s *System) SQL(queryID string) (string, error) {
+	q, err := s.query(queryID)
+	if err != nil {
+		return "", err
+	}
+	return q.SQL(), nil
+}
+
+// JoinGraphDot renders a query's join graph in Graphviz dot syntax (the
+// paper's Fig. 2 for query 13d).
+func (s *System) JoinGraphDot(queryID string) (string, error) {
+	if _, err := s.query(queryID); err != nil {
+		return "", err
+	}
+	return s.graphs[queryID].Dot(), nil
+}
+
+// TableRows reports the generated table sizes.
+func (s *System) TableRows() map[string]int {
+	out := make(map[string]int)
+	for _, name := range s.db.TableNames() {
+		out[name] = s.db.Table(name).NumRows()
+	}
+	return out
+}
+
+func (s *System) query(id string) (*query.Query, error) {
+	q, ok := s.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("jobench: unknown query %q (ids run 1a..33c)", id)
+	}
+	return q, nil
+}
+
+func (s *System) model(name string) (costmodel.Model, error) {
+	switch name {
+	case "", ModelSimple:
+		return costmodel.NewSimple(), nil
+	case ModelPostgres:
+		return costmodel.NewPostgres(), nil
+	case ModelTuned:
+		return costmodel.NewTuned(), nil
+	default:
+		return nil, fmt.Errorf("jobench: unknown cost model %q", name)
+	}
+}
+
+func (s *System) provider(queryID, estimator string) (cardest.Provider, error) {
+	g := s.graphs[queryID]
+	if estimator == EstTrue {
+		st, err := s.TruthStore(queryID)
+		if err != nil {
+			return nil, err
+		}
+		return cardest.True{Store: st}, nil
+	}
+	if estimator == "" {
+		estimator = EstPostgres
+	}
+	est, ok := s.estimators[estimator]
+	if !ok {
+		return nil, fmt.Errorf("jobench: unknown estimator %q", estimator)
+	}
+	return est.ForQuery(g), nil
+}
+
+// TruthStore computes (and caches) the true cardinality of every
+// subexpression of a query.
+func (s *System) TruthStore(queryID string) (*truecard.Store, error) {
+	if st, ok := s.truth[queryID]; ok {
+		return st, nil
+	}
+	if _, err := s.query(queryID); err != nil {
+		return nil, err
+	}
+	st, err := truecard.Compute(s.db, s.graphs[queryID], truecard.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.truth[queryID] = st
+	return st, nil
+}
+
+// TrueCardinality returns the exact result size of a workload query.
+func (s *System) TrueCardinality(queryID string) (float64, error) {
+	st, err := s.TruthStore(queryID)
+	if err != nil {
+		return 0, err
+	}
+	v, _ := st.Card(query.FullSet(s.graphs[queryID].N))
+	return v, nil
+}
+
+// EstimateCardinality returns an estimator's prediction of a query's result
+// size.
+func (s *System) EstimateCardinality(queryID, estimator string) (float64, error) {
+	if _, err := s.query(queryID); err != nil {
+		return 0, err
+	}
+	prov, err := s.provider(queryID, estimator)
+	if err != nil {
+		return 0, err
+	}
+	return prov.Card(query.FullSet(s.graphs[queryID].N)), nil
+}
+
+// Optimize plans a query and returns its EXPLAIN rendering plus estimated
+// cost.
+func (s *System) Optimize(queryID string, opts PlanOptions) (string, float64, error) {
+	root, g, err := s.optimize(queryID, opts)
+	if err != nil {
+		return "", 0, err
+	}
+	return plan.Explain(root, g), root.ECost, nil
+}
+
+func (s *System) optimize(queryID string, opts PlanOptions) (*plan.Node, *query.Graph, error) {
+	if _, err := s.query(queryID); err != nil {
+		return nil, nil, err
+	}
+	g := s.graphs[queryID]
+	prov, err := s.provider(queryID, opts.Estimator)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := s.model(opts.CostModel)
+	if err != nil {
+		return nil, nil, err
+	}
+	idxCfg := opts.Indexes
+	if _, ok := s.idx[idxCfg]; !ok {
+		idxCfg = PKFK
+	}
+	o := &optimizer.Optimizer{
+		DB:         s.db,
+		Model:      model,
+		Indexes:    s.idx[idxCfg],
+		DisableNLJ: opts.DisableNestedLoops,
+		Shape:      opts.Shape,
+		Algorithm:  opts.Algorithm,
+		Seed:       opts.Seed,
+	}
+	root, err := o.Optimize(g, prov)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, g, nil
+}
+
+// Execute optimizes and runs a query.
+func (s *System) Execute(queryID string, opts RunOptions) (Result, error) {
+	root, g, err := s.optimize(queryID, opts.PlanOptions)
+	if err != nil {
+		return Result{}, err
+	}
+	idxCfg := opts.Indexes
+	if _, ok := s.idx[idxCfg]; !ok {
+		idxCfg = PKFK
+	}
+	res, err := engine.Run(s.db, s.idx[idxCfg], g, root, engine.Config{
+		Rehash:    opts.Rehash,
+		WorkLimit: opts.WorkLimit,
+	})
+	out := Result{
+		Rows:     res.Rows,
+		Work:     res.Work,
+		TimedOut: res.TimedOut,
+		Plan:     plan.Explain(root, g),
+	}
+	if err != nil && !res.TimedOut {
+		return out, err
+	}
+	return out, nil
+}

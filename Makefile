@@ -1,0 +1,43 @@
+# Make targets are the single entry points for humans and CI alike
+# (.github/workflows/ci.yml invokes exactly these).
+
+GO ?= go
+
+.PHONY: build test test-short race-short bench bench-smoke fmt fmt-check vet ci
+
+build:
+	$(GO) build ./...
+
+# Full suite, including the multi-minute workload sweeps CI runs.
+test:
+	$(GO) test ./...
+
+# Developer loop: skips the slow engine/experiments sweeps.
+test-short:
+	$(GO) test -short ./...
+
+# Race detector over the short suite (the parallel runner's main hazard
+# surface); the full suite under -race would take tens of minutes.
+race-short:
+	$(GO) test -race -short ./...
+
+# Full benchmark run with allocation stats.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# One iteration per benchmark, no tests: catches bit-rot in bench_test.go
+# and establishes a perf baseline without benchmarking-grade runtimes.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Everything the CI checks job runs, in order.
+ci: fmt-check vet build test bench-smoke

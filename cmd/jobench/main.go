@@ -11,7 +11,11 @@
 //	jobench explain    -q 13d [-est postgres] [-model simple] [-idx pkfk] [-scale 0.3]
 //	jobench run        -q 13d [-est postgres] [-model simple] [-idx pkfk] [-rehash] [-no-nlj]
 //	jobench experiment -name table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|all
-//	                   [-scale 0.3] [-samples 10000] [-max-queries 0]
+//	                   [-scale 0.3] [-samples 10000] [-max-queries 0] [-parallel N]
+//
+// Every command accepts -parallel N to size the worker pool that fans
+// experiment cells out across cores (0 = all cores, 1 = serial); reports
+// are byte-identical at any setting.
 package main
 
 import (
@@ -62,10 +66,11 @@ func usage() {
 run "jobench <command> -h" for command flags`)
 }
 
-func openFlags(fs *flag.FlagSet) (*float64, *int64) {
+func openFlags(fs *flag.FlagSet) (*float64, *int64, *int) {
 	scale := fs.Float64("scale", 0.3, "data scale factor (1.0 ~ 450k rows)")
 	seed := fs.Int64("seed", 42, "generator seed")
-	return scale, seed
+	parallel := fs.Int("parallel", 0, "worker-pool size (0 = all cores, 1 = serial)")
+	return scale, seed, parallel
 }
 
 func planFlags(fs *flag.FlagSet) (est, model, idx *string, noNLJ *bool, shape, algo *string) {
@@ -119,9 +124,9 @@ func parsePlanOptions(est, model, idx string, noNLJ bool, shape, algo string) (j
 
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	scale, seed := openFlags(fs)
+	scale, seed, par := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
 	if err != nil {
 		return err
 	}
@@ -146,9 +151,9 @@ func cmdGen(args []string) error {
 func cmdSQL(args []string) error {
 	fs := flag.NewFlagSet("sql", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
-	scale, seed := openFlags(fs)
+	scale, seed, par := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
 	if err != nil {
 		return err
 	}
@@ -163,9 +168,9 @@ func cmdSQL(args []string) error {
 func cmdGraph(args []string) error {
 	fs := flag.NewFlagSet("graph", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
-	scale, seed := openFlags(fs)
+	scale, seed, par := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
 	if err != nil {
 		return err
 	}
@@ -181,9 +186,9 @@ func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
 	est, model, idx, noNLJ, shape, algo := planFlags(fs)
-	scale, seed := openFlags(fs)
+	scale, seed, par := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
 	if err != nil {
 		return err
 	}
@@ -206,9 +211,9 @@ func cmdRun(args []string) error {
 	est, model, idx, noNLJ, shape, algo := planFlags(fs)
 	rehash := fs.Bool("rehash", true, "resize hash tables at runtime")
 	limit := fs.Int64("work-limit", 0, "abort after this many work units")
-	scale, seed := openFlags(fs)
+	scale, seed, par := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
 	if err != nil {
 		return err
 	}
@@ -243,12 +248,11 @@ func cmdExperiment(args []string) error {
 	name := fs.String("name", "all", "experiment: table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|ablation-damping|ablation-rehash|hedging|all")
 	samples := fs.Int("samples", 10000, "random plans per query for fig9")
 	maxQ := fs.Int("max-queries", 0, "limit workload size (0 = all 113)")
-	parallel := fs.Int("parallel", 8, "workers for true-cardinality computation")
-	scale, seed := openFlags(fs)
+	scale, seed, par := openFlags(fs)
 	fs.Parse(args)
 
 	lab, err := experiments.NewLab(experiments.Config{
-		Scale: *scale, Seed: *seed, MaxQueries: *maxQ, Parallel: *parallel,
+		Scale: *scale, Seed: *seed, MaxQueries: *maxQ, Parallel: *par,
 	})
 	if err != nil {
 		return err

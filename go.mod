@@ -1,0 +1,3 @@
+module jobench
+
+go 1.24

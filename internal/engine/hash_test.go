@@ -46,6 +46,11 @@ func TestHashTableSizing(t *testing.T) {
 			t.Errorf("newHashTable(%g): %d buckets, want %d", tc.est, got, tc.want)
 		}
 	}
+	if testing.Short() {
+		// The cap check below allocates (and the kernel zeroes) the full
+		// 1<<28-bucket table — tens of seconds of wall clock.
+		t.Skip("skipping huge-allocation cap check in -short mode")
+	}
 	// NaN and absurd estimates must not blow up the allocation.
 	huge := newHashTable(1e30)
 	if len(huge.buckets) > 1<<28 {

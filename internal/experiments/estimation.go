@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,39 +32,38 @@ type Table1Row struct {
 // Table1 measures base-table selection q-errors for all five systems
 // (paper Table 1).
 func (l *Lab) Table1() (*Table1Result, error) {
-	type sel struct {
-		qid string
-		rel int
-	}
-	// Collect every distinct base-table selection with its true count.
-	truths := make(map[string]float64) // key: qid/rel
-	var sels []sel
+	res := &Table1Result{}
 	for _, q := range l.Queries {
-		st, err := l.Truth(q.ID)
-		if err != nil {
-			return nil, err
-		}
-		for i, r := range q.Rels {
-			if len(r.Preds) == 0 {
-				continue
+		for _, r := range q.Rels {
+			if len(r.Preds) > 0 {
+				res.Selections++
 			}
-			truth, _ := st.Card(query.Bit(i))
-			truths[fmt.Sprintf("%s/%d", q.ID, i)] = truth
-			sels = append(sels, sel{q.ID, i})
 		}
 	}
-	res := &Table1Result{Selections: len(sels)}
 	for _, est := range l.Systems() {
-		var qerrs []float64
-		for _, q := range l.Queries {
+		// One cell per query: q-errors of every predicated base table.
+		perQuery, err := runQueries(l, func(qi int, q *query.Query) ([]float64, error) {
+			st, err := l.Truth(q.ID)
+			if err != nil {
+				return nil, err
+			}
 			prov := est.ForQuery(l.Graphs[q.ID])
+			var qerrs []float64
 			for i, r := range q.Rels {
 				if len(r.Preds) == 0 {
 					continue
 				}
-				truth := truths[fmt.Sprintf("%s/%d", q.ID, i)]
+				truth, _ := st.Card(query.Bit(i))
 				qerrs = append(qerrs, metrics.QError(prov.Card(query.Bit(i)), truth))
 			}
+			return qerrs, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var qerrs []float64
+		for _, qs := range perQuery {
+			qerrs = append(qerrs, qs...)
 		}
 		res.Rows = append(res.Rows, Table1Row{
 			System:  est.Name(),
@@ -107,11 +107,9 @@ type Figure3System struct {
 
 // Figure3 computes the join estimation error distributions of Fig. 3.
 func (l *Lab) Figure3() (*Figure3Result, error) {
-	errsBySystem := make([][][]float64, len(l.Systems()))
-	for i := range errsBySystem {
-		errsBySystem[i] = make([][]float64, maxFigure3Joins+1)
-	}
-	for _, q := range l.Queries {
+	// One cell per query: the signed errors of every connected
+	// subexpression, per system and join count.
+	perQuery, err := runQueries(l, func(qi int, q *query.Query) ([][][]float64, error) {
 		g := l.Graphs[q.ID]
 		st, err := l.Truth(q.ID)
 		if err != nil {
@@ -120,6 +118,10 @@ func (l *Lab) Figure3() (*Figure3Result, error) {
 		provs := make([]cardest.Provider, len(l.Systems()))
 		for i, est := range l.Systems() {
 			provs[i] = est.ForQuery(g)
+		}
+		errs := make([][][]float64, len(provs))
+		for i := range errs {
+			errs[i] = make([][]float64, maxFigure3Joins+1)
 		}
 		g.ConnectedSubsets(func(s query.BitSet) {
 			nj := len(g.EdgesWithin(s))
@@ -131,9 +133,24 @@ func (l *Lab) Figure3() (*Figure3Result, error) {
 				return
 			}
 			for i, p := range provs {
-				errsBySystem[i][nj] = append(errsBySystem[i][nj], metrics.SignedError(p.Card(s), truth))
+				errs[i][nj] = append(errs[i][nj], metrics.SignedError(p.Card(s), truth))
 			}
 		})
+		return errs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	errsBySystem := make([][][]float64, len(l.Systems()))
+	for i := range errsBySystem {
+		errsBySystem[i] = make([][]float64, maxFigure3Joins+1)
+	}
+	for _, errs := range perQuery {
+		for i := range errs {
+			for nj := range errs[i] {
+				errsBySystem[i][nj] = append(errsBySystem[i][nj], errs[i][nj]...)
+			}
+		}
 	}
 	res := &Figure3Result{}
 	for i, est := range l.Systems() {
@@ -193,32 +210,42 @@ type Figure4Panel struct {
 // TPC-H queries (generated uniform and independent), reproducing the
 // contrast of Fig. 4: TPC-H is easy, JOB is not.
 func (l *Lab) Figure4() (*Figure4Result, error) {
-	res := &Figure4Result{}
+	var jobIDs []string
 	for _, qid := range []string{"6a", "16d", "17b", "25c"} {
-		g, ok := l.Graphs[qid]
-		if !ok {
-			continue
+		if _, ok := l.Graphs[qid]; ok {
+			jobIDs = append(jobIDs, qid)
 		}
-		st, err := l.Truth(qid)
-		if err != nil {
-			return nil, err
-		}
-		res.Panels = append(res.Panels, figure4Panel("JOB "+qid, g, l.Postgres.ForQuery(g), st))
+	}
+	jobPanels, err := RunCells(context.Background(), l.Cfg.Parallel, jobIDs,
+		func(_ context.Context, qid string) (Figure4Panel, error) {
+			g := l.Graphs[qid]
+			st, err := l.Truth(qid)
+			if err != nil {
+				return Figure4Panel{}, err
+			}
+			return figure4Panel("JOB "+qid, g, l.Postgres.ForQuery(g), st), nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// The TPC-H side gets its own little lab.
 	tdb := tpch.Generate(tpch.Config{Scale: l.Cfg.Scale, Seed: l.Cfg.Seed})
 	tstats := stats.AnalyzeDatabase(tdb, stats.Options{SampleSize: 30000, Seed: l.Cfg.Seed})
 	tpg := cardest.NewPostgres(tdb, tstats)
-	for _, q := range tpch.Queries() {
-		g := query.MustBuildGraph(q)
-		st, err := truecard.Compute(tdb, g, truecard.Options{})
-		if err != nil {
-			return nil, err
-		}
-		res.Panels = append(res.Panels, figure4Panel("TPC-H "+strings.TrimPrefix(q.ID, "tpch"), g, tpg.ForQuery(g), st))
+	tpchPanels, err := RunCells(context.Background(), l.Cfg.Parallel, tpch.Queries(),
+		func(_ context.Context, q *query.Query) (Figure4Panel, error) {
+			g := query.MustBuildGraph(q)
+			st, err := truecard.Compute(tdb, g, truecard.Options{})
+			if err != nil {
+				return Figure4Panel{}, err
+			}
+			return figure4Panel("TPC-H "+strings.TrimPrefix(q.ID, "tpch"), g, tpg.ForQuery(g), st), nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure4Result{Panels: append(jobPanels, tpchPanels...)}, nil
 }
 
 func figure4Panel(label string, g *query.Graph, prov cardest.Provider, st *truecard.Store) Figure4Panel {
@@ -288,16 +315,21 @@ type Figure5Result struct {
 // distinct counts with exact ones changes the estimates — and makes the
 // underestimation trend *worse*, the "two wrongs make a right" effect.
 func (l *Lab) Figure5() (*Figure5Result, error) {
-	def := make([][]float64, maxFigure3Joins+1)
-	td := make([][]float64, maxFigure3Joins+1)
-	for _, q := range l.Queries {
+	type cellResult struct {
+		def, td [][]float64
+	}
+	perQuery, err := runQueries(l, func(qi int, q *query.Query) (cellResult, error) {
 		g := l.Graphs[q.ID]
 		st, err := l.Truth(q.ID)
 		if err != nil {
-			return nil, err
+			return cellResult{}, err
 		}
 		pDef := l.Postgres.ForQuery(g)
 		pTD := l.PostgresTD.ForQuery(g)
+		out := cellResult{
+			def: make([][]float64, maxFigure3Joins+1),
+			td:  make([][]float64, maxFigure3Joins+1),
+		}
 		g.ConnectedSubsets(func(s query.BitSet) {
 			nj := len(g.EdgesWithin(s))
 			if nj > maxFigure3Joins {
@@ -307,9 +339,21 @@ func (l *Lab) Figure5() (*Figure5Result, error) {
 			if !ok {
 				return
 			}
-			def[nj] = append(def[nj], metrics.SignedError(pDef.Card(s), truth))
-			td[nj] = append(td[nj], metrics.SignedError(pTD.Card(s), truth))
+			out.def[nj] = append(out.def[nj], metrics.SignedError(pDef.Card(s), truth))
+			out.td[nj] = append(out.td[nj], metrics.SignedError(pTD.Card(s), truth))
 		})
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	def := make([][]float64, maxFigure3Joins+1)
+	td := make([][]float64, maxFigure3Joins+1)
+	for _, c := range perQuery {
+		for nj := 0; nj <= maxFigure3Joins; nj++ {
+			def[nj] = append(def[nj], c.def[nj]...)
+			td[nj] = append(td[nj], c.td[nj]...)
+		}
 	}
 	res := &Figure5Result{}
 	for nj := 0; nj <= maxFigure3Joins; nj++ {

@@ -14,6 +14,16 @@ var (
 	labErr  error
 )
 
+// skipSlowInShort guards the tests that execute the full workload through
+// the engine (the multi-second sweeps); `go test -short` keeps only the
+// estimation-quality tests, which still exercise every layer above it.
+func skipSlowInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow full-workload sweep; run without -short")
+	}
+}
+
 // sharedLab builds one small lab for the whole test package and warms the
 // true-cardinality cache in parallel.
 func sharedLab(t *testing.T) *Lab {
@@ -174,6 +184,7 @@ func TestFigure5TrueDistinctWorsensUnderestimation(t *testing.T) {
 }
 
 func TestSection41SlowdownTable(t *testing.T) {
+	skipSlowInShort(t)
 	l := sharedLab(t)
 	res, err := l.Section41()
 	if err != nil {
@@ -204,6 +215,7 @@ func TestSection41SlowdownTable(t *testing.T) {
 }
 
 func TestFigure6EngineHardeningHelps(t *testing.T) {
+	skipSlowInShort(t)
 	l := sharedLab(t)
 	res, err := l.Figure6()
 	if err != nil {
@@ -227,6 +239,7 @@ func TestFigure6EngineHardeningHelps(t *testing.T) {
 }
 
 func TestFigure7MoreIndexesHarderProblem(t *testing.T) {
+	skipSlowInShort(t)
 	l := sharedLab(t)
 	res, err := l.Figure7()
 	if err != nil {
@@ -246,6 +259,7 @@ func TestFigure7MoreIndexesHarderProblem(t *testing.T) {
 }
 
 func TestFigure8CostModels(t *testing.T) {
+	skipSlowInShort(t)
 	l := sharedLab(t)
 	res, err := l.Figure8()
 	if err != nil {
@@ -285,6 +299,7 @@ func TestFigure8CostModels(t *testing.T) {
 }
 
 func TestFigure9AndSection61(t *testing.T) {
+	skipSlowInShort(t)
 	l := sharedLab(t)
 	res, err := l.Figure9(400)
 	if err != nil {
@@ -315,6 +330,7 @@ func TestFigure9AndSection61(t *testing.T) {
 }
 
 func TestTable2TreeShapes(t *testing.T) {
+	skipSlowInShort(t)
 	l := sharedLab(t)
 	res, err := l.Table2()
 	if err != nil {
@@ -355,6 +371,7 @@ func TestTable2TreeShapes(t *testing.T) {
 }
 
 func TestTable3HeuristicsLeavePerformance(t *testing.T) {
+	skipSlowInShort(t)
 	l := sharedLab(t)
 	res, err := l.Table3()
 	if err != nil {

@@ -42,15 +42,18 @@ func (l *Lab) DampingAblation(exponents []float64) (*DampingAblationResult, erro
 	res := &DampingAblationResult{}
 	for _, exp := range exponents {
 		est := cardest.NewDamped(l.DB, l.Stats, exp)
-		byJoins := make(map[int][]float64)
-		off, total := 0, 0
-		for _, q := range l.Queries {
+		type cellResult struct {
+			byJoins    map[int][]float64
+			off, total int
+		}
+		perQuery, err := runQueries(l, func(qi int, q *query.Query) (cellResult, error) {
 			g := l.Graphs[q.ID]
 			st, err := l.Truth(q.ID)
 			if err != nil {
-				return nil, err
+				return cellResult{}, err
 			}
 			prov := est.ForQuery(g)
+			out := cellResult{byJoins: make(map[int][]float64)}
 			g.ConnectedSubsets(func(s query.BitSet) {
 				nj := len(g.EdgesWithin(s))
 				if nj == 0 || nj > maxFigure3Joins {
@@ -61,12 +64,25 @@ func (l *Lab) DampingAblation(exponents []float64) (*DampingAblationResult, erro
 					return
 				}
 				e := metrics.SignedError(prov.Card(s), truth)
-				byJoins[nj] = append(byJoins[nj], e)
-				total++
+				out.byJoins[nj] = append(out.byJoins[nj], e)
+				out.total++
 				if e >= 10 || e <= 0.1 {
-					off++
+					out.off++
 				}
 			})
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		byJoins := make(map[int][]float64)
+		off, total := 0, 0
+		for _, c := range perQuery {
+			for nj, es := range c.byJoins {
+				byJoins[nj] = append(byJoins[nj], es...)
+			}
+			off += c.off
+			total += c.total
 		}
 		row := DampingAblationRow{Exponent: exp, MedianAt: make(map[int]float64)}
 		for _, nj := range []int{2, 4, 6} {
@@ -214,22 +230,16 @@ func (l *Lab) Hedging(factors ...float64) (*HedgingResult, error) {
 	rules := engineRules{DisableNLJ: true, Rehash: true}
 	res := &HedgingResult{}
 	run := func(label string, factor float64) error {
-		var slowdowns []float64
-		timeouts := 0
-		for _, q := range l.Queries {
+		slowdowns, timeouts, err := l.runWorkload(func(q *query.Query) cardest.Provider {
 			g := l.Graphs[q.ID]
 			var prov cardest.Provider = l.Postgres.ForQuery(g)
 			if factor > 0 {
 				prov = &cardest.Pessimistic{Base: prov, G: g, Factor: factor}
 			}
-			s, timedOut, err := l.runOne(q.ID, prov, l.IdxPKFK, rules, model)
-			if err != nil {
-				return err
-			}
-			if timedOut {
-				timeouts++
-			}
-			slowdowns = append(slowdowns, s)
+			return prov
+		}, l.IdxPKFK, rules, model)
+		if err != nil {
+			return err
 		}
 		res.Rows = append(res.Rows, HedgingRow{
 			Label: label, Buckets: metrics.BucketSlowdowns(slowdowns), Timeouts: timeouts,

@@ -69,6 +69,7 @@ func TestRehashAblation(t *testing.T) {
 }
 
 func TestHedgingSweep(t *testing.T) {
+	skipSlowInShort(t)
 	l := sharedLab(t)
 	res, err := l.Hedging(1.1, 1.5, 2.0)
 	if err != nil {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"jobench/internal/imdb"
 	"jobench/internal/index"
 	"jobench/internal/job"
+	"jobench/internal/parallel"
 	"jobench/internal/query"
 	"jobench/internal/stats"
 	"jobench/internal/storage"
@@ -28,7 +30,9 @@ type Config struct {
 	Seed int64
 	// MaxQueries truncates the workload for quick runs (0 = all 113).
 	MaxQueries int
-	// Parallel workers for true-cardinality computation (0 = GOMAXPROCS).
+	// Parallel is the worker-pool size for every experiment sweep (lab
+	// setup, Warmup, and all drivers). 0 means GOMAXPROCS; 1 runs the
+	// serial code path. Reports are byte-identical at any setting.
 	Parallel int
 }
 
@@ -80,9 +84,29 @@ func NewLab(cfg Config) (*Lab, error) {
 	// ratio, not the absolute number.
 	sampleSize := 600 + int(4000*cfg.Scale)
 	sopts := stats.Options{SampleSize: sampleSize, MCVTarget: 100, HistBuckets: 100, Seed: cfg.Seed}
-	sdb := stats.AnalyzeDatabase(db, sopts)
-	sopts.TrueDistinct = true
-	sdbTD := stats.AnalyzeDatabase(db, sopts)
+
+	// The two ANALYZE passes and the three index builds only read the
+	// generated database, so they fan out across the worker pool; each task
+	// writes its own destination and is deterministic on its own seed.
+	var (
+		sdb, sdbTD              *stats.DB
+		idxNone, idxPK, idxPKFK *index.Set
+	)
+	err := parallel.Do(context.Background(), cfg.Parallel,
+		func() error { sdb = stats.AnalyzeDatabase(db, sopts); return nil },
+		func() error {
+			topts := sopts
+			topts.TrueDistinct = true
+			sdbTD = stats.AnalyzeDatabase(db, topts)
+			return nil
+		},
+		func() (err error) { idxNone, err = imdb.BuildIndexes(db, imdb.NoIndexes); return err },
+		func() (err error) { idxPK, err = imdb.BuildIndexes(db, imdb.PKOnly); return err },
+		func() (err error) { idxPKFK, err = imdb.BuildIndexes(db, imdb.PKFK); return err },
+	)
+	if err != nil {
+		return nil, err
+	}
 
 	qs := job.Workload()
 	if cfg.MaxQueries > 0 && cfg.MaxQueries < len(qs) {
@@ -91,18 +115,6 @@ func NewLab(cfg Config) (*Lab, error) {
 	graphs := make(map[string]*query.Graph, len(qs))
 	for _, q := range qs {
 		graphs[q.ID] = query.MustBuildGraph(q)
-	}
-	idxNone, err := imdb.BuildIndexes(db, imdb.NoIndexes)
-	if err != nil {
-		return nil, err
-	}
-	idxPK, err := imdb.BuildIndexes(db, imdb.PKOnly)
-	if err != nil {
-		return nil, err
-	}
-	idxPKFK, err := imdb.BuildIndexes(db, imdb.PKFK)
-	if err != nil {
-		return nil, err
 	}
 	return &Lab{
 		Cfg:        cfg,
@@ -156,35 +168,13 @@ func (l *Lab) Truth(qid string) (*truecard.Store, error) {
 // parallel. All experiments call Truth lazily; warming up front makes a
 // full experiment run dramatically faster on multi-core machines.
 func (l *Lab) Warmup() error {
-	workers := l.Cfg.Parallel
-	if workers <= 0 {
-		workers = 8
-	}
-	type job struct{ qid string }
-	jobs := make(chan string)
-	errs := make(chan error, len(l.Queries))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for qid := range jobs {
-				if _, err := l.Truth(qid); err != nil {
-					errs <- fmt.Errorf("%s: %w", qid, err)
-				}
-			}
-		}()
-	}
-	for _, q := range l.Queries {
-		jobs <- q.ID
-	}
-	close(jobs)
-	wg.Wait()
-	close(errs)
-	for err := range errs {
-		return err
-	}
-	return nil
+	_, err := runQueries(l, func(qi int, q *query.Query) (struct{}, error) {
+		if _, err := l.Truth(q.ID); err != nil {
+			return struct{}{}, fmt.Errorf("%s: %w", q.ID, err)
+		}
+		return struct{}{}, nil
+	})
+	return err
 }
 
 // QueryIDs returns the workload's query ids in order.

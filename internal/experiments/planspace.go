@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -13,6 +14,7 @@ import (
 	"jobench/internal/metrics"
 	"jobench/internal/optimizer"
 	"jobench/internal/plan"
+	"jobench/internal/query"
 )
 
 // figure9Queries are the five representative queries of Fig. 9.
@@ -80,42 +82,73 @@ func (l *Lab) Figure9(samples int) (*Figure9Result, error) {
 		Frac15:        make(map[string]float64),
 		MeanWorstBest: make(map[string]float64),
 	}
+	var qids []string
 	for _, qid := range figure9Queries {
-		if _, ok := l.Graphs[qid]; !ok {
-			continue
+		if _, ok := l.Graphs[qid]; ok {
+			qids = append(qids, qid)
 		}
-		st, err := l.Truth(qid)
-		if err != nil {
-			return nil, err
-		}
-		truth := cardest.True{Store: st}
-		// The normaliser: optimal plan with FK indexes.
-		fkOpt, err := enum.DP(l.spaceFor(qid, l.IdxPKFK, truth, plan.Bushy))
-		if err != nil {
-			return nil, err
-		}
-		for _, cfg := range l.indexConfigs() {
-			sp := l.spaceFor(qid, cfg.Idx, truth, plan.Bushy)
-			opt, err := enum.DP(sp)
+	}
+	// The normaliser of every panel is the query's optimal plan with FK
+	// indexes; compute it once per query, not once per (query, config).
+	fkOpts, err := RunCells(context.Background(), l.Cfg.Parallel, qids,
+		func(_ context.Context, qid string) (*plan.Node, error) {
+			st, err := l.Truth(qid)
 			if err != nil {
 				return nil, err
 			}
-			rng := rand.New(rand.NewSource(l.Cfg.Seed + int64(len(res.Panels))))
+			return enum.DP(l.spaceFor(qid, l.IdxPKFK, cardest.True{Store: st}, plan.Bushy))
+		})
+	if err != nil {
+		return nil, err
+	}
+	// One cell per (query, config) panel. The QuickPick RNG is seeded from
+	// the cell's position in the sweep (the panel index, exactly as the
+	// serial loop numbered them), never from shared state, so the sampled
+	// plans do not depend on worker interleaving.
+	type panelCell struct {
+		qid    string
+		qIdx   int
+		cfgIdx int
+	}
+	var cells []panelCell
+	for qi, qid := range qids {
+		for ci := range l.indexConfigs() {
+			cells = append(cells, panelCell{qid: qid, qIdx: qi, cfgIdx: ci})
+		}
+	}
+	panels, err := RunCells(context.Background(), l.Cfg.Parallel, cells,
+		func(_ context.Context, c panelCell) (Figure9Panel, error) {
+			st, err := l.Truth(c.qid)
+			if err != nil {
+				return Figure9Panel{}, err
+			}
+			truth := cardest.True{Store: st}
+			fkOpt := fkOpts[c.qIdx]
+			cfg := l.indexConfigs()[c.cfgIdx]
+			sp := l.spaceFor(c.qid, cfg.Idx, truth, plan.Bushy)
+			opt, err := enum.DP(sp)
+			if err != nil {
+				return Figure9Panel{}, err
+			}
+			rng := rand.New(rand.NewSource(l.Cfg.Seed + int64(c.qIdx*len(l.indexConfigs())+c.cfgIdx)))
 			costs := make([]float64, 0, samples)
 			for i := 0; i < samples; i++ {
 				p, err := enum.QuickPick(sp, rng)
 				if err != nil {
-					return nil, err
+					return Figure9Panel{}, err
 				}
 				costs = append(costs, p.ECost/fkOpt.ECost)
 			}
-			res.Panels = append(res.Panels, Figure9Panel{
-				Query: qid, Config: cfg.Label,
+			return Figure9Panel{
+				Query: c.qid, Config: cfg.Label,
 				Box:     metrics.NewBoxplot(costs),
 				Optimal: opt.ECost / fkOpt.ECost,
-			})
-		}
+			}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	res.Panels = panels
 
 	// Workload-wide §6.1 aggregates with a smaller sample per query.
 	wlSamples := samples / 10
@@ -123,32 +156,34 @@ func (l *Lab) Figure9(samples int) (*Figure9Result, error) {
 		wlSamples = 200
 	}
 	for _, cfg := range l.indexConfigs() {
-		within := 0
-		total := 0
-		var ratios []float64
-		for _, q := range l.Queries {
+		type aggCell struct {
+			within, total int
+			ratio         float64
+		}
+		perQuery, err := runQueries(l, func(qi int, q *query.Query) (aggCell, error) {
 			st, err := l.Truth(q.ID)
 			if err != nil {
-				return nil, err
+				return aggCell{}, err
 			}
 			truth := cardest.True{Store: st}
 			sp := l.spaceFor(q.ID, cfg.Idx, truth, plan.Bushy)
 			opt, err := enum.DP(sp)
 			if err != nil {
-				return nil, err
+				return aggCell{}, err
 			}
-			rng := rand.New(rand.NewSource(l.Cfg.Seed ^ int64(len(ratios)+1)))
+			rng := rand.New(rand.NewSource(l.Cfg.Seed ^ int64(qi+1)))
+			var out aggCell
 			best, worst := math.Inf(1), 0.0
 			for i := 0; i < wlSamples; i++ {
 				p, err := enum.QuickPick(sp, rng)
 				if err != nil {
-					return nil, err
+					return aggCell{}, err
 				}
 				rel := p.ECost / opt.ECost
 				if rel <= 1.5 {
-					within++
+					out.within++
 				}
-				total++
+				out.total++
 				if p.ECost < best {
 					best = p.ECost
 				}
@@ -156,7 +191,18 @@ func (l *Lab) Figure9(samples int) (*Figure9Result, error) {
 					worst = p.ECost
 				}
 			}
-			ratios = append(ratios, worst/best)
+			out.ratio = worst / best
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		within, total := 0, 0
+		ratios := make([]float64, len(perQuery))
+		for i, c := range perQuery {
+			within += c.within
+			total += c.total
+			ratios[i] = c.ratio
 		}
 		res.Frac15[cfg.Label] = float64(within) / float64(total)
 		res.MeanWorstBest[cfg.Label] = metrics.Mean(ratios)
@@ -201,22 +247,24 @@ func (l *Lab) Table2() (*Table2Result, error) {
 	configs := l.indexConfigs()[1:] // PK, PK+FK
 	for _, shape := range []plan.Shape{plan.ZigZag, plan.LeftDeep, plan.RightDeep} {
 		for _, cfg := range configs {
-			var slowdowns []float64
-			for _, q := range l.Queries {
+			slowdowns, err := runQueries(l, func(qi int, q *query.Query) (float64, error) {
 				st, err := l.Truth(q.ID)
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				truth := cardest.True{Store: st}
 				bushy, err := enum.DP(l.spaceFor(q.ID, cfg.Idx, truth, plan.Bushy))
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
 				restricted, err := enum.DP(l.spaceFor(q.ID, cfg.Idx, truth, shape))
 				if err != nil {
-					return nil, err
+					return 0, err
 				}
-				slowdowns = append(slowdowns, restricted.ECost/bushy.ECost)
+				return restricted.ECost / bushy.ECost, nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			res.Rows = append(res.Rows, Table2Row{
 				Shape:  shape,
@@ -269,12 +317,11 @@ func (l *Lab) Table3() (*Table3Result, error) {
 				cardsLabel = "true cardinalities"
 			}
 			for _, alg := range algos {
-				var factors []float64
-				for _, q := range l.Queries {
+				factors, err := runQueries(l, func(qi int, q *query.Query) (float64, error) {
 					g := l.Graphs[q.ID]
 					st, err := l.Truth(q.ID)
 					if err != nil {
-						return nil, err
+						return 0, err
 					}
 					truth := cardest.True{Store: st}
 					var prov cardest.Provider = truth
@@ -287,14 +334,16 @@ func (l *Lab) Table3() (*Table3Result, error) {
 					}
 					p, err := opt.Optimize(g, prov)
 					if err != nil {
-						return nil, err
+						return 0, err
 					}
 					baseline, err := enum.DP(l.spaceFor(q.ID, cfg.Idx, truth, plan.Bushy))
 					if err != nil {
-						return nil, err
+						return 0, err
 					}
-					trueCost := opt.TrueCost(p, g, truth)
-					factors = append(factors, trueCost/baseline.ECost)
+					return opt.TrueCost(p, g, truth) / baseline.ECost, nil
+				})
+				if err != nil {
+					return nil, err
 				}
 				res.Rows = append(res.Rows, Table3Row{
 					Algorithm: alg.String(),
@@ -326,9 +375,13 @@ func (r *Table3Result) Render() string {
 // PlanSpaceSize reports connected-subset counts per query (a search-space
 // diagnostic used by the documentation and the CLI).
 func (l *Lab) PlanSpaceSize() map[string]int {
+	// CountConnectedSubsets cannot fail, so the runner's error is nil.
+	counts, _ := runQueries(l, func(qi int, q *query.Query) (int, error) {
+		return l.Graphs[q.ID].CountConnectedSubsets(), nil
+	})
 	out := make(map[string]int, len(l.Queries))
-	for _, q := range l.Queries {
-		out[q.ID] = l.Graphs[q.ID].CountConnectedSubsets()
+	for i, q := range l.Queries {
+		out[q.ID] = counts[i]
 	}
 	return out
 }

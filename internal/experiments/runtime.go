@@ -13,6 +13,7 @@ import (
 	"jobench/internal/metrics"
 	"jobench/internal/optimizer"
 	"jobench/internal/plan"
+	"jobench/internal/query"
 )
 
 // engineRules captures the engine/optimizer switches of §4.1.
@@ -94,18 +95,11 @@ func (l *Lab) Section41() (*Section41Result, error) {
 	model := costmodel.NewTuned()
 	res := &Section41Result{}
 	for _, est := range l.Systems() {
-		var slowdowns []float64
-		timeouts := 0
-		for _, q := range l.Queries {
-			prov := est.ForQuery(l.Graphs[q.ID])
-			s, timedOut, err := l.runOne(q.ID, prov, l.IdxPK, rules, model)
-			if err != nil {
-				return nil, err
-			}
-			if timedOut {
-				timeouts++
-			}
-			slowdowns = append(slowdowns, s)
+		slowdowns, timeouts, err := l.runWorkload(func(q *query.Query) cardest.Provider {
+			return est.ForQuery(l.Graphs[q.ID])
+		}, l.IdxPK, rules, model)
+		if err != nil {
+			return nil, err
 		}
 		res.Rows = append(res.Rows, Section41Row{
 			System:   est.Name(),
@@ -114,6 +108,32 @@ func (l *Lab) Section41() (*Section41Result, error) {
 		})
 	}
 	return res, nil
+}
+
+// runWorkload executes every workload query with runOne in parallel,
+// returning the slowdowns in workload order plus the timeout count. It is
+// the shared sweep of §4.1, Fig. 6, Fig. 7 and the hedging extension.
+func (l *Lab) runWorkload(provFor func(q *query.Query) cardest.Provider, idx *index.Set, rules engineRules, model costmodel.Model) ([]float64, int, error) {
+	type cellResult struct {
+		slowdown float64
+		timedOut bool
+	}
+	perQuery, err := runQueries(l, func(qi int, q *query.Query) (cellResult, error) {
+		s, timedOut, err := l.runOne(q.ID, provFor(q), idx, rules, model)
+		return cellResult{s, timedOut}, err
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	slowdowns := make([]float64, len(perQuery))
+	timeouts := 0
+	for i, r := range perQuery {
+		slowdowns[i] = r.slowdown
+		if r.timedOut {
+			timeouts++
+		}
+	}
+	return slowdowns, timeouts, nil
 }
 
 // Render formats the §4.1 table.
@@ -165,18 +185,11 @@ func (l *Lab) Figure6() (*Figure6Result, error) {
 	}
 	res := &Figure6Result{}
 	for _, v := range variants {
-		var slowdowns []float64
-		timeouts := 0
-		for _, q := range l.Queries {
-			prov := l.Postgres.ForQuery(l.Graphs[q.ID])
-			s, timedOut, err := l.runOne(q.ID, prov, l.IdxPK, v.rules, model)
-			if err != nil {
-				return nil, err
-			}
-			if timedOut {
-				timeouts++
-			}
-			slowdowns = append(slowdowns, s)
+		slowdowns, timeouts, err := l.runWorkload(func(q *query.Query) cardest.Provider {
+			return l.Postgres.ForQuery(l.Graphs[q.ID])
+		}, l.IdxPK, v.rules, model)
+		if err != nil {
+			return nil, err
 		}
 		res.Variants = append(res.Variants, Figure6Variant{
 			Label: v.label, Buckets: metrics.BucketSlowdowns(slowdowns), Timeouts: timeouts,
@@ -224,18 +237,11 @@ func (l *Lab) Figure7() (*Figure6Result, error) {
 		{"(a) PK indexes", l.IdxPK},
 		{"(b) PK + FK indexes", l.IdxPKFK},
 	} {
-		var slowdowns []float64
-		timeouts := 0
-		for _, q := range l.Queries {
-			prov := l.Postgres.ForQuery(l.Graphs[q.ID])
-			s, timedOut, err := l.runOne(q.ID, prov, v.idx, rules, model)
-			if err != nil {
-				return nil, err
-			}
-			if timedOut {
-				timeouts++
-			}
-			slowdowns = append(slowdowns, s)
+		slowdowns, timeouts, err := l.runWorkload(func(q *query.Query) cardest.Provider {
+			return l.Postgres.ForQuery(l.Graphs[q.ID])
+		}, v.idx, rules, model)
+		if err != nil {
+			return nil, err
 		}
 		res.Variants = append(res.Variants, Figure6Variant{
 			Label: v.label, Buckets: metrics.BucketSlowdowns(slowdowns), Timeouts: timeouts,
@@ -272,13 +278,14 @@ func (l *Lab) Figure8() (*Figure8Result, error) {
 	rules := engineRules{DisableNLJ: true, Rehash: true}
 	for _, m := range models {
 		for _, useTrue := range []bool{false, true} {
-			panel := Figure8Panel{Model: m.Name(), TrueCards: useTrue}
-			var runtimes []float64
-			for _, q := range l.Queries {
+			type cellResult struct {
+				cost, work float64
+			}
+			perQuery, err := runQueries(l, func(qi int, q *query.Query) (cellResult, error) {
 				g := l.Graphs[q.ID]
 				st, err := l.Truth(q.ID)
 				if err != nil {
-					return nil, err
+					return cellResult{}, err
 				}
 				var prov cardest.Provider = cardest.True{Store: st}
 				if !useTrue {
@@ -287,15 +294,23 @@ func (l *Lab) Figure8() (*Figure8Result, error) {
 				opt := &optimizer.Optimizer{DB: l.DB, Model: m, Indexes: l.IdxPKFK, DisableNLJ: rules.DisableNLJ}
 				p, err := opt.Optimize(g, prov)
 				if err != nil {
-					return nil, err
+					return cellResult{}, err
 				}
 				r, err := engine.Run(l.DB, l.IdxPKFK, g, p, engine.Config{Rehash: rules.Rehash})
 				if err != nil {
-					return nil, err
+					return cellResult{}, err
 				}
-				panel.Cost = append(panel.Cost, p.ECost)
-				panel.Runtime = append(panel.Runtime, float64(r.Work))
-				runtimes = append(runtimes, math.Max(1, float64(r.Work)))
+				return cellResult{cost: p.ECost, work: float64(r.Work)}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			panel := Figure8Panel{Model: m.Name(), TrueCards: useTrue}
+			var runtimes []float64
+			for _, c := range perQuery {
+				panel.Cost = append(panel.Cost, c.cost)
+				panel.Runtime = append(panel.Runtime, c.work)
+				runtimes = append(runtimes, math.Max(1, c.work))
 			}
 			panel.Fit = metrics.FitRegression(panel.Cost, panel.Runtime)
 			res.Panels = append(res.Panels, panel)

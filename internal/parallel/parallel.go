@@ -1,0 +1,99 @@
+// Package parallel provides the bounded worker pool underneath the
+// experiment runner and the facade's warmup paths. It is deliberately
+// minimal: fan a slice of independent cells out across N workers, keep the
+// results in input order, aggregate errors, and honor context cancellation.
+// Order-preserving assembly is the property that lets parallel experiment
+// runs render byte-identical reports to serial ones.
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// RunCells evaluates fn over every cell on up to workers goroutines and
+// returns the results in input order. workers <= 0 means GOMAXPROCS;
+// workers == 1 (or a single cell) runs inline with no goroutines, so a
+// serial run is exactly the plain loop. The first error cancels the context
+// handed to fn; cells already started still finish, unstarted cells are
+// abandoned. All errors observed are joined into the returned error.
+func RunCells[C, R any](ctx context.Context, workers int, cells []C, fn func(ctx context.Context, cell C) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	results := make([]R, len(cells))
+	if workers <= 1 {
+		for i, c := range cells {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
+			r, err := fn(ctx, c)
+			if err != nil {
+				return results, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := fn(ctx, cells[i])
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+feed:
+	for i := range cells {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return results, err
+	}
+	// The caller's context was cancelled externally (no fn error): the
+	// abandoned cells hold zero values, so the sweep must not look
+	// successful.
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// Do runs the given independent tasks across up to workers goroutines and
+// joins their errors. It is RunCells for setup work that produces results
+// by side effect (each task writing its own destination).
+func Do(ctx context.Context, workers int, tasks ...func() error) error {
+	_, err := RunCells(ctx, workers, tasks, func(_ context.Context, task func() error) (struct{}, error) {
+		return struct{}{}, task()
+	})
+	return err
+}

@@ -1,0 +1,155 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCellsPreservesOrder(t *testing.T) {
+	cells := make([]int, 100)
+	for i := range cells {
+		cells[i] = i
+	}
+	for _, workers := range []int{1, 2, 7, 100} {
+		got, err := RunCells(context.Background(), workers, cells, func(_ context.Context, c int) (int, error) {
+			// Sleep inversely to the index so later cells finish first and
+			// any assembly-order bug shows up.
+			time.Sleep(time.Duration((99-c)%7) * time.Millisecond)
+			return c * c, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: results[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunCellsSerialAndParallelAgree(t *testing.T) {
+	cells := []string{"a", "bb", "ccc", "dddd"}
+	fn := func(_ context.Context, c string) (int, error) { return len(c), nil }
+	serial, err := RunCells(context.Background(), 1, cells, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCells(context.Background(), 4, cells, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("results diverge at %d: %d vs %d", i, serial[i], par[i])
+		}
+	}
+}
+
+func TestRunCellsJoinsErrors(t *testing.T) {
+	cells := []int{0, 1, 2, 3}
+	boom := errors.New("boom")
+	_, err := RunCells(context.Background(), 4, cells, func(_ context.Context, c int) (int, error) {
+		if c%2 == 1 {
+			return 0, fmt.Errorf("cell %d: %w", c, boom)
+		}
+		return c, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestRunCellsStopsAfterError(t *testing.T) {
+	cells := make([]int, 1000)
+	for i := range cells {
+		cells[i] = i
+	}
+	var ran atomic.Int64
+	_, err := RunCells(context.Background(), 2, cells, func(_ context.Context, c int) (int, error) {
+		ran.Add(1)
+		if c == 0 {
+			return 0, errors.New("early failure")
+		}
+		time.Sleep(time.Millisecond)
+		return c, nil
+	})
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if n := ran.Load(); n == int64(len(cells)) {
+		t.Fatalf("all %d cells ran despite early failure", n)
+	}
+}
+
+func TestRunCellsHonorsCancelledContext(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := RunCells(ctx, workers, []int{1, 2, 3}, func(_ context.Context, c int) (int, error) {
+			return c, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+	}
+}
+
+func TestRunCellsExternalCancelMidRunIsAnError(t *testing.T) {
+	// Cancellation from outside (not via an fn error) abandons unstarted
+	// cells; the zero-filled partial results must not look like success.
+	ctx, cancel := context.WithCancel(context.Background())
+	cells := make([]int, 100)
+	for i := range cells {
+		cells[i] = i
+	}
+	_, err := RunCells(ctx, 2, cells, func(_ context.Context, c int) (int, error) {
+		if c == 0 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return c, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("external mid-run cancel returned %v, want context.Canceled", err)
+	}
+}
+
+func TestRunCellsEmpty(t *testing.T) {
+	got, err := RunCells(context.Background(), 8, nil, func(_ context.Context, c int) (int, error) {
+		return c, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty input: %v, %v", got, err)
+	}
+}
+
+func TestDoRunsAllTasks(t *testing.T) {
+	var a, b, c int
+	err := Do(context.Background(), 3,
+		func() error { a = 1; return nil },
+		func() error { b = 2; return nil },
+		func() error { c = 3; return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("tasks incomplete: %d %d %d", a, b, c)
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	err := Do(context.Background(), 2,
+		func() error { return nil },
+		func() error { return errors.New("task failed") },
+	)
+	if err == nil || !strings.Contains(err.Error(), "task failed") {
+		t.Fatalf("error lost: %v", err)
+	}
+}

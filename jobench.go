@@ -14,8 +14,10 @@
 package jobench
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"jobench/internal/cardest"
 	"jobench/internal/costmodel"
@@ -24,6 +26,7 @@ import (
 	"jobench/internal/index"
 	"jobench/internal/job"
 	"jobench/internal/optimizer"
+	"jobench/internal/parallel"
 	"jobench/internal/plan"
 	"jobench/internal/query"
 	"jobench/internal/stats"
@@ -38,6 +41,10 @@ type Options struct {
 	Scale float64
 	// Seed makes everything deterministic. Zero defaults to 42.
 	Seed int64
+	// Parallel is the worker-pool size for Open's index builds and for
+	// Warmup's true-cardinality sweep. 0 means GOMAXPROCS; 1 is fully
+	// serial. Results are identical at any setting.
+	Parallel int
 }
 
 // IndexConfig selects a physical design (§4 of the paper).
@@ -103,15 +110,20 @@ type Result struct {
 	Plan     string // EXPLAIN rendering of the executed plan
 }
 
-// System is an opened benchmark instance.
+// System is an opened benchmark instance. Its read paths (Optimize,
+// Execute, Estimate*) are safe for concurrent use; the lazily computed
+// true-cardinality cache is guarded by a mutex.
 type System struct {
-	db    *storage.Database
-	stats *stats.DB
-	idx   map[IndexConfig]*index.Set
+	db       *storage.Database
+	stats    *stats.DB
+	idx      map[IndexConfig]*index.Set
+	parallel int
 
 	queries map[string]*query.Query
 	order   []string
 	graphs  map[string]*query.Graph
+
+	truthMu sync.Mutex
 	truth   map[string]*truecard.Store
 
 	estimators map[string]cardest.Estimator
@@ -127,16 +139,40 @@ func Open(opts Options) (*System, error) {
 		opts.Seed = 42
 	}
 	db := imdb.Generate(imdb.Config{Scale: opts.Scale, Seed: opts.Seed})
-	sdb := stats.AnalyzeDatabase(db, stats.Options{
-		SampleSize: 30000, MCVTarget: 100, HistBuckets: 100, Seed: opts.Seed,
-	})
+
+	// Statistics and the three index sets only read the generated data, so
+	// they build concurrently; each task writes its own destination.
+	var (
+		sdb  *stats.DB
+		sets [3]*index.Set
+	)
+	configs := []IndexConfig{NoIndexes, PKOnly, PKFK}
+	tasks := []func() error{
+		func() error {
+			sdb = stats.AnalyzeDatabase(db, stats.Options{
+				SampleSize: 30000, MCVTarget: 100, HistBuckets: 100, Seed: opts.Seed,
+			})
+			return nil
+		},
+	}
+	for i, cfg := range configs {
+		tasks = append(tasks, func() (err error) {
+			sets[i], err = imdb.BuildIndexes(db, cfg)
+			return err
+		})
+	}
+	if err := parallel.Do(context.Background(), opts.Parallel, tasks...); err != nil {
+		return nil, err
+	}
+
 	s := &System{
-		db:      db,
-		stats:   sdb,
-		idx:     make(map[IndexConfig]*index.Set, 3),
-		queries: make(map[string]*query.Query),
-		graphs:  make(map[string]*query.Graph),
-		truth:   make(map[string]*truecard.Store),
+		db:       db,
+		stats:    sdb,
+		idx:      make(map[IndexConfig]*index.Set, 3),
+		parallel: opts.Parallel,
+		queries:  make(map[string]*query.Query),
+		graphs:   make(map[string]*query.Graph),
+		truth:    make(map[string]*truecard.Store),
 		estimators: map[string]cardest.Estimator{
 			EstPostgres: cardest.NewPostgres(db, sdb),
 			EstDBMSA:    cardest.NewDBMSA(db, sdb),
@@ -145,12 +181,8 @@ func Open(opts Options) (*System, error) {
 			EstHyPer:    cardest.NewSample(db, sdb),
 		},
 	}
-	for _, cfg := range []IndexConfig{NoIndexes, PKOnly, PKFK} {
-		set, err := imdb.BuildIndexes(db, cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.idx[cfg] = set
+	for i, cfg := range configs {
+		s.idx[cfg] = sets[i]
 	}
 	for _, q := range job.Workload() {
 		if err := q.Validate(db); err != nil {
@@ -324,7 +356,10 @@ func (s *System) provider(queryID, estimator string) (cardest.Provider, error) {
 // TruthStore computes (and caches) the true cardinality of every
 // subexpression of a query.
 func (s *System) TruthStore(queryID string) (*truecard.Store, error) {
-	if st, ok := s.truth[queryID]; ok {
+	s.truthMu.Lock()
+	st, ok := s.truth[queryID]
+	s.truthMu.Unlock()
+	if ok {
 		return st, nil
 	}
 	if _, err := s.query(queryID); err != nil {
@@ -334,8 +369,23 @@ func (s *System) TruthStore(queryID string) (*truecard.Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.truthMu.Lock()
 	s.truth[queryID] = st
+	s.truthMu.Unlock()
 	return st, nil
+}
+
+// Warmup precomputes the true-cardinality store of every registered query
+// across the system's worker pool (Options.Parallel). Everything that
+// consults the truth afterwards — ExplainAnalyze, TrueCardinality, the
+// EstTrue provider — hits the cache.
+func (s *System) Warmup() error {
+	_, err := parallel.RunCells(context.Background(), s.parallel, s.QueryIDs(),
+		func(_ context.Context, qid string) (struct{}, error) {
+			_, err := s.TruthStore(qid)
+			return struct{}{}, err
+		})
+	return err
 }
 
 // TrueCardinality returns the exact result size of a workload query.

@@ -1,0 +1,262 @@
+package jobench
+
+// These tests pin the snapshot store's acceptance contract: a second Open
+// with the same Options and a warm cache performs zero database generation
+// and zero true-cardinality computation, and a corrupted or version-bumped
+// snapshot falls back to regeneration with a logged warning — never an
+// error or panic. They live in the jobench package (not jobench_test) to
+// reach the generateDB/computeTruth indirection points.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"jobench/internal/imdb"
+	"jobench/internal/query"
+	"jobench/internal/storage"
+	"jobench/internal/truecard"
+)
+
+// countHooks wraps generation and truth computation in counters for the
+// duration of the test.
+func countHooks(t *testing.T) (gens, computes *atomic.Int64) {
+	t.Helper()
+	gens, computes = new(atomic.Int64), new(atomic.Int64)
+	origGen, origCompute := generateDB, computeTruth
+	generateDB = func(cfg imdb.Config) *storage.Database {
+		gens.Add(1)
+		return origGen(cfg)
+	}
+	computeTruth = func(db *storage.Database, g *query.Graph, opts truecard.Options) (*truecard.Store, error) {
+		computes.Add(1)
+		return origCompute(db, g, opts)
+	}
+	t.Cleanup(func() { generateDB, computeTruth = origGen, origCompute })
+	return gens, computes
+}
+
+// logCapture collects Options.Logf output (truth saves run across the
+// warmup worker pool, so it must be concurrency-safe).
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+}
+
+func (lc *logCapture) all() []string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return append([]string(nil), lc.lines...)
+}
+
+func (lc *logCapture) containing(substr string) bool {
+	for _, l := range lc.all() {
+		if strings.Contains(l, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+var cacheTestQueries = []string{"1a", "6a", "17e"}
+
+func TestWarmOpenSkipsGenerationAndTruth(t *testing.T) {
+	dir := t.TempDir()
+	gens, computes := countHooks(t)
+	var lc logCapture
+	opts := Options{Scale: 0.05, Seed: 7, CacheDir: dir, Logf: lc.logf}
+
+	cold, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truths := make(map[string]float64, len(cacheTestQueries))
+	for _, qid := range cacheTestQueries {
+		v, err := cold.TrueCardinality(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truths[qid] = v
+	}
+	if got := gens.Load(); got != 1 {
+		t.Fatalf("cold open: %d generations, want 1", got)
+	}
+	if got := computes.Load(); got != int64(len(cacheTestQueries)) {
+		t.Fatalf("cold open: %d truth computations, want %d", got, len(cacheTestQueries))
+	}
+	if lines := lc.all(); len(lines) != 0 {
+		t.Fatalf("cold open logged warnings: %q", lines)
+	}
+
+	gens.Store(0)
+	computes.Store(0)
+	warm, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qid := range cacheTestQueries {
+		v, err := warm.TrueCardinality(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != truths[qid] {
+			t.Fatalf("%s: warm cardinality %v, cold %v", qid, v, truths[qid])
+		}
+	}
+	if got := gens.Load(); got != 0 {
+		t.Fatalf("warm open: %d generations, want 0", got)
+	}
+	if got := computes.Load(); got != 0 {
+		t.Fatalf("warm open: %d truth computations, want 0", got)
+	}
+	if lines := lc.all(); len(lines) != 0 {
+		t.Fatalf("warm open logged warnings: %q", lines)
+	}
+
+	// The warm system must behave identically on a full pipeline pass.
+	res, err := warm.Execute("1a", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCold, err := cold.Execute("1a", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != resCold.Rows || res.Work != resCold.Work {
+		t.Fatalf("warm execute (%d rows, %d work) != cold (%d rows, %d work)",
+			res.Rows, res.Work, resCold.Rows, resCold.Work)
+	}
+}
+
+// snapFile locates one snapshot file under the cache dir.
+func snapFile(t *testing.T, dir, name string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*", name))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob %s under %s: %v, %d matches", name, dir, err, len(matches))
+	}
+	return matches[0]
+}
+
+func TestCorruptedSnapshotRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	gens, computes := countHooks(t)
+	var lc logCapture
+	opts := Options{Scale: 0.05, Seed: 7, CacheDir: dir, Logf: lc.logf}
+
+	cold, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.TrueCardinality("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte in the database snapshot and truncate the truth
+	// store: both must read as corruption, not as data.
+	dbPath := snapFile(t, dir, "db.snap")
+	data, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x5a
+	if err := os.WriteFile(dbPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	truthPath := snapFile(t, dir, filepath.Join("truth", "1a.snap"))
+	truthData, err := os.ReadFile(truthPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truthPath, truthData[:len(truthData)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gens.Store(0)
+	computes.Store(0)
+	sys, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open over corrupted snapshot must fall back, got error: %v", err)
+	}
+	got, err := sys.TrueCardinality("1a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("cardinality after corruption recovery %v, want %v", got, want)
+	}
+	if gens.Load() != 1 || computes.Load() != 1 {
+		t.Fatalf("corrupted snapshot: %d generations and %d computations, want 1 and 1",
+			gens.Load(), computes.Load())
+	}
+	if !lc.containing("checksum mismatch") && !lc.containing("truncated") {
+		t.Fatalf("no corruption warning logged; got %q", lc.all())
+	}
+
+	// The regeneration must have healed the cache in passing.
+	lc2 := &logCapture{}
+	opts.Logf = lc2.logf
+	gens.Store(0)
+	computes.Store(0)
+	healed, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := healed.TrueCardinality("1a"); err != nil {
+		t.Fatal(err)
+	}
+	if gens.Load() != 0 || computes.Load() != 0 {
+		t.Fatalf("cache not healed: %d generations, %d computations", gens.Load(), computes.Load())
+	}
+	if lines := lc2.all(); len(lines) != 0 {
+		t.Fatalf("healed open logged warnings: %q", lines)
+	}
+}
+
+func TestVersionBumpedSnapshotRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	gens, _ := countHooks(t)
+	var lc logCapture
+	opts := Options{Scale: 0.05, Seed: 7, CacheDir: dir, Logf: lc.logf}
+
+	if _, err := Open(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bump the format-version field (bytes 4..8, after the magic).
+	dbPath := snapFile(t, dir, "db.snap")
+	data, err := os.ReadFile(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4]++
+	if err := os.WriteFile(dbPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	gens.Store(0)
+	sys, err := Open(opts)
+	if err != nil {
+		t.Fatalf("open over version-bumped snapshot must fall back, got error: %v", err)
+	}
+	if gens.Load() != 1 {
+		t.Fatalf("version bump: %d generations, want 1", gens.Load())
+	}
+	if !lc.containing("format version") {
+		t.Fatalf("no version warning logged; got %q", lc.all())
+	}
+	if _, err := sys.TrueCardinality("1a"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,10 +12,14 @@
 //	jobench run        -q 13d [-est postgres] [-model simple] [-idx pkfk] [-rehash] [-no-nlj]
 //	jobench experiment -name table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|all
 //	                   [-scale 0.3] [-samples 10000] [-max-queries 0] [-parallel N]
+//	jobench snapshot   build|inspect|clear [-cache-dir .jobench-cache] [-scale 0.3] [-seed 42]
 //
 // Every command accepts -parallel N to size the worker pool that fans
 // experiment cells out across cores (0 = all cores, 1 = serial); reports
-// are byte-identical at any setting.
+// are byte-identical at any setting. Every command also accepts
+// -cache-dir DIR to load the generated database, statistics, and true
+// cardinalities from the persistent snapshot store (and persist whatever
+// this run computes); "jobench snapshot build" fills that store up front.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"jobench/internal/experiments"
 	"jobench/internal/optimizer"
 	"jobench/internal/plan"
+	"jobench/internal/snapshot"
 )
 
 func main() {
@@ -51,6 +56,8 @@ func main() {
 		err = cmdRun(args)
 	case "experiment":
 		err = cmdExperiment(args)
+	case "snapshot":
+		err = cmdSnapshot(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -62,15 +69,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: jobench <gen|sql|graph|explain|run|experiment> [flags]
+	fmt.Fprintln(os.Stderr, `usage: jobench <gen|sql|graph|explain|run|experiment|snapshot> [flags]
 run "jobench <command> -h" for command flags`)
 }
 
-func openFlags(fs *flag.FlagSet) (*float64, *int64, *int) {
+func openFlags(fs *flag.FlagSet) (*float64, *int64, *int, *string) {
 	scale := fs.Float64("scale", 0.3, "data scale factor (1.0 ~ 450k rows)")
 	seed := fs.Int64("seed", 42, "generator seed")
 	parallel := fs.Int("parallel", 0, "worker-pool size (0 = all cores, 1 = serial)")
-	return scale, seed, parallel
+	cacheDir := fs.String("cache-dir", "", "snapshot cache directory (empty = no caching)")
+	return scale, seed, parallel, cacheDir
 }
 
 func planFlags(fs *flag.FlagSet) (est, model, idx *string, noNLJ *bool, shape, algo *string) {
@@ -124,9 +132,9 @@ func parsePlanOptions(est, model, idx string, noNLJ bool, shape, algo string) (j
 
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	scale, seed, par := openFlags(fs)
+	scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -151,9 +159,9 @@ func cmdGen(args []string) error {
 func cmdSQL(args []string) error {
 	fs := flag.NewFlagSet("sql", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
-	scale, seed, par := openFlags(fs)
+	scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -168,9 +176,9 @@ func cmdSQL(args []string) error {
 func cmdGraph(args []string) error {
 	fs := flag.NewFlagSet("graph", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
-	scale, seed, par := openFlags(fs)
+	scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -186,9 +194,9 @@ func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
 	est, model, idx, noNLJ, shape, algo := planFlags(fs)
-	scale, seed, par := openFlags(fs)
+	scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -211,9 +219,9 @@ func cmdRun(args []string) error {
 	est, model, idx, noNLJ, shape, algo := planFlags(fs)
 	rehash := fs.Bool("rehash", true, "resize hash tables at runtime")
 	limit := fs.Int64("work-limit", 0, "abort after this many work units")
-	scale, seed, par := openFlags(fs)
+	scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par})
+	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -248,11 +256,11 @@ func cmdExperiment(args []string) error {
 	name := fs.String("name", "all", "experiment: table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|ablation-damping|ablation-rehash|hedging|all")
 	samples := fs.Int("samples", 10000, "random plans per query for fig9")
 	maxQ := fs.Int("max-queries", 0, "limit workload size (0 = all 113)")
-	scale, seed, par := openFlags(fs)
+	scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
 
 	lab, err := experiments.NewLab(experiments.Config{
-		Scale: *scale, Seed: *seed, MaxQueries: *maxQ, Parallel: *par,
+		Scale: *scale, Seed: *seed, MaxQueries: *maxQ, Parallel: *par, CacheDir: *cacheDir,
 	})
 	if err != nil {
 		return err
@@ -306,6 +314,72 @@ func cmdExperiment(args []string) error {
 	}
 	if !matched {
 		return fmt.Errorf("unknown experiment %q", *name)
+	}
+	return nil
+}
+
+func cmdSnapshot(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf(`snapshot: missing subcommand (build|inspect|clear)`)
+	}
+	sub, args := args[0], args[1:]
+	fs := flag.NewFlagSet("snapshot "+sub, flag.ExitOnError)
+	scale, seed, par, cacheDir := openFlags(fs)
+	// The snapshot command exists to manage the cache, so unlike the other
+	// commands its -cache-dir defaults to a real directory.
+	fs.Lookup("cache-dir").DefValue = ".jobench-cache"
+	*cacheDir = ".jobench-cache"
+	fs.Parse(args)
+
+	switch sub {
+	case "build":
+		start := time.Now()
+		sys, err := jobench.Open(jobench.Options{
+			Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: database + statistics ready in %v, computing true cardinalities for %d queries...\n",
+			time.Since(start).Round(time.Millisecond), len(sys.QueryIDs()))
+		if err := sys.Warmup(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: built in %v\n", time.Since(start).Round(time.Millisecond))
+		return printSnapshotInfo(*cacheDir)
+	case "inspect":
+		return printSnapshotInfo(*cacheDir)
+	case "clear":
+		removed, err := snapshot.Clear(*cacheDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("removed %d snapshot(s) from %s\n", removed, *cacheDir)
+		return nil
+	default:
+		return fmt.Errorf("snapshot: unknown subcommand %q (build|inspect|clear)", sub)
+	}
+}
+
+func printSnapshotInfo(cacheDir string) error {
+	infos, err := snapshot.Inspect(cacheDir)
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Printf("no snapshots under %s\n", cacheDir)
+		return nil
+	}
+	fmt.Printf("%-18s %6s %8s %10s %5s %6s %12s\n",
+		"fingerprint", "seed", "scale", "workload", "db", "truth", "bytes")
+	for _, in := range infos {
+		db := "no"
+		if in.HasDatabase {
+			db = "yes"
+		}
+		fmt.Printf("%-18s %6d %8g %10s %5s %6d %12d\n",
+			in.Fingerprint, in.Manifest.Seed, in.Manifest.Scale, in.Manifest.Workload,
+			db, in.TruthFiles, in.Bytes)
 	}
 	return nil
 }

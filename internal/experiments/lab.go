@@ -8,6 +8,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"log"
 	"sort"
 	"sync"
 
@@ -17,6 +18,7 @@ import (
 	"jobench/internal/job"
 	"jobench/internal/parallel"
 	"jobench/internal/query"
+	"jobench/internal/snapshot"
 	"jobench/internal/stats"
 	"jobench/internal/storage"
 	"jobench/internal/truecard"
@@ -34,6 +36,15 @@ type Config struct {
 	// setup, Warmup, and all drivers). 0 means GOMAXPROCS; 1 runs the
 	// serial code path. Reports are byte-identical at any setting.
 	Parallel int
+	// CacheDir enables the persistent snapshot store: the generated
+	// database, both ANALYZE passes, and every computed truth store are
+	// persisted there and reloaded by the next NewLab with the same Scale
+	// and Seed. Corrupted or version-bumped snapshots are regenerated with
+	// a logged warning. Empty disables caching.
+	CacheDir string
+	// Logf receives cache diagnostics (snapshot load/save warnings).
+	// Nil means the standard library's log.Printf.
+	Logf func(format string, args ...any)
 }
 
 // DefaultConfig is the scale the experiment CLI uses.
@@ -67,16 +78,53 @@ type Lab struct {
 	DBMSC      cardest.Estimator
 	HyPer      cardest.Estimator
 
+	snap *snapshot.Store // nil when Config.CacheDir was empty
+	logf func(format string, args ...any)
+
 	mu    sync.Mutex
 	truth map[string]*truecard.Store
 }
 
-// NewLab builds the shared setup.
+// NewLab builds the shared setup, loading the database, statistics, and
+// (lazily, through Truth) true cardinalities from the snapshot store when
+// Config.CacheDir names one.
 func NewLab(cfg Config) (*Lab, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
-	db := imdb.Generate(imdb.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	qs := job.Workload()
+	var snap *snapshot.Store
+	if cfg.CacheDir != "" {
+		// The cache key hashes the full workload even when MaxQueries
+		// truncates this run: truth files are per-query, so runs at
+		// different MaxQueries share one fingerprint directory.
+		snap = snapshot.New(cfg.CacheDir, snapshot.Key{
+			Seed:     cfg.Seed,
+			Scale:    cfg.Scale,
+			Workload: snapshot.WorkloadHash(qs),
+		}, cfg.Parallel)
+	}
+	if cfg.MaxQueries > 0 && cfg.MaxQueries < len(qs) {
+		qs = qs[:cfg.MaxQueries]
+	}
+
+	var db *storage.Database
+	if snap != nil {
+		db, _ = snapshot.Load(logf, "experiments: snapshot database", snap.LoadDatabase)
+	}
+	if db == nil {
+		db = imdb.Generate(imdb.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+		if snap != nil {
+			snapshot.Save(logf, "experiments: snapshot save database", func() error {
+				return snap.SaveDatabase(db)
+			})
+		}
+	}
+
 	// The ANALYZE sample must be small relative to the big tables, like
 	// PostgreSQL's 30,000 rows against IMDB's 36M-row cast_info (~0.1%):
 	// sample-based distinct counts (Duj1) must underestimate on skewed
@@ -84,6 +132,8 @@ func NewLab(cfg Config) (*Lab, error) {
 	// ratio, not the absolute number.
 	sampleSize := 600 + int(4000*cfg.Scale)
 	sopts := stats.Options{SampleSize: sampleSize, MCVTarget: 100, HistBuckets: 100, Seed: cfg.Seed}
+	topts := sopts
+	topts.TrueDistinct = true
 
 	// The two ANALYZE passes and the three index builds only read the
 	// generated database, so they fan out across the worker pool; each task
@@ -92,26 +142,44 @@ func NewLab(cfg Config) (*Lab, error) {
 		sdb, sdbTD              *stats.DB
 		idxNone, idxPK, idxPKFK *index.Set
 	)
-	err := parallel.Do(context.Background(), cfg.Parallel,
-		func() error { sdb = stats.AnalyzeDatabase(db, sopts); return nil },
-		func() error {
-			topts := sopts
-			topts.TrueDistinct = true
-			sdbTD = stats.AnalyzeDatabase(db, topts)
-			return nil
-		},
+	if snap != nil {
+		for _, v := range []struct {
+			opts stats.Options
+			dst  **stats.DB
+		}{{sopts, &sdb}, {topts, &sdbTD}} {
+			*v.dst, _ = snapshot.Load(logf, "experiments: snapshot stats", func() (*stats.DB, error) {
+				return snap.LoadStats(v.opts)
+			})
+		}
+	}
+	sdbCached, sdbTDCached := sdb != nil, sdbTD != nil
+	tasks := []func() error{
 		func() (err error) { idxNone, err = imdb.BuildIndexes(db, imdb.NoIndexes); return err },
 		func() (err error) { idxPK, err = imdb.BuildIndexes(db, imdb.PKOnly); return err },
 		func() (err error) { idxPKFK, err = imdb.BuildIndexes(db, imdb.PKFK); return err },
-	)
-	if err != nil {
+	}
+	if !sdbCached {
+		tasks = append(tasks, func() error { sdb = stats.AnalyzeDatabase(db, sopts); return nil })
+	}
+	if !sdbTDCached {
+		tasks = append(tasks, func() error { sdbTD = stats.AnalyzeDatabase(db, topts); return nil })
+	}
+	if err := parallel.Do(context.Background(), cfg.Parallel, tasks...); err != nil {
 		return nil, err
 	}
-
-	qs := job.Workload()
-	if cfg.MaxQueries > 0 && cfg.MaxQueries < len(qs) {
-		qs = qs[:cfg.MaxQueries]
+	if snap != nil {
+		if !sdbCached {
+			snapshot.Save(logf, "experiments: snapshot save stats", func() error {
+				return snap.SaveStats(sopts, sdb)
+			})
+		}
+		if !sdbTDCached {
+			snapshot.Save(logf, "experiments: snapshot save stats", func() error {
+				return snap.SaveStats(topts, sdbTD)
+			})
+		}
 	}
+
 	graphs := make(map[string]*query.Graph, len(qs))
 	for _, q := range qs {
 		graphs[q.ID] = query.MustBuildGraph(q)
@@ -132,6 +200,8 @@ func NewLab(cfg Config) (*Lab, error) {
 		DBMSB:      cardest.NewDBMSB(db, sdb),
 		DBMSC:      cardest.NewDBMSC(db, sdb),
 		HyPer:      cardest.NewSample(db, sdb),
+		snap:       snap,
+		logf:       logf,
 		truth:      make(map[string]*truecard.Store),
 	}, nil
 }
@@ -142,7 +212,9 @@ func (l *Lab) Systems() []cardest.Estimator {
 }
 
 // Truth returns (computing and caching on first use) the full true-
-// cardinality store of a query.
+// cardinality store of a query. With a snapshot store configured,
+// previously persisted stores load from disk and fresh computations are
+// persisted for the next lab.
 func (l *Lab) Truth(qid string) (*truecard.Store, error) {
 	l.mu.Lock()
 	st, ok := l.truth[qid]
@@ -154,9 +226,25 @@ func (l *Lab) Truth(qid string) (*truecard.Store, error) {
 	if g == nil {
 		return nil, fmt.Errorf("experiments: unknown query %s", qid)
 	}
+	if l.snap != nil {
+		cached, ok := snapshot.Load(l.logf, "experiments: snapshot truth "+qid,
+			func() (*truecard.Store, error) { return l.snap.LoadTruth(g) })
+		if ok {
+			l.mu.Lock()
+			l.truth[qid] = cached
+			l.mu.Unlock()
+			return cached, nil
+		}
+	}
 	st, err := truecard.Compute(l.DB, g, truecard.Options{})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: true cardinalities for %s (row limit %d): %w",
+			qid, truecard.DefaultMaxRows, err)
+	}
+	if l.snap != nil {
+		snapshot.Save(l.logf, "experiments: snapshot save truth "+qid, func() error {
+			return l.snap.SaveTruth(st)
+		})
 	}
 	l.mu.Lock()
 	l.truth[qid] = st

@@ -1,0 +1,143 @@
+package snapshot
+
+import (
+	"context"
+	"fmt"
+
+	"jobench/internal/parallel"
+	"jobench/internal/storage"
+)
+
+// EncodeDatabase serializes a database, fanning the per-table column
+// encoding out across the worker pool (workers follows the
+// parallel.RunCells contract: <=0 means GOMAXPROCS).
+func EncodeDatabase(db *storage.Database, fingerprint string, workers int) ([]byte, error) {
+	names := db.TableNames()
+	blobs, err := parallel.RunCells(context.Background(), workers, names,
+		func(_ context.Context, name string) ([]byte, error) {
+			return encodeTable(db.Table(name)), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var e enc
+	e.u32(uint32(len(names)))
+	for _, b := range blobs {
+		e.bytes(b)
+	}
+	return frame(kindDatabase, fingerprint, e.b), nil
+}
+
+func encodeTable(t *storage.Table) []byte {
+	var e enc
+	e.str(t.Name)
+	e.u32(uint32(len(t.Cols)))
+	for _, c := range t.Cols {
+		e.str(c.Name)
+		e.u8(byte(c.Kind))
+		e.i64s(c.Ints)
+		e.u32(uint32(len(c.Dict)))
+		for _, s := range c.Dict {
+			e.str(s)
+		}
+		if nulls := c.NullMask(); nulls == nil {
+			e.u8(0)
+		} else {
+			e.u8(1)
+			e.bools(nulls)
+		}
+	}
+	return e.b
+}
+
+// DecodeDatabase rebuilds a database from EncodeDatabase's output,
+// validating every structural invariant; it returns an error (never
+// panics) on truncated, corrupted, version-bumped, or otherwise
+// inconsistent input. Table decoding fans out across the worker pool.
+func DecodeDatabase(data []byte, fingerprint string, workers int) (*storage.Database, error) {
+	payload, err := unframe(data, kindDatabase, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	n := d.u32()
+	if d.err == nil && uint64(n) > uint64(len(payload)) {
+		d.fail("table count %d exceeds payload size", n)
+	}
+	blobs := make([][]byte, 0, n)
+	for i := 0; i < int(n) && d.err == nil; i++ {
+		blobs = append(blobs, d.bytes())
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	tables, err := parallel.RunCells(context.Background(), workers, blobs,
+		func(_ context.Context, blob []byte) (*storage.Table, error) {
+			return decodeTable(blob)
+		})
+	if err != nil {
+		return nil, err
+	}
+	db := storage.NewDatabase()
+	for _, t := range tables {
+		if db.Table(t.Name) != nil {
+			return nil, fmt.Errorf("snapshot: duplicate table %q", t.Name)
+		}
+		db.Add(t)
+	}
+	if err := db.Check(); err != nil {
+		return nil, fmt.Errorf("snapshot: decoded database invalid: %w", err)
+	}
+	return db, nil
+}
+
+func decodeTable(blob []byte) (*storage.Table, error) {
+	d := &dec{b: blob}
+	name := d.str()
+	nCols := d.u32()
+	if d.err == nil && uint64(nCols) > uint64(len(blob)) {
+		d.fail("column count %d exceeds table blob size", nCols)
+	}
+	cols := make([]*storage.Column, 0, nCols)
+	seen := make(map[string]bool, nCols)
+	for i := 0; i < int(nCols) && d.err == nil; i++ {
+		colName := d.str()
+		kind := d.u8()
+		ints := d.i64s()
+		nDict := d.u32()
+		if d.err == nil && uint64(nDict) > uint64(len(blob)) {
+			d.fail("dictionary size %d exceeds table blob size", nDict)
+		}
+		var dict []string
+		if nDict > 0 && d.err == nil {
+			dict = make([]string, 0, nDict)
+			for j := 0; j < int(nDict) && d.err == nil; j++ {
+				dict = append(dict, d.str())
+			}
+		}
+		var nulls []bool
+		if d.u8() != 0 {
+			nulls = d.bools()
+		}
+		if d.err != nil {
+			break
+		}
+		if seen[colName] {
+			return nil, fmt.Errorf("snapshot: table %q has duplicate column %q", name, colName)
+		}
+		seen[colName] = true
+		col, err := storage.RestoreColumn(colName, storage.Kind(kind), ints, dict, nulls)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot: table %q: %w", name, err)
+		}
+		cols = append(cols, col)
+	}
+	if err := d.done(); err != nil {
+		return nil, fmt.Errorf("snapshot: table %q: %w", name, err)
+	}
+	t := storage.NewTable(name, cols...)
+	if err := t.Check(); err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,296 @@
+// Package snapshot persists the expensive artifacts of opening a benchmark
+// instance — the generated storage.Database, its stats, and per-query
+// truecard stores — as versioned, checksummed binary files in a
+// content-addressed cache directory, so repeat runs load in milliseconds
+// instead of regenerating for minutes.
+//
+// Every file shares one frame: a magic number, the format version, a
+// section kind, the cache key fingerprint, a length-prefixed payload, and
+// a trailing CRC-32 over everything before it. Decoders never trust the
+// bytes: the version is checked before anything else (so a format bump
+// reads as "version mismatch", not garbage), the checksum before the
+// payload is parsed, and every structural invariant (column lengths, dict
+// code ranges, bitset bounds) is validated on the way in. A corrupted or
+// stale snapshot therefore always surfaces as an error the caller can turn
+// into "regenerate with a warning" — never a panic and never silently
+// wrong data.
+//
+// Databases fan encode/decode out per table and truth stores are one file
+// per query, both through internal/parallel, mirroring how the rest of the
+// system parallelizes.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// FormatVersion identifies the binary layout AND the semantics of what is
+// cached. Bump it on any incompatible change to this package's encoding —
+// or to the data generator, ANALYZE, or truecard semantics, since a
+// snapshot is only valid if regeneration would reproduce it. Files written
+// under any other version are rejected at decode time and regenerated.
+const FormatVersion = 1
+
+const magic = "JBSN"
+
+// Section kinds, one per file type in the cache directory.
+const (
+	kindDatabase byte = 1
+	kindStats    byte = 2
+	kindTruth    byte = 3
+)
+
+// enc is an append-only little-endian encoder.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)    { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)  { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *enc) bytes(p []byte) {
+	e.u64(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+func (e *enc) i64s(v []int64) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.i64(x)
+	}
+}
+
+func (e *enc) i32s(v []int32) {
+	e.u64(uint64(len(v)))
+	for _, x := range v {
+		e.u32(uint32(x))
+	}
+}
+
+// bools packs a bitmap, 8 flags per byte.
+func (e *enc) bools(v []bool) {
+	e.u64(uint64(len(v)))
+	var cur byte
+	for i, b := range v {
+		if b {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			e.u8(cur)
+			cur = 0
+		}
+	}
+	if len(v)%8 != 0 {
+		e.u8(cur)
+	}
+}
+
+// dec is the matching bounds-checked decoder. The first failure latches
+// into err; subsequent reads return zero values, and callers check err
+// once at the end. No read can run past the buffer or allocate more than a
+// small multiple of the input size, which is what makes decoding untrusted
+// bytes safe.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+// need reports whether n more bytes are available, failing the decoder if
+// not.
+func (d *dec) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("truncated input at offset %d (need %d bytes, have %d)", d.off, n, len(d.b)-d.off)
+		return false
+	}
+	return true
+}
+
+func (d *dec) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) i64() int64   { return int64(d.u64()) }
+func (d *dec) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// count reads an element count and fails unless count*elemBytes fits in
+// the remaining input, bounding allocations by the input size.
+func (d *dec) count(elemBytes int) int {
+	n := d.u64()
+	if d.err != nil {
+		return 0
+	}
+	rem := uint64(len(d.b) - d.off)
+	if elemBytes > 0 && n > rem/uint64(elemBytes) {
+		d.fail("element count %d exceeds remaining %d bytes", n, rem)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) str() string {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *dec) bytes() []byte {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	p := d.b[d.off : d.off+n : d.off+n]
+	d.off += n
+	return p
+}
+
+func (d *dec) i64s() []int64 {
+	n := d.count(8)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = d.i64()
+	}
+	return v
+}
+
+func (d *dec) i32s() []int32 {
+	n := d.count(4)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = int32(d.u32())
+	}
+	return v
+}
+
+func (d *dec) bools() []bool {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	// Bound n before computing the packed size: (n+7)/8 wraps for counts
+	// near 2^64, which would slip past the byte check and panic makeslice.
+	rem := uint64(len(d.b) - d.off)
+	if n > rem*8 {
+		d.fail("bitmap of %d flags exceeds remaining %d bytes", n, rem)
+		return nil
+	}
+	packed := (n + 7) / 8
+	if n == 0 {
+		return nil
+	}
+	v := make([]bool, n)
+	for i := range v {
+		v[i] = d.b[d.off+i/8]&(1<<(i%8)) != 0
+	}
+	d.off += int(packed)
+	return v
+}
+
+// done verifies the decoder consumed the whole buffer without error.
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("snapshot: %d trailing bytes after payload", len(d.b)-d.off)
+	}
+	return nil
+}
+
+// frame wraps a payload in the common file envelope.
+func frame(kind byte, fingerprint string, payload []byte) []byte {
+	e := enc{b: make([]byte, 0, len(payload)+len(fingerprint)+64)}
+	e.b = append(e.b, magic...)
+	e.u32(FormatVersion)
+	e.u8(kind)
+	e.str(fingerprint)
+	e.bytes(payload)
+	e.u32(crc32.ChecksumIEEE(e.b))
+	return e.b
+}
+
+// unframe validates the envelope and returns the payload. The version is
+// checked before the checksum so files written by a different format
+// version report as such rather than as corruption; expectFingerprint ""
+// skips the fingerprint comparison (used by inspection and fuzzing).
+func unframe(data []byte, kind byte, expectFingerprint string) ([]byte, error) {
+	if len(data) < len(magic)+8 {
+		return nil, fmt.Errorf("snapshot: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return nil, errors.New("snapshot: bad magic (not a snapshot file)")
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != FormatVersion {
+		return nil, fmt.Errorf("snapshot: format version %d, want %d", v, FormatVersion)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, errors.New("snapshot: checksum mismatch (corrupted file)")
+	}
+	d := &dec{b: body, off: len(magic) + 4}
+	if k := d.u8(); d.err == nil && k != kind {
+		return nil, fmt.Errorf("snapshot: section kind %d, want %d", k, kind)
+	}
+	if fp := d.str(); d.err == nil && expectFingerprint != "" && fp != expectFingerprint {
+		return nil, fmt.Errorf("snapshot: fingerprint %q does not match cache key %q", fp, expectFingerprint)
+	}
+	payload := d.bytes()
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

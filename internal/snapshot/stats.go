@@ -1,0 +1,122 @@
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"jobench/internal/stats"
+)
+
+// EncodeStats serializes an ANALYZE result. Statistics are tiny next to
+// the database (a few hundred values per column), so encoding is serial;
+// tables and columns are written in sorted order for deterministic bytes.
+func EncodeStats(sdb *stats.DB, fingerprint string) []byte {
+	tableNames := make([]string, 0, len(sdb.Tables))
+	for name := range sdb.Tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+
+	var e enc
+	e.u32(uint32(len(tableNames)))
+	for _, name := range tableNames {
+		ts := sdb.Tables[name]
+		e.str(ts.Table)
+		e.u64(uint64(ts.RowCount))
+		e.i32s(ts.SampleRows)
+		colNames := make([]string, 0, len(ts.Cols))
+		for col := range ts.Cols {
+			colNames = append(colNames, col)
+		}
+		sort.Strings(colNames)
+		e.u32(uint32(len(colNames)))
+		for _, col := range colNames {
+			cs := ts.Cols[col]
+			e.str(cs.Col)
+			if cs.IsString {
+				e.u8(1)
+			} else {
+				e.u8(0)
+			}
+			e.u64(uint64(cs.RowCount))
+			e.f64(cs.NullFrac)
+			e.f64(cs.NDistinct)
+			e.f64(cs.TrueDistinct)
+			e.u64(uint64(len(cs.MCVs)))
+			for _, m := range cs.MCVs {
+				e.i64(m.Val)
+				e.f64(m.Frac)
+			}
+			e.f64(cs.MCVFrac)
+			e.i64s(cs.Hist)
+			e.i64(cs.Lo)
+			e.i64(cs.Hi)
+		}
+	}
+	return frame(kindStats, fingerprint, e.b)
+}
+
+// DecodeStats rebuilds a stats.DB from EncodeStats's output, rebuilding
+// the per-column MCV lookup indexes. Like every decoder in this package it
+// returns an error on bad input, never panics.
+func DecodeStats(data []byte, fingerprint string) (*stats.DB, error) {
+	payload, err := unframe(data, kindStats, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: payload}
+	nTables := d.u32()
+	if d.err == nil && uint64(nTables) > uint64(len(payload)) {
+		d.fail("table count %d exceeds payload size", nTables)
+	}
+	out := &stats.DB{Tables: make(map[string]*stats.TableStats, nTables)}
+	for i := 0; i < int(nTables) && d.err == nil; i++ {
+		ts := &stats.TableStats{
+			Table:      d.str(),
+			RowCount:   int(d.u64()),
+			SampleRows: d.i32s(),
+		}
+		nCols := d.u32()
+		if d.err == nil && uint64(nCols) > uint64(len(payload)) {
+			d.fail("column count %d exceeds payload size", nCols)
+		}
+		ts.Cols = make(map[string]*stats.ColumnStats, nCols)
+		for j := 0; j < int(nCols) && d.err == nil; j++ {
+			cs := &stats.ColumnStats{
+				Col:          d.str(),
+				IsString:     d.u8() != 0,
+				RowCount:     int(d.u64()),
+				NullFrac:     d.f64(),
+				NDistinct:    d.f64(),
+				TrueDistinct: d.f64(),
+			}
+			nMCV := d.count(16)
+			for k := 0; k < nMCV && d.err == nil; k++ {
+				cs.MCVs = append(cs.MCVs, stats.MCV{Val: d.i64(), Frac: d.f64()})
+			}
+			cs.MCVFrac = d.f64()
+			cs.Hist = d.i64s()
+			cs.Lo = d.i64()
+			cs.Hi = d.i64()
+			if d.err != nil {
+				break
+			}
+			cs.RestoreMCVIndex()
+			if _, dup := ts.Cols[cs.Col]; dup {
+				return nil, fmt.Errorf("snapshot: stats table %q has duplicate column %q", ts.Table, cs.Col)
+			}
+			ts.Cols[cs.Col] = cs
+		}
+		if d.err != nil {
+			break
+		}
+		if _, dup := out.Tables[ts.Table]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate stats table %q", ts.Table)
+		}
+		out.Tables[ts.Table] = ts
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

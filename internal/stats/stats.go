@@ -46,6 +46,16 @@ type ColumnStats struct {
 	Lo, Hi int64
 }
 
+// RestoreMCVIndex rebuilds the column's MCV lookup map from the exported
+// MCVs slice. Decoders call it after reconstructing a ColumnStats from a
+// snapshot; Analyze-built statistics never need it.
+func (c *ColumnStats) RestoreMCVIndex() {
+	c.mcvSet = make(map[int64]float64, len(c.MCVs))
+	for _, m := range c.MCVs {
+		c.mcvSet[m.Val] = m.Frac
+	}
+}
+
 // MCVFracOf returns the frequency of v if v is an MCV.
 func (c *ColumnStats) MCVFracOf(v int64) (float64, bool) {
 	f, ok := c.mcvSet[v]

@@ -174,6 +174,58 @@ func (c *Column) MinMax() (lo, hi int64, ok bool) {
 	return lo, hi, ok
 }
 
+// NullMask exposes the column's NULL bitmap for serialization: nulls[i]
+// reports whether row i is NULL, and nil means "no NULLs". The returned
+// slice is the column's own storage — callers must not modify it.
+func (c *Column) NullMask() []bool { return c.nulls }
+
+// RestoreColumn reconstructs a column from its serialized parts (the
+// inverse of reading Ints, Dict and NullMask), rebuilding the dictionary
+// index. Unlike the Append builders it validates rather than panics, so a
+// decoder can feed it untrusted bytes: the kind must be known, nulls must
+// be nil or as long as ints, KindInt columns must carry no dictionary, and
+// every non-NULL code of a KindString column must index into dict.
+func RestoreColumn(name string, kind Kind, ints []int64, dict []string, nulls []bool) (*Column, error) {
+	if kind != KindInt && kind != KindString {
+		return nil, fmt.Errorf("storage: column %q has unknown kind %d", name, uint8(kind))
+	}
+	if nulls != nil && len(nulls) != len(ints) {
+		return nil, fmt.Errorf("storage: column %q has %d null flags for %d rows", name, len(nulls), len(ints))
+	}
+	hasNull := false
+	for _, n := range nulls {
+		if n {
+			hasNull = true
+			break
+		}
+	}
+	if !hasNull {
+		nulls = nil
+	}
+	c := &Column{Name: name, Kind: kind, Ints: ints, nulls: nulls}
+	switch kind {
+	case KindInt:
+		if len(dict) != 0 {
+			return nil, fmt.Errorf("storage: int column %q carries a %d-entry dictionary", name, len(dict))
+		}
+	case KindString:
+		c.Dict = dict
+		c.dictIdx = make(map[string]int64, len(dict))
+		for code, s := range dict {
+			c.dictIdx[s] = int64(code)
+		}
+		for i, v := range ints {
+			if c.IsNull(i) {
+				continue
+			}
+			if v < 0 || v >= int64(len(dict)) {
+				return nil, fmt.Errorf("storage: column %q row %d has dictionary code %d outside [0,%d)", name, i, v, len(dict))
+			}
+		}
+	}
+	return c, nil
+}
+
 // SortedDictCodes returns the codes of all dictionary entries whose string
 // satisfies match, in ascending code order. It is the building block for
 // LIKE evaluation on dictionary-encoded columns.

@@ -14,10 +14,17 @@ package truecard
 
 import (
 	"fmt"
+	"sort"
 
 	"jobench/internal/query"
 	"jobench/internal/storage"
 )
+
+// DefaultMaxRows is the intermediate-result row limit applied when
+// Options.MaxRows is zero. Callers that surface the limit in error
+// messages (the jobench facade, the experiments lab) reference this
+// constant instead of restating the number.
+const DefaultMaxRows = 50_000_000
 
 // Options control the computation.
 type Options struct {
@@ -26,7 +33,7 @@ type Options struct {
 	// need subexpressions of up to 7 relations (0-6 joins).
 	MaxSize int
 	// MaxRows aborts if an intermediate result exceeds this many tuples
-	// (guards against misconfigured scales). 0 means 50M.
+	// (guards against misconfigured scales). 0 means DefaultMaxRows.
 	MaxRows int
 }
 
@@ -80,6 +87,86 @@ func (st *Store) SansSelection(s query.BitSet, r int) (float64, bool) {
 // MaxSize returns the largest subgraph size computed.
 func (st *Store) MaxSize() int { return st.maxSize }
 
+// CardEntry is one (connected subgraph, true cardinality) pair of a Dump.
+type CardEntry struct {
+	S    query.BitSet
+	Card float64
+}
+
+// SansEntry is one sans-selection cardinality of a Dump: |join of S with
+// relation Rel's selection discarded|.
+type SansEntry struct {
+	S    query.BitSet
+	Rel  int
+	Card float64
+}
+
+// Dump is the portable content of a Store: everything a snapshot needs to
+// rebuild it against the same join graph. Entries are sorted (cards by
+// subgraph, sans by subgraph then relation) so encoding a Dump is
+// deterministic.
+type Dump struct {
+	MaxSize int
+	Cards   []CardEntry
+	Sans    []SansEntry
+}
+
+// Dump extracts the store's content in deterministic order.
+func (st *Store) Dump() Dump {
+	d := Dump{
+		MaxSize: st.maxSize,
+		Cards:   make([]CardEntry, 0, len(st.cards)),
+		Sans:    make([]SansEntry, 0, len(st.sans)),
+	}
+	for s, v := range st.cards {
+		d.Cards = append(d.Cards, CardEntry{S: s, Card: v})
+	}
+	sort.Slice(d.Cards, func(i, j int) bool { return d.Cards[i].S < d.Cards[j].S })
+	for k, v := range st.sans {
+		d.Sans = append(d.Sans, SansEntry{S: k.s, Rel: k.r, Card: v})
+	}
+	sort.Slice(d.Sans, func(i, j int) bool {
+		if d.Sans[i].S != d.Sans[j].S {
+			return d.Sans[i].S < d.Sans[j].S
+		}
+		return d.Sans[i].Rel < d.Sans[j].Rel
+	})
+	return d
+}
+
+// FromDump rebuilds a Store for graph g from a Dump, validating that every
+// entry fits the graph (decoders feed it untrusted input): subgraphs must
+// be non-empty subsets of g's relations, sans relations in range, and
+// MaxSize within [1, g.N].
+func FromDump(g *query.Graph, d Dump) (*Store, error) {
+	if d.MaxSize < 1 || d.MaxSize > g.N {
+		return nil, fmt.Errorf("truecard: dump max size %d outside [1,%d]", d.MaxSize, g.N)
+	}
+	full := query.FullSet(g.N)
+	st := &Store{
+		G:       g,
+		cards:   make(map[query.BitSet]float64, len(d.Cards)),
+		sans:    make(map[sansKey]float64, len(d.Sans)),
+		maxSize: d.MaxSize,
+	}
+	for _, e := range d.Cards {
+		if e.S.Empty() || !full.Contains(e.S) {
+			return nil, fmt.Errorf("truecard: dump subgraph %v outside %d-relation graph", e.S, g.N)
+		}
+		st.cards[e.S] = e.Card
+	}
+	for _, e := range d.Sans {
+		if e.S.Empty() || !full.Contains(e.S) {
+			return nil, fmt.Errorf("truecard: dump sans subgraph %v outside %d-relation graph", e.S, g.N)
+		}
+		if e.Rel < 0 || e.Rel >= g.N {
+			return nil, fmt.Errorf("truecard: dump sans relation %d outside %d-relation graph", e.Rel, g.N)
+		}
+		st.sans[sansKey{e.S, e.Rel}] = e.Card
+	}
+	return st, nil
+}
+
 // NumSubgraphs returns the number of connected subgraphs computed.
 func (st *Store) NumSubgraphs() int { return len(st.cards) }
 
@@ -129,7 +216,7 @@ type hashKey struct {
 // Compute runs the DP for one query over db.
 func Compute(db *storage.Database, g *query.Graph, opts Options) (*Store, error) {
 	if opts.MaxRows <= 0 {
-		opts.MaxRows = 50_000_000
+		opts.MaxRows = DefaultMaxRows
 	}
 	maxSize := g.N
 	if opts.MaxSize > 0 && opts.MaxSize < maxSize {

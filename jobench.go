@@ -16,6 +16,7 @@ package jobench
 import (
 	"context"
 	"fmt"
+	"log"
 	"strings"
 	"sync"
 
@@ -29,6 +30,7 @@ import (
 	"jobench/internal/parallel"
 	"jobench/internal/plan"
 	"jobench/internal/query"
+	"jobench/internal/snapshot"
 	"jobench/internal/stats"
 	"jobench/internal/storage"
 	"jobench/internal/truecard"
@@ -45,7 +47,27 @@ type Options struct {
 	// Warmup's true-cardinality sweep. 0 means GOMAXPROCS; 1 is fully
 	// serial. Results are identical at any setting.
 	Parallel int
+	// CacheDir enables the persistent snapshot store: the generated
+	// database, its statistics, and every computed true-cardinality store
+	// are persisted beneath this directory and reloaded by the next Open
+	// with the same Scale, Seed, and workload, skipping generation and
+	// truth computation entirely. Snapshots are versioned and checksummed;
+	// a corrupted, truncated, or version-bumped snapshot is regenerated
+	// with a warning through Logf, never trusted and never fatal. Empty
+	// disables caching.
+	CacheDir string
+	// Logf receives cache diagnostics (snapshot load/save warnings).
+	// Nil means the standard library's log.Printf.
+	Logf func(format string, args ...any)
 }
+
+// generateDB and computeTruth are indirection points so the cache tests
+// can prove a warm Open performs zero database generation and zero
+// true-cardinality computation.
+var (
+	generateDB   = imdb.Generate
+	computeTruth = truecard.Compute
+)
 
 // IndexConfig selects a physical design (§4 of the paper).
 type IndexConfig = imdb.IndexConfig
@@ -119,6 +141,9 @@ type System struct {
 	idx      map[IndexConfig]*index.Set
 	parallel int
 
+	snap *snapshot.Store // nil when Options.CacheDir was empty
+	logf func(format string, args ...any)
+
 	queries map[string]*query.Query
 	order   []string
 	graphs  map[string]*query.Graph
@@ -130,7 +155,9 @@ type System struct {
 }
 
 // Open generates the data set, computes statistics and indexes, and loads
-// the JOB workload.
+// the JOB workload. With Options.CacheDir set, the database, statistics,
+// and all previously computed true cardinalities load from the snapshot
+// store instead of being regenerated.
 func Open(opts Options) (*System, error) {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
@@ -138,22 +165,58 @@ func Open(opts Options) (*System, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 42
 	}
-	db := imdb.Generate(imdb.Config{Scale: opts.Scale, Seed: opts.Seed})
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	workload := job.Workload()
+
+	var snap *snapshot.Store
+	if opts.CacheDir != "" {
+		snap = snapshot.New(opts.CacheDir, snapshot.Key{
+			Seed:     opts.Seed,
+			Scale:    opts.Scale,
+			Workload: snapshot.WorkloadHash(workload),
+		}, opts.Parallel)
+	}
+
+	// The database: load the snapshot when one exists, otherwise generate
+	// and (best-effort) persist. Generation is deterministic in (Scale,
+	// Seed), so a regenerated database is bit-identical to a cached one
+	// and downstream snapshots (stats, truth) stay valid either way.
+	var db *storage.Database
+	if snap != nil {
+		db, _ = snapshot.Load(logf, "jobench: snapshot database", snap.LoadDatabase)
+	}
+	if db == nil {
+		db = generateDB(imdb.Config{Scale: opts.Scale, Seed: opts.Seed})
+		if snap != nil {
+			snapshot.Save(logf, "jobench: snapshot save database", func() error {
+				return snap.SaveDatabase(db)
+			})
+		}
+	}
 
 	// Statistics and the three index sets only read the generated data, so
 	// they build concurrently; each task writes its own destination.
+	sopts := stats.Options{SampleSize: 30000, MCVTarget: 100, HistBuckets: 100, Seed: opts.Seed}
 	var (
 		sdb  *stats.DB
 		sets [3]*index.Set
 	)
+	if snap != nil {
+		sdb, _ = snapshot.Load(logf, "jobench: snapshot stats", func() (*stats.DB, error) {
+			return snap.LoadStats(sopts)
+		})
+	}
+	statsCached := sdb != nil
 	configs := []IndexConfig{NoIndexes, PKOnly, PKFK}
-	tasks := []func() error{
-		func() error {
-			sdb = stats.AnalyzeDatabase(db, stats.Options{
-				SampleSize: 30000, MCVTarget: 100, HistBuckets: 100, Seed: opts.Seed,
-			})
+	var tasks []func() error
+	if !statsCached {
+		tasks = append(tasks, func() error {
+			sdb = stats.AnalyzeDatabase(db, sopts)
 			return nil
-		},
+		})
 	}
 	for i, cfg := range configs {
 		tasks = append(tasks, func() (err error) {
@@ -164,12 +227,19 @@ func Open(opts Options) (*System, error) {
 	if err := parallel.Do(context.Background(), opts.Parallel, tasks...); err != nil {
 		return nil, err
 	}
+	if !statsCached && snap != nil {
+		snapshot.Save(logf, "jobench: snapshot save stats", func() error {
+			return snap.SaveStats(sopts, sdb)
+		})
+	}
 
 	s := &System{
 		db:       db,
 		stats:    sdb,
 		idx:      make(map[IndexConfig]*index.Set, 3),
 		parallel: opts.Parallel,
+		snap:     snap,
+		logf:     logf,
 		queries:  make(map[string]*query.Query),
 		graphs:   make(map[string]*query.Graph),
 		truth:    make(map[string]*truecard.Store),
@@ -184,7 +254,7 @@ func Open(opts Options) (*System, error) {
 	for i, cfg := range configs {
 		s.idx[cfg] = sets[i]
 	}
-	for _, q := range job.Workload() {
+	for _, q := range workload {
 		if err := q.Validate(db); err != nil {
 			return nil, fmt.Errorf("jobench: workload query %s: %w", q.ID, err)
 		}
@@ -354,7 +424,9 @@ func (s *System) provider(queryID, estimator string) (cardest.Provider, error) {
 }
 
 // TruthStore computes (and caches) the true cardinality of every
-// subexpression of a query.
+// subexpression of a query. With a snapshot store configured, a
+// previously persisted truth store loads from disk instead of being
+// recomputed, and fresh computations are persisted for the next Open.
 func (s *System) TruthStore(queryID string) (*truecard.Store, error) {
 	s.truthMu.Lock()
 	st, ok := s.truth[queryID]
@@ -365,9 +437,26 @@ func (s *System) TruthStore(queryID string) (*truecard.Store, error) {
 	if _, err := s.query(queryID); err != nil {
 		return nil, err
 	}
-	st, err := truecard.Compute(s.db, s.graphs[queryID], truecard.Options{})
+	g := s.graphs[queryID]
+	if s.snap != nil {
+		cached, ok := snapshot.Load(s.logf, "jobench: snapshot truth "+queryID,
+			func() (*truecard.Store, error) { return s.snap.LoadTruth(g) })
+		if ok {
+			s.truthMu.Lock()
+			s.truth[queryID] = cached
+			s.truthMu.Unlock()
+			return cached, nil
+		}
+	}
+	st, err := computeTruth(s.db, g, truecard.Options{})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("jobench: true cardinalities for %s (row limit %d): %w",
+			queryID, truecard.DefaultMaxRows, err)
+	}
+	if s.snap != nil {
+		snapshot.Save(s.logf, "jobench: snapshot save truth "+queryID, func() error {
+			return s.snap.SaveTruth(st)
+		})
 	}
 	s.truthMu.Lock()
 	s.truth[queryID] = st

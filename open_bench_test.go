@@ -1,0 +1,52 @@
+// Benchmarks proving the snapshot store's speedup rather than asserting
+// it: BenchmarkOpenCold regenerates the database, statistics, and a slice
+// of true cardinalities from scratch every iteration; BenchmarkOpenWarm
+// does the identical work against a primed cache directory, so the ratio
+// between the two is the cache's value. Both are skipped under -short
+// (they open full systems) and run once in CI's bench-smoke pass.
+package jobench_test
+
+import (
+	"testing"
+
+	"jobench"
+)
+
+var openBenchQueries = []string{"1a", "6a", "13d"}
+
+func openAndWarm(b *testing.B, opts jobench.Options) {
+	b.Helper()
+	sys, err := jobench.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, qid := range openBenchQueries {
+		if _, err := sys.TruthStore(qid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpenCold(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: cold open regenerates the full data set")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		openAndWarm(b, jobench.Options{Scale: 0.05, Seed: 7})
+	}
+}
+
+func BenchmarkOpenWarm(b *testing.B) {
+	if testing.Short() {
+		b.Skip("short mode: warm open still opens a full system")
+	}
+	dir := b.TempDir()
+	opts := jobench.Options{Scale: 0.05, Seed: 7, CacheDir: dir}
+	openAndWarm(b, opts) // prime the cache outside the timed region
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		openAndWarm(b, opts)
+	}
+}

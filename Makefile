@@ -33,6 +33,7 @@ bench:
 
 # One iteration per benchmark, no tests: catches bit-rot in bench_test.go
 # and establishes a perf baseline without benchmarking-grade runtimes.
+# Includes BenchmarkTruecardCompute (serial vs parallel truecard DP).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 

@@ -176,7 +176,9 @@ func BenchmarkTrueCardinalities13d(b *testing.B) {
 	g := l.Graphs["13d"]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := truecard.Compute(l.DB, g, truecard.Options{}); err != nil {
+		// Parallel: 1 keeps this the serial baseline it has always been;
+		// truecard's BenchmarkTruecardCompute covers the parallel DP.
+		if _, err := truecard.Compute(l.DB, g, truecard.Options{Parallel: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@ package jobench
 // reach the generateDB/computeTruth indirection points.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -32,9 +33,9 @@ func countHooks(t *testing.T) (gens, computes *atomic.Int64) {
 		gens.Add(1)
 		return origGen(cfg)
 	}
-	computeTruth = func(db *storage.Database, g *query.Graph, opts truecard.Options) (*truecard.Store, error) {
+	computeTruth = func(ctx context.Context, db *storage.Database, g *query.Graph, opts truecard.Options) (*truecard.Store, error) {
 		computes.Add(1)
-		return origCompute(db, g, opts)
+		return origCompute(ctx, db, g, opts)
 	}
 	t.Cleanup(func() { generateDB, computeTruth = origGen, origCompute })
 	return gens, computes

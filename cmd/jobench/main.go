@@ -15,8 +15,11 @@
 //	jobench snapshot   build|inspect|clear [-cache-dir .jobench-cache] [-scale 0.3] [-seed 42]
 //
 // Every command accepts -parallel N to size the worker pool that fans
-// experiment cells out across cores (0 = all cores, 1 = serial); reports
-// are byte-identical at any setting. Every command also accepts
+// experiment cells out across cores (0 = all cores, 1 = serial); the same
+// setting parallelizes the per-subexpression work inside each
+// true-cardinality computation, so "snapshot build" and single-query
+// warmups scale with cores too. Reports are byte-identical at any
+// setting. Every command also accepts
 // -cache-dir DIR to load the generated database, statistics, and true
 // cardinalities from the persistent snapshot store (and persist whatever
 // this run computes); "jobench snapshot build" fills that store up front.
@@ -76,7 +79,7 @@ run "jobench <command> -h" for command flags`)
 func openFlags(fs *flag.FlagSet) (*float64, *int64, *int, *string) {
 	scale := fs.Float64("scale", 0.3, "data scale factor (1.0 ~ 450k rows)")
 	seed := fs.Int64("seed", 42, "generator seed")
-	parallel := fs.Int("parallel", 0, "worker-pool size (0 = all cores, 1 = serial)")
+	parallel := fs.Int("parallel", 0, "worker-pool size for experiment sweeps and the truecard DP (0 = all cores, 1 = serial)")
 	cacheDir := fs.String("cache-dir", "", "snapshot cache directory (empty = no caching)")
 	return scale, seed, parallel, cacheDir
 }

@@ -42,8 +42,8 @@ func (l *Lab) Table1() (*Table1Result, error) {
 	}
 	for _, est := range l.Systems() {
 		// One cell per query: q-errors of every predicated base table.
-		perQuery, err := runQueries(l, func(qi int, q *query.Query) ([]float64, error) {
-			st, err := l.Truth(q.ID)
+		perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) ([]float64, error) {
+			st, err := l.truthCtx(ctx, q.ID)
 			if err != nil {
 				return nil, err
 			}
@@ -109,9 +109,9 @@ type Figure3System struct {
 func (l *Lab) Figure3() (*Figure3Result, error) {
 	// One cell per query: the signed errors of every connected
 	// subexpression, per system and join count.
-	perQuery, err := runQueries(l, func(qi int, q *query.Query) ([][][]float64, error) {
+	perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) ([][][]float64, error) {
 		g := l.Graphs[q.ID]
-		st, err := l.Truth(q.ID)
+		st, err := l.truthCtx(ctx, q.ID)
 		if err != nil {
 			return nil, err
 		}
@@ -217,9 +217,9 @@ func (l *Lab) Figure4() (*Figure4Result, error) {
 		}
 	}
 	jobPanels, err := RunCells(context.Background(), l.Cfg.Parallel, jobIDs,
-		func(_ context.Context, qid string) (Figure4Panel, error) {
+		func(ctx context.Context, qid string) (Figure4Panel, error) {
 			g := l.Graphs[qid]
-			st, err := l.Truth(qid)
+			st, err := l.truthCtx(ctx, qid)
 			if err != nil {
 				return Figure4Panel{}, err
 			}
@@ -234,9 +234,9 @@ func (l *Lab) Figure4() (*Figure4Result, error) {
 	tstats := stats.AnalyzeDatabase(tdb, stats.Options{SampleSize: 30000, Seed: l.Cfg.Seed})
 	tpg := cardest.NewPostgres(tdb, tstats)
 	tpchPanels, err := RunCells(context.Background(), l.Cfg.Parallel, tpch.Queries(),
-		func(_ context.Context, q *query.Query) (Figure4Panel, error) {
+		func(ctx context.Context, q *query.Query) (Figure4Panel, error) {
 			g := query.MustBuildGraph(q)
-			st, err := truecard.Compute(tdb, g, truecard.Options{})
+			st, err := truecard.ComputeContext(ctx, tdb, g, truecard.Options{Parallel: l.Cfg.Parallel})
 			if err != nil {
 				return Figure4Panel{}, err
 			}
@@ -318,9 +318,9 @@ func (l *Lab) Figure5() (*Figure5Result, error) {
 	type cellResult struct {
 		def, td [][]float64
 	}
-	perQuery, err := runQueries(l, func(qi int, q *query.Query) (cellResult, error) {
+	perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
 		g := l.Graphs[q.ID]
-		st, err := l.Truth(q.ID)
+		st, err := l.truthCtx(ctx, q.ID)
 		if err != nil {
 			return cellResult{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,9 +47,9 @@ func (l *Lab) DampingAblation(exponents []float64) (*DampingAblationResult, erro
 			byJoins    map[int][]float64
 			off, total int
 		}
-		perQuery, err := runQueries(l, func(qi int, q *query.Query) (cellResult, error) {
+		perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
 			g := l.Graphs[q.ID]
-			st, err := l.Truth(q.ID)
+			st, err := l.truthCtx(ctx, q.ID)
 			if err != nil {
 				return cellResult{}, err
 			}

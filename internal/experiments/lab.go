@@ -33,7 +33,8 @@ type Config struct {
 	// MaxQueries truncates the workload for quick runs (0 = all 113).
 	MaxQueries int
 	// Parallel is the worker-pool size for every experiment sweep (lab
-	// setup, Warmup, and all drivers). 0 means GOMAXPROCS; 1 runs the
+	// setup, Warmup, all drivers, and the per-subset fan-out inside each
+	// true-cardinality computation). 0 means GOMAXPROCS; 1 runs the
 	// serial code path. Reports are byte-identical at any setting.
 	Parallel int
 	// CacheDir enables the persistent snapshot store: the generated
@@ -216,6 +217,10 @@ func (l *Lab) Systems() []cardest.Estimator {
 // previously persisted stores load from disk and fresh computations are
 // persisted for the next lab.
 func (l *Lab) Truth(qid string) (*truecard.Store, error) {
+	return l.truthCtx(context.Background(), qid)
+}
+
+func (l *Lab) truthCtx(ctx context.Context, qid string) (*truecard.Store, error) {
 	l.mu.Lock()
 	st, ok := l.truth[qid]
 	l.mu.Unlock()
@@ -236,7 +241,7 @@ func (l *Lab) Truth(qid string) (*truecard.Store, error) {
 			return cached, nil
 		}
 	}
-	st, err := truecard.Compute(l.DB, g, truecard.Options{})
+	st, err := truecard.ComputeContext(ctx, l.DB, g, truecard.Options{Parallel: l.Cfg.Parallel})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: true cardinalities for %s (row limit %d): %w",
 			qid, truecard.DefaultMaxRows, err)
@@ -254,10 +259,12 @@ func (l *Lab) Truth(qid string) (*truecard.Store, error) {
 
 // Warmup computes the true cardinalities of every workload query in
 // parallel. All experiments call Truth lazily; warming up front makes a
-// full experiment run dramatically faster on multi-core machines.
+// full experiment run dramatically faster on multi-core machines. Each
+// query's DP nests the same worker count (see System.Warmup for why the
+// deliberate Parallel^2 over-subscription is the right trade).
 func (l *Lab) Warmup() error {
-	_, err := runQueries(l, func(qi int, q *query.Query) (struct{}, error) {
-		if _, err := l.Truth(q.ID); err != nil {
+	_, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (struct{}, error) {
+		if _, err := l.truthCtx(ctx, q.ID); err != nil {
 			return struct{}{}, fmt.Errorf("%s: %w", q.ID, err)
 		}
 		return struct{}{}, nil

@@ -160,8 +160,8 @@ func (l *Lab) Figure9(samples int) (*Figure9Result, error) {
 			within, total int
 			ratio         float64
 		}
-		perQuery, err := runQueries(l, func(qi int, q *query.Query) (aggCell, error) {
-			st, err := l.Truth(q.ID)
+		perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (aggCell, error) {
+			st, err := l.truthCtx(ctx, q.ID)
 			if err != nil {
 				return aggCell{}, err
 			}
@@ -247,8 +247,8 @@ func (l *Lab) Table2() (*Table2Result, error) {
 	configs := l.indexConfigs()[1:] // PK, PK+FK
 	for _, shape := range []plan.Shape{plan.ZigZag, plan.LeftDeep, plan.RightDeep} {
 		for _, cfg := range configs {
-			slowdowns, err := runQueries(l, func(qi int, q *query.Query) (float64, error) {
-				st, err := l.Truth(q.ID)
+			slowdowns, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (float64, error) {
+				st, err := l.truthCtx(ctx, q.ID)
 				if err != nil {
 					return 0, err
 				}
@@ -317,9 +317,9 @@ func (l *Lab) Table3() (*Table3Result, error) {
 				cardsLabel = "true cardinalities"
 			}
 			for _, alg := range algos {
-				factors, err := runQueries(l, func(qi int, q *query.Query) (float64, error) {
+				factors, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (float64, error) {
 					g := l.Graphs[q.ID]
-					st, err := l.Truth(q.ID)
+					st, err := l.truthCtx(ctx, q.ID)
 					if err != nil {
 						return 0, err
 					}
@@ -376,7 +376,7 @@ func (r *Table3Result) Render() string {
 // diagnostic used by the documentation and the CLI).
 func (l *Lab) PlanSpaceSize() map[string]int {
 	// CountConnectedSubsets cannot fail, so the runner's error is nil.
-	counts, _ := runQueries(l, func(qi int, q *query.Query) (int, error) {
+	counts, _ := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (int, error) {
 		return l.Graphs[q.ID].CountConnectedSubsets(), nil
 	})
 	out := make(map[string]int, len(l.Queries))

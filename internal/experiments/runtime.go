@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -118,7 +119,7 @@ func (l *Lab) runWorkload(provFor func(q *query.Query) cardest.Provider, idx *in
 		slowdown float64
 		timedOut bool
 	}
-	perQuery, err := runQueries(l, func(qi int, q *query.Query) (cellResult, error) {
+	perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
 		s, timedOut, err := l.runOne(q.ID, provFor(q), idx, rules, model)
 		return cellResult{s, timedOut}, err
 	})
@@ -281,9 +282,9 @@ func (l *Lab) Figure8() (*Figure8Result, error) {
 			type cellResult struct {
 				cost, work float64
 			}
-			perQuery, err := runQueries(l, func(qi int, q *query.Query) (cellResult, error) {
+			perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
 				g := l.Graphs[q.ID]
-				st, err := l.Truth(q.ID)
+				st, err := l.truthCtx(ctx, q.ID)
 				if err != nil {
 					return cellResult{}, err
 				}

@@ -18,7 +18,12 @@ import (
 // workers == 1 (or a single cell) runs inline with no goroutines, so a
 // serial run is exactly the plain loop. The first error cancels the context
 // handed to fn; cells already started still finish, unstarted cells are
-// abandoned. All errors observed are joined into the returned error.
+// abandoned. All errors observed are joined into the returned error,
+// except that errors wrapping context.Canceled/DeadlineExceeded are
+// treated as echoes of the pool's cancellation and dropped whenever a real
+// error explains them — an fn with a private deadline of its own should
+// translate it into a domain error before returning, or it will be
+// filtered alongside the echoes.
 func RunCells[C, R any](ctx context.Context, workers int, cells []C, fn func(ctx context.Context, cell C) (R, error)) ([]R, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -76,7 +81,23 @@ feed:
 	}
 	close(next)
 	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
+	// The first real error cancelled the context, so cells that poll it
+	// (e.g. truecard's probe loops) come back with context.Canceled. Those
+	// are echoes of the cancellation, not failures in their own right —
+	// joining them would bury the actual error under worker-count-dependent
+	// noise. They only count when no real error explains them.
+	var real, cancels []error
+	for _, e := range errs {
+		if errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded) {
+			cancels = append(cancels, e)
+			continue
+		}
+		real = append(real, e)
+	}
+	if err := errors.Join(real...); err != nil {
+		return results, err
+	}
+	if err := errors.Join(cancels...); err != nil {
 		return results, err
 	}
 	// The caller's context was cancelled externally (no fn error): the
@@ -96,4 +117,40 @@ func Do(ctx context.Context, workers int, tasks ...func() error) error {
 		return struct{}{}, task()
 	})
 	return err
+}
+
+// KeyedOnce is a concurrency-safe, lazily populated map with per-key
+// once-semantics: Get builds each key's value exactly once even when many
+// goroutines request it simultaneously; later callers block until the
+// winning build finishes and then share its value. The zero value is ready
+// to use. Workers fanned out by RunCells use it for shared caches that the
+// serial code path built lazily (e.g. truecard's join-side hash tables).
+type KeyedOnce[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*onceCell[V]
+}
+
+type onceCell[V any] struct {
+	once sync.Once
+	v    V
+}
+
+// Get returns the value for key, calling build to produce it if no other
+// caller has (or is currently doing so). build runs outside the map lock,
+// so builds of distinct keys proceed in parallel. build must not panic:
+// like sync.Once, a panicking build marks the key done, and later Gets
+// would return the zero value for it — don't recover around Get.
+func (ko *KeyedOnce[K, V]) Get(key K, build func() V) V {
+	ko.mu.Lock()
+	if ko.m == nil {
+		ko.m = make(map[K]*onceCell[V])
+	}
+	cell, ok := ko.m[key]
+	if !ok {
+		cell = &onceCell[V]{}
+		ko.m[key] = cell
+	}
+	ko.mu.Unlock()
+	cell.once.Do(func() { cell.v = build() })
+	return cell.v
 }

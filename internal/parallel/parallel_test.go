@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -87,6 +88,32 @@ func TestRunCellsStopsAfterError(t *testing.T) {
 	}
 }
 
+func TestRunCellsErrorNotPollutedByCancelEchoes(t *testing.T) {
+	// Workers that poll the context after a sibling's failure return
+	// context.Canceled; those echoes must not drown out the real error or
+	// make the error message depend on worker timing.
+	cells := make([]int, 64)
+	for i := range cells {
+		cells[i] = i
+	}
+	boom := errors.New("real failure")
+	_, err := RunCells(context.Background(), 8, cells, func(ctx context.Context, c int) (int, error) {
+		if c == 0 {
+			return 0, boom
+		}
+		for ctx.Err() == nil {
+			time.Sleep(100 * time.Microsecond)
+		}
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("real error lost: %v", err)
+	}
+	if strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("cancellation echoes joined into the error: %v", err)
+	}
+}
+
 func TestRunCellsHonorsCancelledContext(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		ctx, cancel := context.WithCancel(context.Background())
@@ -151,5 +178,61 @@ func TestDoPropagatesError(t *testing.T) {
 	)
 	if err == nil || !strings.Contains(err.Error(), "task failed") {
 		t.Fatalf("error lost: %v", err)
+	}
+}
+
+func TestKeyedOnceBuildsEachKeyExactlyOnce(t *testing.T) {
+	var ko KeyedOnce[int, int]
+	var builds atomic.Int64
+	const goroutines, keys = 32, 5
+	results := make([][]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]int, keys)
+			for k := 0; k < keys; k++ {
+				out[k] = ko.Get(k, func() int {
+					builds.Add(1)
+					time.Sleep(time.Millisecond) // widen the race window
+					return k * 100
+				})
+			}
+			results[g] = out
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != keys {
+		t.Fatalf("built %d values for %d keys", n, keys)
+	}
+	for g, out := range results {
+		for k, v := range out {
+			if v != k*100 {
+				t.Fatalf("goroutine %d saw Get(%d) = %d, want %d", g, k, v, k*100)
+			}
+		}
+	}
+}
+
+func TestKeyedOnceDistinctKeysBuildConcurrently(t *testing.T) {
+	// Two builds that each wait for the other to start can only finish if
+	// Get runs builds outside the map lock.
+	var ko KeyedOnce[string, int]
+	aStarted := make(chan struct{})
+	bStarted := make(chan struct{})
+	done := make(chan int, 2)
+	go func() {
+		done <- ko.Get("a", func() int { close(aStarted); <-bStarted; return 1 })
+	}()
+	go func() {
+		done <- ko.Get("b", func() int { close(bStarted); <-aStarted; return 2 })
+	}()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("builds of distinct keys serialized (deadlock)")
+		}
 	}
 }

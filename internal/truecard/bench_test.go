@@ -1,0 +1,44 @@
+package truecard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"jobench/internal/imdb"
+	"jobench/internal/job"
+	"jobench/internal/query"
+	"jobench/internal/storage"
+)
+
+var (
+	benchOnce sync.Once
+	benchDB   *storage.Database
+)
+
+func benchData(b *testing.B) *storage.Database {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDB = imdb.Generate(imdb.Config{Scale: 0.1, Seed: 42})
+	})
+	return benchDB
+}
+
+// BenchmarkTruecardCompute quantifies the DP's per-level fan-out on a
+// multi-join query at scale 0.1: workers=1 is the serial baseline,
+// workers=0 uses every core. CI's bench-smoke step runs one iteration of
+// each to catch bit-rot; run with -bench=TruecardCompute -benchmem for
+// real numbers.
+func BenchmarkTruecardCompute(b *testing.B) {
+	db := benchData(b)
+	g := query.MustBuildGraph(job.ByID("13d")) // 9 relations, 506 connected subgraphs
+	for _, workers := range []int{1, 2, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Compute(db, g, Options{Parallel: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

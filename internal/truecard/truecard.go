@@ -10,12 +10,18 @@
 // The computation is a level-wise dynamic program: results of size k are
 // materialised as row-id tuples by probing a size-(k-1) result into a hash
 // table of the extending relation; only two levels are kept in memory.
+// Within a level all size-k subgraphs depend only on level k-1, so they fan
+// out across Options.Parallel workers; results are identical to the serial
+// path at any worker count.
 package truecard
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"sort"
 
+	"jobench/internal/parallel"
 	"jobench/internal/query"
 	"jobench/internal/storage"
 )
@@ -34,7 +40,14 @@ type Options struct {
 	MaxSize int
 	// MaxRows aborts if an intermediate result exceeds this many tuples
 	// (guards against misconfigured scales). 0 means DefaultMaxRows.
+	// Sans-selection counts, which are never materialised, are bounded at
+	// SansRowsFactor times this limit rather than left unbounded.
 	MaxRows int
+	// Parallel is the worker-pool size for the per-level fan-out (the
+	// base-table filter scans and the independent size-k subgraphs of each
+	// DP level). 0 means GOMAXPROCS; 1 runs fully serial. The computed
+	// store is identical at any setting.
+	Parallel int
 }
 
 // Store holds the computed cardinalities of one query.
@@ -70,15 +83,11 @@ func (st *Store) MustCard(s query.BitSet) float64 {
 }
 
 // SansSelection returns |join of s with relation r's selection discarded|.
-// For relations without predicates this equals Card(s).
+// For relations without predicates this equals Card(s); for a single
+// filtered relation the stored value is its base table's row count.
 func (st *Store) SansSelection(s query.BitSet, r int) (float64, bool) {
 	if len(st.G.Q.Rels[r].Preds) == 0 {
 		return st.Card(s)
-	}
-	if s.Single() {
-		// A single unfiltered relation is just the base table.
-		v, ok := st.sans[sansKey{s, r}]
-		return v, ok
 	}
 	v, ok := st.sans[sansKey{s, r}]
 	return v, ok
@@ -203,8 +212,10 @@ type computer struct {
 	filters  []func(int) bool // compiled selections per relation
 	filtered [][]int32        // selected row ids per relation
 
-	// Hash maps per (relation, column, filtered?) are built lazily.
-	hashes map[hashKey]map[int64][]int32
+	// Hash maps per (relation, column, filtered?) are built lazily with
+	// per-key once-semantics, so concurrent workers extending different
+	// subgraphs by the same relation share one build instead of racing.
+	hashes parallel.KeyedOnce[hashKey, map[int64][]int32]
 }
 
 type hashKey struct {
@@ -213,8 +224,30 @@ type hashKey struct {
 	filtered bool
 }
 
-// Compute runs the DP for one query over db.
+// subsetOut is one DP worker's output for a size-k subgraph: the
+// materialised result, its cardinality, and the sans-selection counts of
+// every filtered extension relation (ascending).
+type subsetOut struct {
+	res  *result
+	card float64
+	sans []sansPair
+}
+
+type sansPair struct {
+	r int
+	n float64
+}
+
+// Compute runs the DP for one query over db, fanning the independent
+// per-subset work of each level across Options.Parallel workers.
 func Compute(db *storage.Database, g *query.Graph, opts Options) (*Store, error) {
+	return ComputeContext(context.Background(), db, g, opts)
+}
+
+// ComputeContext is Compute with cancellation: the probe loops poll ctx,
+// so a caller sweeping many queries (Warmup) can abort the in-flight DPs
+// as soon as a sibling query fails instead of letting them run out.
+func ComputeContext(ctx context.Context, db *storage.Database, g *query.Graph, opts Options) (*Store, error) {
 	if opts.MaxRows <= 0 {
 		opts.MaxRows = DefaultMaxRows
 	}
@@ -222,12 +255,7 @@ func Compute(db *storage.Database, g *query.Graph, opts Options) (*Store, error)
 	if opts.MaxSize > 0 && opts.MaxSize < maxSize {
 		maxSize = opts.MaxSize
 	}
-	c := &computer{
-		db:     db,
-		g:      g,
-		opts:   opts,
-		hashes: make(map[hashKey]map[int64][]int32),
-	}
+	c := &computer{db: db, g: g, opts: opts}
 	st := &Store{
 		G:       g,
 		cards:   make(map[query.BitSet]float64),
@@ -235,11 +263,13 @@ func Compute(db *storage.Database, g *query.Graph, opts Options) (*Store, error)
 		maxSize: maxSize,
 	}
 
-	// Level 1: apply base-table selections.
+	// Level 1: apply base-table selections. Resolving tables and compiling
+	// predicates is cheap and stays serial; the per-relation filter scans
+	// fan out.
 	c.tables = make([]*storage.Table, g.N)
 	c.filters = make([]func(int) bool, g.N)
 	c.filtered = make([][]int32, g.N)
-	prev := make(map[query.BitSet]*result, g.N)
+	rels := make([]int, g.N)
 	for i, rel := range g.Q.Rels {
 		t := db.Table(rel.Table)
 		if t == nil {
@@ -251,17 +281,34 @@ func Compute(db *storage.Database, g *query.Graph, opts Options) (*Store, error)
 			return nil, fmt.Errorf("truecard: %s: %v", g.Q.ID, err)
 		}
 		c.filters[i] = f
-		var rows []int32
-		for r := 0; r < t.NumRows(); r++ {
-			if f(r) {
-				rows = append(rows, int32(r))
+		rels[i] = i
+	}
+	scans, err := parallel.RunCells(ctx, opts.Parallel, rels,
+		func(ctx context.Context, i int) ([]int32, error) {
+			f := c.filters[i]
+			var rows []int32
+			for r := 0; r < c.tables[i].NumRows(); r++ {
+				if r&ctxCheckMask == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				if f(r) {
+					rows = append(rows, int32(r))
+				}
 			}
-		}
+			return rows, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	prev := make(map[query.BitSet]*result, g.N)
+	for i, rows := range scans {
 		c.filtered[i] = rows
 		s := query.Bit(i)
 		st.cards[s] = float64(len(rows))
-		if len(rel.Preds) > 0 {
-			st.sans[sansKey{s, i}] = float64(t.NumRows())
+		if len(g.Q.Rels[i].Preds) > 0 {
+			st.sans[sansKey{s, i}] = float64(c.tables[i].NumRows())
 		}
 		prev[s] = &result{rels: []int{i}, cols: [][]int32{rows}}
 	}
@@ -273,77 +320,97 @@ func Compute(db *storage.Database, g *query.Graph, opts Options) (*Store, error)
 	})
 
 	for size := 2; size <= maxSize; size++ {
+		// Every size-k subgraph depends only on the completed level k-1
+		// (prev is read-only here), so the whole level fans out; the
+		// coordinator merges the outputs in deterministic input order.
+		outs, err := parallel.RunCells(ctx, opts.Parallel, bySize[size],
+			func(ctx context.Context, s query.BitSet) (subsetOut, error) {
+				return c.computeSubset(ctx, s, prev)
+			})
+		if err != nil {
+			return nil, err
+		}
 		cur := make(map[query.BitSet]*result, len(bySize[size]))
-		for _, s := range bySize[size] {
-			var materialised *result
-			// Extend from every relation r with connected S\{r}: the first
-			// gives us the materialised result, all give the sans counts.
-			var lastErr error
-			found := false
-			for _, r := range s.Elems() {
-				rest := s.Remove(r)
-				base, ok := prev[rest]
-				if !ok {
-					continue // rest disconnected
-				}
-				edges := c.g.EdgesBetween(rest, query.Bit(r))
-				if len(edges) == 0 {
-					continue
-				}
-				found = true
-				if materialised == nil {
-					res, err := c.join(base, r, edges, true)
-					if err != nil {
-						lastErr = err
-						break
-					}
-					materialised = res
-					st.cards[s] = float64(res.rows())
-				}
-				if len(c.g.Q.Rels[r].Preds) > 0 {
-					n := c.countJoin(base, r, edges, false)
-					st.sans[sansKey{s, r}] = float64(n)
-				}
+		for i, s := range bySize[size] {
+			st.cards[s] = outs[i].card
+			for _, sp := range outs[i].sans {
+				st.sans[sansKey{s, sp.r}] = sp.n
 			}
-			if lastErr != nil {
-				return nil, lastErr
-			}
-			if !found {
-				return nil, fmt.Errorf("truecard: subgraph %v has no connected extension", s)
-			}
-			cur[s] = materialised
+			cur[s] = outs[i].res
 		}
 		prev = cur
 	}
 	return st, nil
 }
 
-// hashOf returns (building lazily) a hash of relation rel's column col over
-// either the filtered rows or all rows. NULL keys are never inserted.
+// computeSubset materialises one size-k connected subgraph from the
+// level-(k-1) results. Extending from every relation r with connected
+// S\{r}: the first gives the materialised result, all filtered ones give
+// the sans-selection counts.
+func (c *computer) computeSubset(ctx context.Context, s query.BitSet, prev map[query.BitSet]*result) (subsetOut, error) {
+	out := subsetOut{}
+	found := false
+	for _, r := range s.Elems() {
+		rest := s.Remove(r)
+		base, ok := prev[rest]
+		if !ok {
+			continue // rest disconnected
+		}
+		edges := c.g.EdgesBetween(rest, query.Bit(r))
+		if len(edges) == 0 {
+			continue
+		}
+		found = true
+		if out.res == nil {
+			res, err := c.join(ctx, s, base, r, edges, true)
+			if err != nil {
+				return subsetOut{}, err
+			}
+			out.res = res
+			out.card = float64(res.rows())
+		}
+		if len(c.g.Q.Rels[r].Preds) > 0 {
+			n, err := c.countJoin(ctx, s, base, r, edges, false)
+			if err != nil {
+				return subsetOut{}, err
+			}
+			out.sans = append(out.sans, sansPair{r, float64(n)})
+		}
+	}
+	if !found {
+		return subsetOut{}, fmt.Errorf("truecard: subgraph %v has no connected extension", s)
+	}
+	return out, nil
+}
+
+// hashOf returns (building lazily, exactly once per key even under
+// concurrent workers) a hash of relation rel's column col over either the
+// filtered rows or all rows. NULL keys are never inserted. The build scans
+// rows in ascending order, so the map's content is independent of which
+// worker builds it. The build deliberately does not poll the context: a
+// partially built hash must never land in the shared cache, and a build is
+// at most one column scan, after which the caller's probe loop polls.
 func (c *computer) hashOf(rel int, col string, filtered bool) map[int64][]int32 {
-	key := hashKey{rel, col, filtered}
-	if h, ok := c.hashes[key]; ok {
+	return c.hashes.Get(hashKey{rel, col, filtered}, func() map[int64][]int32 {
+		column := c.tables[rel].MustColumn(col)
+		h := make(map[int64][]int32)
+		if filtered {
+			for _, row := range c.filtered[rel] {
+				if !column.IsNull(int(row)) {
+					v := column.Ints[row]
+					h[v] = append(h[v], row)
+				}
+			}
+		} else {
+			for row := 0; row < column.Len(); row++ {
+				if !column.IsNull(row) {
+					v := column.Ints[row]
+					h[v] = append(h[v], int32(row))
+				}
+			}
+		}
 		return h
-	}
-	column := c.tables[rel].MustColumn(col)
-	h := make(map[int64][]int32)
-	if filtered {
-		for _, row := range c.filtered[rel] {
-			if !column.IsNull(int(row)) {
-				v := column.Ints[row]
-				h[v] = append(h[v], row)
-			}
-		}
-	} else {
-		for row := 0; row < column.Len(); row++ {
-			if !column.IsNull(row) {
-				v := column.Ints[row]
-				h[v] = append(h[v], int32(row))
-			}
-		}
-	}
-	c.hashes[key] = h
-	return h
+	})
 }
 
 // joinCols resolves, for each edge, the probe column (on the base side) and
@@ -414,9 +481,17 @@ func (c *computer) residuals(r int, edges []int) []residual {
 	return out
 }
 
+// ctxCheckMask throttles cancellation polling in the probe loops: the
+// context is consulted every ctxCheckMask+1 probe tuples, so an aborted
+// computation (a sibling worker hit an error) stops promptly without a
+// per-tuple atomic load.
+const ctxCheckMask = 1<<14 - 1
+
 // join probes base against relation r on the given edges and materialises
-// the combined result (filtered selects whether r's selection applies).
-func (c *computer) join(base *result, r int, edges []int, filtered bool) (*result, error) {
+// the combined result for subgraph s (filtered selects whether r's
+// selection applies). The row limit is checked before a tuple is emitted,
+// so no column ever grows past MaxRows.
+func (c *computer) join(ctx context.Context, s query.BitSet, base *result, r int, edges []int, filtered bool) (*result, error) {
 	ecs := c.edgeCols(r, edges)
 	primary := ecs[0]
 	h := c.hashOf(r, primary.buildName, filtered)
@@ -445,7 +520,13 @@ func (c *computer) join(base *result, r int, edges []int, filtered bool) (*resul
 		baseColCache[rel] = base.colOf(rel)
 	}
 
+	emitted := 0
 	for i := 0; i < n; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		pRow := int(probe[i])
 		if primary.probeCol.IsNull(pRow) {
 			continue
@@ -466,17 +547,17 @@ func (c *computer) join(base *result, r int, edges []int, filtered bool) (*resul
 					continue match
 				}
 			}
-			// Emit tuple.
+			if emitted >= c.opts.MaxRows {
+				return nil, fmt.Errorf("truecard: %s: intermediate %v exceeds %d rows",
+					c.g.Q.ID, s, c.opts.MaxRows)
+			}
+			emitted++
 			for k, rel := range outRels {
 				if rel == r {
 					outCols[k] = append(outCols[k], rRow)
 				} else {
 					outCols[k] = append(outCols[k], baseColCache[rel][i])
 				}
-			}
-			if len(outCols[0]) > c.opts.MaxRows {
-				return nil, fmt.Errorf("truecard: %s: intermediate %v exceeds %d rows",
-					c.g.Q.ID, query.BitSet(0), c.opts.MaxRows)
 			}
 		}
 	}
@@ -488,8 +569,19 @@ func (c *computer) join(base *result, r int, edges []int, filtered bool) (*resul
 	return &result{rels: outRels, cols: outCols}, nil
 }
 
-// countJoin is join without materialisation, for the sans-selection counts.
-func (c *computer) countJoin(base *result, r int, edges []int, filtered bool) int64 {
+// SansRowsFactor is the headroom sans-selection counts get over
+// Options.MaxRows: with relation r's selection discarded the count can
+// legitimately dwarf every materialised intermediate, but a count this far
+// past the limit signals the same misconfiguration MaxRows guards against.
+// A workload that legitimately needs more raises Options.MaxRows — the
+// sans bound scales with it.
+const SansRowsFactor = 8
+
+// countJoin is join without materialisation, for the sans-selection counts
+// of subgraph s. It is bounded at SansRowsFactor*MaxRows — so an unbounded
+// count cannot run orders of magnitude past the limit — and polls the
+// context so sibling-worker failures cancel it.
+func (c *computer) countJoin(ctx context.Context, s query.BitSet, base *result, r int, edges []int, filtered bool) (int64, error) {
 	ecs := c.edgeCols(r, edges)
 	primary := ecs[0]
 	h := c.hashOf(r, primary.buildName, filtered)
@@ -501,8 +593,19 @@ func (c *computer) countJoin(base *result, r int, edges []int, filtered bool) in
 	for _, rel := range base.rels {
 		baseColCache[rel] = base.colOf(rel)
 	}
+	limit := int64(c.opts.MaxRows)
+	if limit > math.MaxInt64/SansRowsFactor {
+		limit = math.MaxInt64 // effectively unbounded, don't wrap negative
+	} else {
+		limit *= SansRowsFactor
+	}
 	var count int64
 	for i := 0; i < n; i++ {
+		if i&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return count, err
+			}
+		}
 		pRow := int(probe[i])
 		if primary.probeCol.IsNull(pRow) {
 			continue
@@ -520,7 +623,13 @@ func (c *computer) countJoin(base *result, r int, edges []int, filtered bool) in
 				}
 			}
 			count++
+			// Checked per match, not per probe row: a single skewed join
+			// key can carry the whole overrun in one match list.
+			if count > limit {
+				return count, fmt.Errorf("truecard: %s: sans-selection count for %v (relation %d unfiltered) exceeds %d rows",
+					c.g.Q.ID, s, r, limit)
+			}
 		}
 	}
-	return count
+	return count, nil
 }

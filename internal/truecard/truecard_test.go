@@ -2,6 +2,9 @@ package truecard
 
 import (
 	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -237,6 +240,152 @@ func TestRandomQueriesAgainstBruteForce(t *testing.T) {
 	}
 }
 
+// smallIMDB returns the shared small test database; several tests use the
+// same (scale, seed) and generating it once keeps the -race job fast.
+var (
+	smallOnce sync.Once
+	smallDB   *storage.Database
+)
+
+func smallIMDB() *storage.Database {
+	smallOnce.Do(func() {
+		smallDB = imdb.Generate(imdb.Config{Scale: 0.05, Seed: 3})
+	})
+	return smallDB
+}
+
+// TestParallelEquivalenceJOB is the core parallelism contract: the DP's
+// Dump (cards and sans entries, in their deterministic order) is identical
+// at any worker count over real JOB queries. It runs in the -race -short
+// CI job, which doubles as the race exercise of the level fan-out.
+func TestParallelEquivalenceJOB(t *testing.T) {
+	db := smallIMDB()
+	for _, qid := range []string{"1a", "3b", "13d"} {
+		g := query.MustBuildGraph(job.ByID(qid))
+		serial, err := Compute(db, g, Options{Parallel: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", qid, err)
+		}
+		want := serial.Dump()
+		for _, workers := range []int{2, 8} {
+			st, err := Compute(db, g, Options{Parallel: workers})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", qid, workers, err)
+			}
+			if got := st.Dump(); !reflect.DeepEqual(got, want) {
+				t.Errorf("%s: Dump at workers=%d differs from serial", qid, workers)
+			}
+		}
+	}
+}
+
+// TestParallelComputeRepeatedRace hammers the shared lazy hash cache: many
+// back-to-back parallel runs over a query whose level-2 subgraphs extend by
+// the same relations, so workers collide on hashOf keys. Run under -race.
+func TestParallelComputeRepeatedRace(t *testing.T) {
+	db, g := tinyDB()
+	want := int64(bruteForce(db, g, query.FullSet(g.N)))
+	for i := 0; i < 25; i++ {
+		st, err := Compute(db, g, Options{Parallel: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := st.Card(query.FullSet(g.N)); int64(got) != want {
+			t.Fatalf("run %d: card = %g, want %d", i, got, want)
+		}
+	}
+}
+
+// TestMaxRowsReportsSubgraph pins two MaxRows fixes: overflow errors name
+// the actual subgraph that blew the limit (not the empty set), and the
+// limit is exact — equal to the largest materialised intermediate still
+// succeeds, one below fails before emitting the overflowing tuple.
+func TestMaxRowsReportsSubgraph(t *testing.T) {
+	db, g := tinyDB()
+	st, err := Compute(db, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := st.Dump()
+	max := 0
+	for _, e := range d.Cards {
+		if !e.S.Single() && int(e.Card) > max {
+			max = int(e.Card)
+		}
+	}
+	if max < 2 {
+		t.Fatalf("tinyDB intermediates too small to exercise MaxRows (max %d)", max)
+	}
+	// Sanity: no sans count may hit its own (SansRowsFactor*max) bound at
+	// the exact-fit limit, or the success half of this test would flake.
+	for _, e := range d.Sans {
+		if !e.S.Single() && int(e.Card) > SansRowsFactor*max {
+			t.Fatalf("sans(%v,%d)=%g exceeds %d*%d; pick a different fixture",
+				e.S, e.Rel, e.Card, SansRowsFactor, max)
+		}
+	}
+	if _, err := Compute(db, g, Options{MaxRows: max}); err != nil {
+		t.Fatalf("MaxRows=%d (exact fit) should succeed: %v", max, err)
+	}
+	_, err = Compute(db, g, Options{MaxRows: max - 1})
+	if err == nil {
+		t.Fatalf("MaxRows=%d should fail", max-1)
+	}
+	if strings.Contains(err.Error(), "{}") {
+		t.Fatalf("overflow error names the empty set: %v", err)
+	}
+	if !strings.Contains(err.Error(), "{0,") {
+		t.Fatalf("overflow error does not name the offending subgraph: %v", err)
+	}
+}
+
+// TestSansCountLimit pins the countJoin bound: a sans-selection count may
+// legitimately exceed MaxRows (it gets SansRowsFactor headroom, here 1000
+// counted vs MaxRows=125), but past that headroom it aborts with an error
+// naming the subgraph and the unfiltered relation.
+func TestSansCountLimit(t *testing.T) {
+	db := storage.NewDatabase()
+	tid := storage.NewIntColumn("id")
+	tid.AppendInt(1)
+	db.Add(storage.NewTable("t", tid))
+	aid := storage.NewIntColumn("t_id")
+	av := storage.NewIntColumn("v")
+	for i := 0; i < 1000; i++ {
+		aid.AppendInt(1)
+		av.AppendInt(int64(i)) // predicate v=0 keeps exactly one row
+	}
+	db.Add(storage.NewTable("a", aid, av))
+	q := &query.Query{
+		ID: "sans",
+		Rels: []query.Rel{
+			{Alias: "t", Table: "t"},
+			{Alias: "a", Table: "a", Preds: []*query.Pred{query.EqInt("v", 0)}},
+		},
+		Joins: []query.Join{{LeftAlias: "a", LeftCol: "t_id", RightAlias: "t", RightCol: "id"}},
+	}
+	g := query.MustBuildGraph(q)
+
+	// Materialised intermediates are all 1 tuple; sans({t,a}, a) = 1000.
+	// 1000 <= SansRowsFactor*125, so MaxRows=125 must succeed...
+	st, err := Compute(db, g, Options{MaxRows: 125})
+	if err != nil {
+		t.Fatalf("sans count within headroom should succeed: %v", err)
+	}
+	if v, ok := st.SansSelection(query.NewBitSet(0, 1), 1); !ok || v != 1000 {
+		t.Fatalf("sans = %g, want 1000", v)
+	}
+	// ...and MaxRows=124 (headroom 992 < 1000) must abort with a useful error.
+	_, err = Compute(db, g, Options{MaxRows: 124})
+	if err == nil {
+		t.Fatal("sans count past headroom should fail")
+	}
+	for _, want := range []string{"sans-selection", "{0,1}"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
 func TestMaxSizeOption(t *testing.T) {
 	db, g := tinyDB()
 	st, err := Compute(db, g, Options{MaxSize: 2})
@@ -255,7 +404,7 @@ func TestMaxSizeOption(t *testing.T) {
 }
 
 func TestJOBQueryOnSmallData(t *testing.T) {
-	db := imdb.Generate(imdb.Config{Scale: 0.05, Seed: 3})
+	db := smallIMDB()
 	q := job.ByID("3b")
 	g := query.MustBuildGraph(q)
 	st, err := Compute(db, g, Options{})

@@ -43,9 +43,11 @@ type Options struct {
 	Scale float64
 	// Seed makes everything deterministic. Zero defaults to 42.
 	Seed int64
-	// Parallel is the worker-pool size for Open's index builds and for
-	// Warmup's true-cardinality sweep. 0 means GOMAXPROCS; 1 is fully
-	// serial. Results are identical at any setting.
+	// Parallel is the worker-pool size for Open's index builds, for
+	// Warmup's true-cardinality sweep, and for the per-subset fan-out
+	// inside each single query's true-cardinality DP (truecard.Options.
+	// Parallel). 0 means GOMAXPROCS; 1 is fully serial. Results are
+	// identical at any setting.
 	Parallel int
 	// CacheDir enables the persistent snapshot store: the generated
 	// database, its statistics, and every computed true-cardinality store
@@ -66,7 +68,7 @@ type Options struct {
 // true-cardinality computation.
 var (
 	generateDB   = imdb.Generate
-	computeTruth = truecard.Compute
+	computeTruth = truecard.ComputeContext
 )
 
 // IndexConfig selects a physical design (§4 of the paper).
@@ -428,6 +430,10 @@ func (s *System) provider(queryID, estimator string) (cardest.Provider, error) {
 // previously persisted truth store loads from disk instead of being
 // recomputed, and fresh computations are persisted for the next Open.
 func (s *System) TruthStore(queryID string) (*truecard.Store, error) {
+	return s.truthStore(context.Background(), queryID)
+}
+
+func (s *System) truthStore(ctx context.Context, queryID string) (*truecard.Store, error) {
 	s.truthMu.Lock()
 	st, ok := s.truth[queryID]
 	s.truthMu.Unlock()
@@ -448,7 +454,7 @@ func (s *System) TruthStore(queryID string) (*truecard.Store, error) {
 			return cached, nil
 		}
 	}
-	st, err := computeTruth(s.db, g, truecard.Options{})
+	st, err := computeTruth(ctx, s.db, g, truecard.Options{Parallel: s.parallel})
 	if err != nil {
 		return nil, fmt.Errorf("jobench: true cardinalities for %s (row limit %d): %w",
 			queryID, truecard.DefaultMaxRows, err)
@@ -468,10 +474,18 @@ func (s *System) TruthStore(queryID string) (*truecard.Store, error) {
 // across the system's worker pool (Options.Parallel). Everything that
 // consults the truth afterwards — ExplainAnalyze, TrueCardinality, the
 // EstTrue provider — hits the cache.
+//
+// Each query's DP fans out across the same pool, nesting up to
+// Parallel^2 goroutines. That is deliberate: query costs vary by orders
+// of magnitude, so late in the sweep a handful of giant queries would
+// otherwise hold one core each while the rest idle; the inner fan-out
+// soaks up that straggler tail, and idle inner workers cost nothing.
 func (s *System) Warmup() error {
 	_, err := parallel.RunCells(context.Background(), s.parallel, s.QueryIDs(),
-		func(_ context.Context, qid string) (struct{}, error) {
-			_, err := s.TruthStore(qid)
+		func(ctx context.Context, qid string) (struct{}, error) {
+			// The pool ctx flows into each DP so one query's failure also
+			// cancels the sibling computations already in flight.
+			_, err := s.truthStore(ctx, qid)
 			return struct{}{}, err
 		})
 	return err

@@ -9,7 +9,10 @@ GO ?= go
 CACHE_DIR ?= .jobench-cache
 SNAPSHOT_SCALE ?= 0.3
 
-.PHONY: build test test-short race-short bench bench-smoke fmt fmt-check vet ci snapshot
+# Where `make serve` listens.
+SERVE_ADDR ?= :8080
+
+.PHONY: build test test-short race-short bench bench-smoke fmt fmt-check vet ci snapshot serve smoke-serve
 
 build:
 	$(GO) build ./...
@@ -43,6 +46,36 @@ bench-smoke:
 # CI keys this directory on the snapshot format sources via actions/cache.
 snapshot:
 	$(GO) run ./cmd/jobench snapshot build -cache-dir $(CACHE_DIR) -scale $(SNAPSHOT_SCALE)
+
+# Run the benchmark service against the snapshot cache. Requests for the
+# default (seed, scale) then warm-load instead of regenerating.
+serve:
+	$(GO) run ./cmd/jobench serve -addr $(SERVE_ADDR) -scale $(SNAPSHOT_SCALE) -cache-dir $(CACHE_DIR)
+
+# End-to-end service smoke test (CI runs this): start the server on a
+# random port, wait for /healthz, require valid JSON (with the expected
+# fields) from /healthz and one /v1/optimize, then shut it down with
+# SIGTERM and require a clean exit. The server binary is built and run
+# directly (not via `go run`) so the TERM signal reaches it.
+smoke-serve:
+	@set -e; \
+	$(GO) build -o .smoke/jobench ./cmd/jobench; \
+	$(GO) build -o .smoke/jsoncheck ./cmd/jsoncheck; \
+	port=$$(( 20000 + $$$$ % 20000 )); \
+	.smoke/jobench serve -addr 127.0.0.1:$$port -scale 0.1 -cache-dir $(CACHE_DIR) & \
+	server=$$!; \
+	trap 'kill $$server 2>/dev/null || true' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 60); do \
+		if curl -fsS "http://127.0.0.1:$$port/healthz" >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 1; \
+	done; \
+	test $$ok -eq 1 || { echo "smoke-serve: server never became healthy"; exit 1; }; \
+	curl -fsS "http://127.0.0.1:$$port/healthz" | .smoke/jsoncheck status=ok; \
+	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"13d"}' | .smoke/jsoncheck query=13d; \
+	kill -TERM $$server; \
+	wait $$server; \
+	echo "smoke-serve: OK"
 
 fmt:
 	gofmt -w .

@@ -18,17 +18,23 @@ import (
 	"testing"
 
 	"jobench/internal/imdb"
+	"jobench/internal/index"
 	"jobench/internal/query"
 	"jobench/internal/storage"
 	"jobench/internal/truecard"
 )
 
-// countHooks wraps generation and truth computation in counters for the
-// duration of the test.
+// countHooks wraps generation, truth computation, and index construction in
+// counters for the duration of the test.
 func countHooks(t *testing.T) (gens, computes *atomic.Int64) {
+	gens, computes, _ = countAllHooks(t)
+	return gens, computes
+}
+
+func countAllHooks(t *testing.T) (gens, computes, idxBuilds *atomic.Int64) {
 	t.Helper()
-	gens, computes = new(atomic.Int64), new(atomic.Int64)
-	origGen, origCompute := generateDB, computeTruth
+	gens, computes, idxBuilds = new(atomic.Int64), new(atomic.Int64), new(atomic.Int64)
+	origGen, origCompute, origBuild := generateDB, computeTruth, buildIndexes
 	generateDB = func(cfg imdb.Config) *storage.Database {
 		gens.Add(1)
 		return origGen(cfg)
@@ -37,8 +43,12 @@ func countHooks(t *testing.T) (gens, computes *atomic.Int64) {
 		computes.Add(1)
 		return origCompute(ctx, db, g, opts)
 	}
-	t.Cleanup(func() { generateDB, computeTruth = origGen, origCompute })
-	return gens, computes
+	buildIndexes = func(db *storage.Database, cfg imdb.IndexConfig) (*index.Set, error) {
+		idxBuilds.Add(1)
+		return origBuild(db, cfg)
+	}
+	t.Cleanup(func() { generateDB, computeTruth, buildIndexes = origGen, origCompute, origBuild })
+	return gens, computes, idxBuilds
 }
 
 // logCapture collects Options.Logf output (truth saves run across the
@@ -73,7 +83,7 @@ var cacheTestQueries = []string{"1a", "6a", "17e"}
 
 func TestWarmOpenSkipsGenerationAndTruth(t *testing.T) {
 	dir := t.TempDir()
-	gens, computes := countHooks(t)
+	gens, computes, idxBuilds := countAllHooks(t)
 	var lc logCapture
 	opts := Options{Scale: 0.05, Seed: 7, CacheDir: dir, Logf: lc.logf}
 
@@ -95,12 +105,16 @@ func TestWarmOpenSkipsGenerationAndTruth(t *testing.T) {
 	if got := computes.Load(); got != int64(len(cacheTestQueries)) {
 		t.Fatalf("cold open: %d truth computations, want %d", got, len(cacheTestQueries))
 	}
+	if got := idxBuilds.Load(); got != 3 {
+		t.Fatalf("cold open: %d index builds, want 3", got)
+	}
 	if lines := lc.all(); len(lines) != 0 {
 		t.Fatalf("cold open logged warnings: %q", lines)
 	}
 
 	gens.Store(0)
 	computes.Store(0)
+	idxBuilds.Store(0)
 	warm, err := Open(opts)
 	if err != nil {
 		t.Fatal(err)
@@ -119,6 +133,9 @@ func TestWarmOpenSkipsGenerationAndTruth(t *testing.T) {
 	}
 	if got := computes.Load(); got != 0 {
 		t.Fatalf("warm open: %d truth computations, want 0", got)
+	}
+	if got := idxBuilds.Load(); got != 0 {
+		t.Fatalf("warm open: %d index builds, want 0", got)
 	}
 	if lines := lc.all(); len(lines) != 0 {
 		t.Fatalf("warm open logged warnings: %q", lines)

@@ -13,6 +13,13 @@
 //	jobench experiment -name table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|all
 //	                   [-scale 0.3] [-samples 10000] [-max-queries 0] [-parallel N]
 //	jobench snapshot   build|inspect|clear [-cache-dir .jobench-cache] [-scale 0.3] [-seed 42]
+//	jobench serve      [-addr :8080] [-pool 2] [-scale 0.3] [-seed 42] [-cache-dir DIR]
+//
+// "jobench serve" runs the benchmark-as-a-service layer: warm System
+// instances stay resident in an LRU pool and answer /v1/optimize,
+// /v1/execute, /v1/estimate, /v1/queries and /v1/experiment/{name}
+// concurrently, with /healthz and /metrics as the ops surface. It shuts
+// down gracefully on SIGINT/SIGTERM, cancelling in-flight work.
 //
 // Every command accepts -parallel N to size the worker pool that fans
 // experiment cells out across cores (0 = all cores, 1 = serial); the same
@@ -26,16 +33,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"jobench"
 	"jobench/internal/experiments"
-	"jobench/internal/optimizer"
-	"jobench/internal/plan"
+	"jobench/internal/service"
 	"jobench/internal/snapshot"
 )
 
@@ -61,7 +70,13 @@ func main() {
 		err = cmdExperiment(args)
 	case "snapshot":
 		err = cmdSnapshot(args)
+	case "serve":
+		err = cmdServe(args)
+	case "help", "-h", "-help", "--help":
+		usage()
+		return
 	default:
+		fmt.Fprintf(os.Stderr, "jobench: unknown command %q\n\n", cmd)
 		usage()
 		os.Exit(2)
 	}
@@ -71,9 +86,26 @@ func main() {
 	}
 }
 
+// usage prints the full subcommand synopsis. Both a bare "jobench" and an
+// unknown subcommand land here (and exit 2).
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: jobench <gen|sql|graph|explain|run|experiment|snapshot> [flags]
-run "jobench <command> -h" for command flags`)
+	fmt.Fprintf(os.Stderr, `usage: jobench <command> [flags]
+
+Commands:
+  gen         generate the data set and print table sizes
+  sql         print a workload query as SQL
+  graph       print a query's join graph (Graphviz dot)
+  explain     optimize a query and print the plan
+  run         optimize and execute a query
+  experiment  reproduce the paper's tables and figures (%s|all)
+  snapshot    manage the persistent snapshot store (build|inspect|clear)
+  serve       run the benchmark HTTP service (system pool + report cache)
+  help        print this synopsis
+
+Run "jobench <command> -h" for command flags. Every command accepts
+-parallel N (worker-pool size; 0 = all cores) and -cache-dir DIR (the
+persistent snapshot store).
+`, strings.Join(experiments.Names(), "|"))
 }
 
 func openFlags(fs *flag.FlagSet) (*float64, *int64, *int, *string) {
@@ -94,43 +126,10 @@ func planFlags(fs *flag.FlagSet) (est, model, idx *string, noNLJ *bool, shape, a
 	return
 }
 
+// parsePlanOptions delegates to the facade's shared knob vocabulary (the
+// service's JSON API accepts exactly the same strings).
 func parsePlanOptions(est, model, idx string, noNLJ bool, shape, algo string) (jobench.PlanOptions, error) {
-	opts := jobench.PlanOptions{Estimator: est, CostModel: model, DisableNestedLoops: noNLJ}
-	switch idx {
-	case "none":
-		opts.Indexes = jobench.NoIndexes
-	case "pk":
-		opts.Indexes = jobench.PKOnly
-	case "pkfk", "":
-		opts.Indexes = jobench.PKFK
-	default:
-		return opts, fmt.Errorf("unknown index config %q", idx)
-	}
-	switch shape {
-	case "bushy", "":
-		opts.Shape = plan.Bushy
-	case "leftdeep":
-		opts.Shape = plan.LeftDeep
-	case "rightdeep":
-		opts.Shape = plan.RightDeep
-	case "zigzag":
-		opts.Shape = plan.ZigZag
-	default:
-		return opts, fmt.Errorf("unknown shape %q", shape)
-	}
-	switch algo {
-	case "dp", "":
-		opts.Algorithm = optimizer.DP
-	case "dpccp":
-		opts.Algorithm = optimizer.DPccp
-	case "quickpick":
-		opts.Algorithm = optimizer.QuickPick1000
-	case "goo":
-		opts.Algorithm = optimizer.GOO
-	default:
-		return opts, fmt.Errorf("unknown algorithm %q", algo)
-	}
-	return opts, nil
+	return jobench.MakePlanOptions(est, model, idx, noNLJ, shape, algo)
 }
 
 func cmdGen(args []string) error {
@@ -275,50 +274,50 @@ func cmdExperiment(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
 
-	type renderer interface{ Render() string }
-	type exp struct {
-		id  string
-		run func() (renderer, error)
-	}
-	all := []exp{
-		{"table1", func() (renderer, error) { return lab.Table1() }},
-		{"fig3", func() (renderer, error) { return lab.Figure3() }},
-		{"fig4", func() (renderer, error) { return lab.Figure4() }},
-		{"fig5", func() (renderer, error) { return lab.Figure5() }},
-		{"sec41", func() (renderer, error) { return lab.Section41() }},
-		{"fig6", func() (renderer, error) { return lab.Figure6() }},
-		{"fig7", func() (renderer, error) {
-			r, err := lab.Figure7()
-			if err != nil {
-				return nil, err
-			}
-			return retitled{"Figure 7: PK vs PK+FK indexes (PostgreSQL estimates)\n", r}, nil
-		}},
-		{"fig8", func() (renderer, error) { return lab.Figure8() }},
-		{"fig9", func() (renderer, error) { return lab.Figure9(*samples) }},
-		{"table2", func() (renderer, error) { return lab.Table2() }},
-		{"table3", func() (renderer, error) { return lab.Table3() }},
-		{"ablation-damping", func() (renderer, error) { return lab.DampingAblation(nil) }},
-		{"ablation-rehash", func() (renderer, error) { return lab.RehashAblation("17e", nil) }},
-		{"hedging", func() (renderer, error) { return lab.Hedging() }},
-	}
+	// The shared registry maps names to drivers; the service's
+	// /v1/experiment/{name} resolves the very same entries, which is what
+	// keeps both surfaces byte-identical.
+	params := experiments.Params{Samples: *samples}
 	matched := false
-	for _, e := range all {
-		if *name != "all" && *name != e.id {
+	for _, e := range experiments.Registry() {
+		if *name != "all" && *name != e.Name {
 			continue
 		}
 		matched = true
 		t0 := time.Now()
-		res, err := e.run()
+		res, err := e.Run(context.Background(), lab, params)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.id, err)
+			return fmt.Errorf("%s: %w", e.Name, err)
 		}
-		fmt.Printf("=== %s (%v) ===\n%s\n", e.id, time.Since(t0).Round(time.Millisecond), res.Render())
+		fmt.Printf("=== %s (%v) ===\n%s\n", e.Name, time.Since(t0).Round(time.Millisecond), res.Render())
 	}
 	if !matched {
-		return fmt.Errorf("unknown experiment %q", *name)
+		return fmt.Errorf("unknown experiment %q (%s|all)", *name, strings.Join(experiments.Names(), "|"))
 	}
 	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	pool := fs.Int("pool", 2, "max resident (seed, scale) instances; least recently used is evicted")
+	scale, seed, par, cacheDir := openFlags(fs)
+	fs.Parse(args)
+
+	// SIGINT/SIGTERM cancel the context; the server stops listening,
+	// cancellation propagates into in-flight truecard/experiment work, and
+	// handlers get a grace period to flush.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := service.New(service.Config{
+		Addr:         *addr,
+		DefaultSeed:  *seed,
+		DefaultScale: *scale,
+		Parallel:     *par,
+		CacheDir:     *cacheDir,
+		PoolSize:     *pool,
+	})
+	return srv.ListenAndServe(ctx)
 }
 
 func cmdSnapshot(args []string) error {
@@ -373,31 +372,20 @@ func printSnapshotInfo(cacheDir string) error {
 		fmt.Printf("no snapshots under %s\n", cacheDir)
 		return nil
 	}
-	fmt.Printf("%-18s %6s %8s %10s %5s %6s %12s\n",
-		"fingerprint", "seed", "scale", "workload", "db", "truth", "bytes")
+	fmt.Printf("%-18s %6s %8s %10s %5s %6s %-14s %12s\n",
+		"fingerprint", "seed", "scale", "workload", "db", "truth", "indexes", "bytes")
 	for _, in := range infos {
 		db := "no"
 		if in.HasDatabase {
 			db = "yes"
 		}
-		fmt.Printf("%-18s %6d %8g %10s %5s %6d %12d\n",
+		idx := "-"
+		if len(in.IndexSets) > 0 {
+			idx = strings.Join(in.IndexSets, ",")
+		}
+		fmt.Printf("%-18s %6d %8g %10s %5s %6d %-14s %12d\n",
 			in.Fingerprint, in.Manifest.Seed, in.Manifest.Scale, in.Manifest.Workload,
-			db, in.TruthFiles, in.Bytes)
+			db, in.TruthFiles, idx, in.Bytes)
 	}
 	return nil
-}
-
-// retitled swaps the heading of a reused result type (Figure 7 reuses
-// Figure 6's layout).
-type retitled struct {
-	prefix string
-	inner  interface{ Render() string }
-}
-
-func (w retitled) Render() string {
-	s := w.inner.Render()
-	if i := strings.IndexByte(s, '\n'); i >= 0 {
-		return w.prefix + s[i+1:]
-	}
-	return w.prefix + s
 }

@@ -1,0 +1,46 @@
+// Command jsoncheck asserts that stdin is a JSON object containing the
+// given key=value pairs (values compared as strings). It exists so the
+// service smoke test in the Makefile and CI can validate responses without
+// depending on jq being installed.
+//
+// Usage:
+//
+//	curl -fsS http://localhost:8080/healthz | jsoncheck status=ok
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal("reading stdin: %v", err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(data, &obj); err != nil {
+		fatal("invalid JSON: %v\ninput: %s", err, data)
+	}
+	for _, arg := range os.Args[1:] {
+		key, want, ok := strings.Cut(arg, "=")
+		if !ok {
+			fatal("argument %q is not key=value", arg)
+		}
+		got, present := obj[key]
+		if !present {
+			fatal("key %q missing\ninput: %s", key, data)
+		}
+		if fmt.Sprint(got) != want {
+			fatal("key %q = %v, want %q\ninput: %s", key, got, want, data)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "jsoncheck: "+format+"\n", args...)
+	os.Exit(1)
+}

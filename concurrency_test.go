@@ -1,0 +1,147 @@
+package jobench
+
+// These tests pin the System's concurrency contract: every method is safe
+// for concurrent use (the service layer serves one shared System to many
+// requests at once), and an uncached truth store is computed exactly once
+// no matter how many goroutines ask for it simultaneously. They live in the
+// jobench package to reach the computeTruth indirection point, and they are
+// deliberately small so the -race -short CI job runs them.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jobench/internal/query"
+	"jobench/internal/storage"
+	"jobench/internal/truecard"
+)
+
+// TestConcurrentMixedUse hammers one shared System with mixed
+// Optimize/Execute/Estimate/metadata calls from many goroutines, including
+// AddQuery racing the read paths. Run under -race this is the proof of the
+// documented "safe for concurrent use" contract.
+func TestConcurrentMixedUse(t *testing.T) {
+	sys, err := Open(Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{"1a", "6a", "17e"}
+
+	// Serial reference results to compare the concurrent runs against.
+	wantPlan := make(map[string]string)
+	wantRows := make(map[string]int64)
+	for _, qid := range queries {
+		text, _, err := sys.Optimize(qid, PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPlan[qid] = text
+		res, err := sys.Execute(qid, RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRows[qid] = res.Rows
+	}
+
+	const workers = 8
+	const iters = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*iters*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qid := queries[(w+i)%len(queries)]
+				switch w % 4 {
+				case 0:
+					text, _, err := sys.Optimize(qid, PlanOptions{})
+					if err != nil {
+						errc <- err
+					} else if text != wantPlan[qid] {
+						errc <- fmt.Errorf("%s: concurrent plan differs from serial", qid)
+					}
+				case 1:
+					res, err := sys.Execute(qid, RunOptions{})
+					if err != nil {
+						errc <- err
+					} else if res.Rows != wantRows[qid] {
+						errc <- fmt.Errorf("%s: concurrent rows %d, serial %d", qid, res.Rows, wantRows[qid])
+					}
+				case 2:
+					if _, err := sys.EstimateCardinality(qid, EstPostgres); err != nil {
+						errc <- err
+					}
+					if _, err := sys.TrueCardinality(qid); err != nil {
+						errc <- err
+					}
+				case 3:
+					// Registry writes racing the readers above.
+					id := fmt.Sprintf("user-%d-%d", w, i)
+					if err := sys.AddQuery(id, "SELECT * FROM title t WHERE t.production_year > 1990"); err != nil {
+						errc <- err
+					}
+					if _, _, err := sys.Optimize(id, PlanOptions{}); err != nil {
+						errc <- err
+					}
+					if len(sys.QueryIDs()) == 0 {
+						errc <- fmt.Errorf("QueryIDs empty during concurrent use")
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestTruthStoreSingleFlight proves that N concurrent requests for one
+// uncached truth store perform exactly one computation and share its
+// result.
+func TestTruthStoreSingleFlight(t *testing.T) {
+	sys, err := Open(Options{Scale: 0.05, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var computes atomic.Int64
+	origCompute := computeTruth
+	computeTruth = func(ctx context.Context, db *storage.Database, g *query.Graph, opts truecard.Options) (*truecard.Store, error) {
+		computes.Add(1)
+		// Hold the flight open long enough for every waiter to pile up
+		// behind it.
+		time.Sleep(50 * time.Millisecond)
+		return origCompute(ctx, db, g, opts)
+	}
+	t.Cleanup(func() { computeTruth = origCompute })
+
+	const callers = 8
+	var wg sync.WaitGroup
+	stores := make([]*truecard.Store, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stores[i], errs[i] = sys.TruthStore("1a")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if stores[i] != stores[0] {
+			t.Fatalf("caller %d received a different store instance", i)
+		}
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d truth computations for one query under concurrency, want 1", got)
+	}
+}

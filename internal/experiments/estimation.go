@@ -32,6 +32,11 @@ type Table1Row struct {
 // Table1 measures base-table selection q-errors for all five systems
 // (paper Table 1).
 func (l *Lab) Table1() (*Table1Result, error) {
+	return l.Table1Context(context.Background())
+}
+
+// Table1Context is Table1 under a caller-controlled context.
+func (l *Lab) Table1Context(ctx context.Context) (*Table1Result, error) {
 	res := &Table1Result{}
 	for _, q := range l.Queries {
 		for _, r := range q.Rels {
@@ -42,7 +47,7 @@ func (l *Lab) Table1() (*Table1Result, error) {
 	}
 	for _, est := range l.Systems() {
 		// One cell per query: q-errors of every predicated base table.
-		perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) ([]float64, error) {
+		perQuery, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) ([]float64, error) {
 			st, err := l.truthCtx(ctx, q.ID)
 			if err != nil {
 				return nil, err
@@ -107,9 +112,14 @@ type Figure3System struct {
 
 // Figure3 computes the join estimation error distributions of Fig. 3.
 func (l *Lab) Figure3() (*Figure3Result, error) {
+	return l.Figure3Context(context.Background())
+}
+
+// Figure3Context is Figure3 under a caller-controlled context.
+func (l *Lab) Figure3Context(ctx context.Context) (*Figure3Result, error) {
 	// One cell per query: the signed errors of every connected
 	// subexpression, per system and join count.
-	perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) ([][][]float64, error) {
+	perQuery, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) ([][][]float64, error) {
 		g := l.Graphs[q.ID]
 		st, err := l.truthCtx(ctx, q.ID)
 		if err != nil {
@@ -210,13 +220,18 @@ type Figure4Panel struct {
 // TPC-H queries (generated uniform and independent), reproducing the
 // contrast of Fig. 4: TPC-H is easy, JOB is not.
 func (l *Lab) Figure4() (*Figure4Result, error) {
+	return l.Figure4Context(context.Background())
+}
+
+// Figure4Context is Figure4 under a caller-controlled context.
+func (l *Lab) Figure4Context(ctx context.Context) (*Figure4Result, error) {
 	var jobIDs []string
 	for _, qid := range []string{"6a", "16d", "17b", "25c"} {
 		if _, ok := l.Graphs[qid]; ok {
 			jobIDs = append(jobIDs, qid)
 		}
 	}
-	jobPanels, err := RunCells(context.Background(), l.Cfg.Parallel, jobIDs,
+	jobPanels, err := RunCells(ctx, l.Cfg.Parallel, jobIDs,
 		func(ctx context.Context, qid string) (Figure4Panel, error) {
 			g := l.Graphs[qid]
 			st, err := l.truthCtx(ctx, qid)
@@ -233,7 +248,7 @@ func (l *Lab) Figure4() (*Figure4Result, error) {
 	tdb := tpch.Generate(tpch.Config{Scale: l.Cfg.Scale, Seed: l.Cfg.Seed})
 	tstats := stats.AnalyzeDatabase(tdb, stats.Options{SampleSize: 30000, Seed: l.Cfg.Seed})
 	tpg := cardest.NewPostgres(tdb, tstats)
-	tpchPanels, err := RunCells(context.Background(), l.Cfg.Parallel, tpch.Queries(),
+	tpchPanels, err := RunCells(ctx, l.Cfg.Parallel, tpch.Queries(),
 		func(ctx context.Context, q *query.Query) (Figure4Panel, error) {
 			g := query.MustBuildGraph(q)
 			st, err := truecard.ComputeContext(ctx, tdb, g, truecard.Options{Parallel: l.Cfg.Parallel})
@@ -315,10 +330,15 @@ type Figure5Result struct {
 // distinct counts with exact ones changes the estimates — and makes the
 // underestimation trend *worse*, the "two wrongs make a right" effect.
 func (l *Lab) Figure5() (*Figure5Result, error) {
+	return l.Figure5Context(context.Background())
+}
+
+// Figure5Context is Figure5 under a caller-controlled context.
+func (l *Lab) Figure5Context(ctx context.Context) (*Figure5Result, error) {
 	type cellResult struct {
 		def, td [][]float64
 	}
-	perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
+	perQuery, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
 		g := l.Graphs[q.ID]
 		st, err := l.truthCtx(ctx, q.ID)
 		if err != nil {

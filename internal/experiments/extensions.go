@@ -37,6 +37,12 @@ type DampingAblationRow struct {
 // plain independence (systematic underestimation), small exponents
 // overshoot into overestimation, and the profile's default sits in between.
 func (l *Lab) DampingAblation(exponents []float64) (*DampingAblationResult, error) {
+	return l.DampingAblationContext(context.Background(), exponents)
+}
+
+// DampingAblationContext is DampingAblation under a caller-controlled
+// context.
+func (l *Lab) DampingAblationContext(ctx context.Context, exponents []float64) (*DampingAblationResult, error) {
 	if len(exponents) == 0 {
 		exponents = []float64{1.0, 0.9, 0.82, 0.7, 0.5}
 	}
@@ -47,7 +53,7 @@ func (l *Lab) DampingAblation(exponents []float64) (*DampingAblationResult, erro
 			byJoins    map[int][]float64
 			off, total int
 		}
-		perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
+		perQuery, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
 			g := l.Graphs[q.ID]
 			st, err := l.truthCtx(ctx, q.ID)
 			if err != nil {
@@ -125,6 +131,12 @@ type RehashAblationRow struct {
 // RehashAblation isolates the §4.1 hash-table mechanism on one query: the
 // plan is fixed; only the build-side estimates fed to the executor change.
 func (l *Lab) RehashAblation(qid string, factors []float64) (*RehashAblationResult, error) {
+	return l.RehashAblationContext(context.Background(), qid, factors)
+}
+
+// RehashAblationContext is RehashAblation under a caller-controlled
+// context.
+func (l *Lab) RehashAblationContext(ctx context.Context, qid string, factors []float64) (*RehashAblationResult, error) {
 	if len(factors) == 0 {
 		factors = []float64{1, 10, 100, 1000}
 	}
@@ -132,7 +144,7 @@ func (l *Lab) RehashAblation(qid string, factors []float64) (*RehashAblationResu
 	if g == nil {
 		return nil, fmt.Errorf("experiments: unknown query %s", qid)
 	}
-	st, err := l.Truth(qid)
+	st, err := l.truthCtx(ctx, qid)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +236,11 @@ type HedgingRow struct {
 // ablation: gentle hedging tends to remove disasters, while aggressive
 // inflation distorts join-order choices and can backfire.
 func (l *Lab) Hedging(factors ...float64) (*HedgingResult, error) {
+	return l.HedgingContext(context.Background(), factors...)
+}
+
+// HedgingContext is Hedging under a caller-controlled context.
+func (l *Lab) HedgingContext(ctx context.Context, factors ...float64) (*HedgingResult, error) {
 	if len(factors) == 0 {
 		factors = []float64{1.1, 1.5, 2.0}
 	}
@@ -231,7 +248,7 @@ func (l *Lab) Hedging(factors ...float64) (*HedgingResult, error) {
 	rules := engineRules{DisableNLJ: true, Rehash: true}
 	res := &HedgingResult{}
 	run := func(label string, factor float64) error {
-		slowdowns, timeouts, err := l.runWorkload(func(q *query.Query) cardest.Provider {
+		slowdowns, timeouts, err := l.runWorkload(ctx, func(q *query.Query) cardest.Provider {
 			g := l.Graphs[q.ID]
 			var prov cardest.Provider = l.Postgres.ForQuery(g)
 			if factor > 0 {

@@ -154,10 +154,16 @@ func NewLab(cfg Config) (*Lab, error) {
 		}
 	}
 	sdbCached, sdbTDCached := sdb != nil, sdbTD != nil
+	loadOrBuild := func(dst **index.Set, cfg imdb.IndexConfig) func() error {
+		return func() (err error) {
+			*dst, err = snapshot.LoadOrBuildIndexes(snap, logf, "experiments", db, cfg, imdb.BuildIndexes)
+			return err
+		}
+	}
 	tasks := []func() error{
-		func() (err error) { idxNone, err = imdb.BuildIndexes(db, imdb.NoIndexes); return err },
-		func() (err error) { idxPK, err = imdb.BuildIndexes(db, imdb.PKOnly); return err },
-		func() (err error) { idxPKFK, err = imdb.BuildIndexes(db, imdb.PKFK); return err },
+		loadOrBuild(&idxNone, imdb.NoIndexes),
+		loadOrBuild(&idxPK, imdb.PKOnly),
+		loadOrBuild(&idxPKFK, imdb.PKFK),
 	}
 	if !sdbCached {
 		tasks = append(tasks, func() error { sdb = stats.AnalyzeDatabase(db, sopts); return nil })
@@ -263,7 +269,14 @@ func (l *Lab) truthCtx(ctx context.Context, qid string) (*truecard.Store, error)
 // query's DP nests the same worker count (see System.Warmup for why the
 // deliberate Parallel^2 over-subscription is the right trade).
 func (l *Lab) Warmup() error {
-	_, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (struct{}, error) {
+	return l.WarmupContext(context.Background())
+}
+
+// WarmupContext is Warmup with cancellation: a cancelled warmup (service
+// shutdown, client disconnect) aborts the in-flight DPs instead of
+// finishing them orphaned.
+func (l *Lab) WarmupContext(ctx context.Context) error {
+	_, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) (struct{}, error) {
 		if _, err := l.truthCtx(ctx, q.ID); err != nil {
 			return struct{}{}, fmt.Errorf("%s: %w", q.ID, err)
 		}

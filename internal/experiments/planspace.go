@@ -74,6 +74,11 @@ type Figure9Panel struct {
 // all three index configurations, and computes the §6.1 workload aggregates
 // from a smaller per-query sample.
 func (l *Lab) Figure9(samples int) (*Figure9Result, error) {
+	return l.Figure9Context(context.Background(), samples)
+}
+
+// Figure9Context is Figure9 under a caller-controlled context.
+func (l *Lab) Figure9Context(ctx context.Context, samples int) (*Figure9Result, error) {
 	if samples <= 0 {
 		samples = 10000
 	}
@@ -90,9 +95,9 @@ func (l *Lab) Figure9(samples int) (*Figure9Result, error) {
 	}
 	// The normaliser of every panel is the query's optimal plan with FK
 	// indexes; compute it once per query, not once per (query, config).
-	fkOpts, err := RunCells(context.Background(), l.Cfg.Parallel, qids,
-		func(_ context.Context, qid string) (*plan.Node, error) {
-			st, err := l.Truth(qid)
+	fkOpts, err := RunCells(ctx, l.Cfg.Parallel, qids,
+		func(ctx context.Context, qid string) (*plan.Node, error) {
+			st, err := l.truthCtx(ctx, qid)
 			if err != nil {
 				return nil, err
 			}
@@ -116,9 +121,9 @@ func (l *Lab) Figure9(samples int) (*Figure9Result, error) {
 			cells = append(cells, panelCell{qid: qid, qIdx: qi, cfgIdx: ci})
 		}
 	}
-	panels, err := RunCells(context.Background(), l.Cfg.Parallel, cells,
-		func(_ context.Context, c panelCell) (Figure9Panel, error) {
-			st, err := l.Truth(c.qid)
+	panels, err := RunCells(ctx, l.Cfg.Parallel, cells,
+		func(ctx context.Context, c panelCell) (Figure9Panel, error) {
+			st, err := l.truthCtx(ctx, c.qid)
 			if err != nil {
 				return Figure9Panel{}, err
 			}
@@ -160,7 +165,7 @@ func (l *Lab) Figure9(samples int) (*Figure9Result, error) {
 			within, total int
 			ratio         float64
 		}
-		perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (aggCell, error) {
+		perQuery, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) (aggCell, error) {
 			st, err := l.truthCtx(ctx, q.ID)
 			if err != nil {
 				return aggCell{}, err
@@ -243,11 +248,16 @@ type Table2Row struct {
 // Table2 measures how much performance the tree-shape restrictions cost
 // (true cardinalities, both index configurations), like the paper's Table 2.
 func (l *Lab) Table2() (*Table2Result, error) {
+	return l.Table2Context(context.Background())
+}
+
+// Table2Context is Table2 under a caller-controlled context.
+func (l *Lab) Table2Context(ctx context.Context) (*Table2Result, error) {
 	res := &Table2Result{}
 	configs := l.indexConfigs()[1:] // PK, PK+FK
 	for _, shape := range []plan.Shape{plan.ZigZag, plan.LeftDeep, plan.RightDeep} {
 		for _, cfg := range configs {
-			slowdowns, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (float64, error) {
+			slowdowns, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) (float64, error) {
 				st, err := l.truthCtx(ctx, q.ID)
 				if err != nil {
 					return 0, err
@@ -308,6 +318,11 @@ type Table3Row struct {
 // QuickPick-1000 vs GOO, planning under PostgreSQL estimates and under true
 // cardinalities, evaluated by re-costing every plan with the truth.
 func (l *Lab) Table3() (*Table3Result, error) {
+	return l.Table3Context(context.Background())
+}
+
+// Table3Context is Table3 under a caller-controlled context.
+func (l *Lab) Table3Context(ctx context.Context) (*Table3Result, error) {
 	res := &Table3Result{}
 	algos := []optimizer.Algorithm{optimizer.DP, optimizer.QuickPick1000, optimizer.GOO}
 	for _, cfg := range l.indexConfigs()[1:] { // PK, PK+FK
@@ -317,7 +332,7 @@ func (l *Lab) Table3() (*Table3Result, error) {
 				cardsLabel = "true cardinalities"
 			}
 			for _, alg := range algos {
-				factors, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (float64, error) {
+				factors, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) (float64, error) {
 					g := l.Graphs[q.ID]
 					st, err := l.truthCtx(ctx, q.ID)
 					if err != nil {
@@ -376,7 +391,7 @@ func (r *Table3Result) Render() string {
 // diagnostic used by the documentation and the CLI).
 func (l *Lab) PlanSpaceSize() map[string]int {
 	// CountConnectedSubsets cannot fail, so the runner's error is nil.
-	counts, _ := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (int, error) {
+	counts, _ := runQueries(context.Background(), l, func(ctx context.Context, qi int, q *query.Query) (int, error) {
 		return l.Graphs[q.ID].CountConnectedSubsets(), nil
 	})
 	out := make(map[string]int, len(l.Queries))

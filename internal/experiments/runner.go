@@ -31,15 +31,17 @@ func RunCells[C, R any](ctx context.Context, workers int, cells []C, fn func(ctx
 // the per-query results in workload order. It is the shape almost every
 // driver needs: the per-query work (truth lookups, estimation, planning,
 // execution) is independent, and the driver folds the ordered slice into
-// its result exactly as the old serial loop did. The pool's cancellable
-// ctx is forwarded so fn can hand it to truthCtx (one query's failure then
-// aborts the sibling computations still in flight).
-func runQueries[R any](l *Lab, fn func(ctx context.Context, qi int, q *query.Query) (R, error)) ([]R, error) {
+// its result exactly as the old serial loop did. The caller's ctx bounds
+// the whole sweep (the service cancels it on shutdown or client
+// disconnect), and the pool's derived cancellable ctx is forwarded so fn
+// can hand it to truthCtx (one query's failure then aborts the sibling
+// computations still in flight).
+func runQueries[R any](ctx context.Context, l *Lab, fn func(ctx context.Context, qi int, q *query.Query) (R, error)) ([]R, error) {
 	cells := make([]int, len(l.Queries))
 	for i := range cells {
 		cells[i] = i
 	}
-	return RunCells(context.Background(), l.Cfg.Parallel, cells, func(ctx context.Context, qi int) (R, error) {
+	return RunCells(ctx, l.Cfg.Parallel, cells, func(ctx context.Context, qi int) (R, error) {
 		return fn(ctx, qi, l.Queries[qi])
 	})
 }

@@ -83,7 +83,7 @@ func TestParallelReportsAreByteIdentical(t *testing.T) {
 func TestRunQueriesPreservesWorkloadOrder(t *testing.T) {
 	l := sharedLab(t)
 	withParallel(l, 8, func() {
-		ids, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (string, error) {
+		ids, err := runQueries(context.Background(), l, func(ctx context.Context, qi int, q *query.Query) (string, error) {
 			return q.ID, nil
 		})
 		if err != nil {

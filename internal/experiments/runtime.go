@@ -30,9 +30,9 @@ const timeoutFactor = 500
 
 // runOne optimizes a query under the given provider and executes it,
 // returning the slowdown relative to the true-cardinality plan's work.
-func (l *Lab) runOne(qid string, prov cardest.Provider, idx *index.Set, rules engineRules, model costmodel.Model) (slowdown float64, timedOut bool, err error) {
+func (l *Lab) runOne(ctx context.Context, qid string, prov cardest.Provider, idx *index.Set, rules engineRules, model costmodel.Model) (slowdown float64, timedOut bool, err error) {
 	g := l.Graphs[qid]
-	st, err := l.Truth(qid)
+	st, err := l.truthCtx(ctx, qid)
 	if err != nil {
 		return 0, false, err
 	}
@@ -89,6 +89,11 @@ type Section41Row struct {
 // the resulting plans (PK indexes, nested-loop joins disabled, rehashing
 // on — the paper's robust configuration for this table).
 func (l *Lab) Section41() (*Section41Result, error) {
+	return l.Section41Context(context.Background())
+}
+
+// Section41Context is Section41 under a caller-controlled context.
+func (l *Lab) Section41Context(ctx context.Context) (*Section41Result, error) {
 	rules := engineRules{DisableNLJ: true, Rehash: true}
 	// The engine is a main-memory executor, so the faithful optimizer for
 	// the runtime experiments is the main-memory-tuned model (§5.3); the
@@ -96,7 +101,7 @@ func (l *Lab) Section41() (*Section41Result, error) {
 	model := costmodel.NewTuned()
 	res := &Section41Result{}
 	for _, est := range l.Systems() {
-		slowdowns, timeouts, err := l.runWorkload(func(q *query.Query) cardest.Provider {
+		slowdowns, timeouts, err := l.runWorkload(ctx, func(q *query.Query) cardest.Provider {
 			return est.ForQuery(l.Graphs[q.ID])
 		}, l.IdxPK, rules, model)
 		if err != nil {
@@ -114,13 +119,13 @@ func (l *Lab) Section41() (*Section41Result, error) {
 // runWorkload executes every workload query with runOne in parallel,
 // returning the slowdowns in workload order plus the timeout count. It is
 // the shared sweep of §4.1, Fig. 6, Fig. 7 and the hedging extension.
-func (l *Lab) runWorkload(provFor func(q *query.Query) cardest.Provider, idx *index.Set, rules engineRules, model costmodel.Model) ([]float64, int, error) {
+func (l *Lab) runWorkload(ctx context.Context, provFor func(q *query.Query) cardest.Provider, idx *index.Set, rules engineRules, model costmodel.Model) ([]float64, int, error) {
 	type cellResult struct {
 		slowdown float64
 		timedOut bool
 	}
-	perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
-		s, timedOut, err := l.runOne(q.ID, provFor(q), idx, rules, model)
+	perQuery, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
+		s, timedOut, err := l.runOne(ctx, q.ID, provFor(q), idx, rules, model)
 		return cellResult{s, timedOut}, err
 	})
 	if err != nil {
@@ -175,6 +180,11 @@ type Figure6Variant struct {
 // PK indexes under (a) the default engine, (b) nested-loop joins disabled,
 // (c) additionally runtime-resized hash tables.
 func (l *Lab) Figure6() (*Figure6Result, error) {
+	return l.Figure6Context(context.Background())
+}
+
+// Figure6Context is Figure6 under a caller-controlled context.
+func (l *Lab) Figure6Context(ctx context.Context) (*Figure6Result, error) {
 	model := costmodel.NewTuned()
 	variants := []struct {
 		label string
@@ -186,7 +196,7 @@ func (l *Lab) Figure6() (*Figure6Result, error) {
 	}
 	res := &Figure6Result{}
 	for _, v := range variants {
-		slowdowns, timeouts, err := l.runWorkload(func(q *query.Query) cardest.Provider {
+		slowdowns, timeouts, err := l.runWorkload(ctx, func(q *query.Query) cardest.Provider {
 			return l.Postgres.ForQuery(l.Graphs[q.ID])
 		}, l.IdxPK, v.rules, model)
 		if err != nil {
@@ -228,6 +238,11 @@ func renderBucketRows(b *strings.Builder, vs []Figure6Variant) {
 // Figure7 compares PK-only against PK+FK indexes (robust engine settings):
 // richer physical designs make the optimizer's job harder.
 func (l *Lab) Figure7() (*Figure6Result, error) {
+	return l.Figure7Context(context.Background())
+}
+
+// Figure7Context is Figure7 under a caller-controlled context.
+func (l *Lab) Figure7Context(ctx context.Context) (*Figure6Result, error) {
 	model := costmodel.NewTuned()
 	rules := engineRules{DisableNLJ: true, Rehash: true}
 	res := &Figure6Result{}
@@ -238,7 +253,7 @@ func (l *Lab) Figure7() (*Figure6Result, error) {
 		{"(a) PK indexes", l.IdxPK},
 		{"(b) PK + FK indexes", l.IdxPKFK},
 	} {
-		slowdowns, timeouts, err := l.runWorkload(func(q *query.Query) cardest.Provider {
+		slowdowns, timeouts, err := l.runWorkload(ctx, func(q *query.Query) cardest.Provider {
 			return l.Postgres.ForQuery(l.Graphs[q.ID])
 		}, v.idx, rules, model)
 		if err != nil {
@@ -274,6 +289,11 @@ type Figure8Panel struct {
 // {PostgreSQL estimates, true cardinalities} with PK+FK indexes, recording
 // predicted cost vs measured runtime (work units).
 func (l *Lab) Figure8() (*Figure8Result, error) {
+	return l.Figure8Context(context.Background())
+}
+
+// Figure8Context is Figure8 under a caller-controlled context.
+func (l *Lab) Figure8Context(ctx context.Context) (*Figure8Result, error) {
 	models := []costmodel.Model{costmodel.NewPostgres(), costmodel.NewTuned(), costmodel.NewSimple()}
 	res := &Figure8Result{GeoMeanRuntime: make(map[string]float64)}
 	rules := engineRules{DisableNLJ: true, Rehash: true}
@@ -282,7 +302,7 @@ func (l *Lab) Figure8() (*Figure8Result, error) {
 			type cellResult struct {
 				cost, work float64
 			}
-			perQuery, err := runQueries(l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
+			perQuery, err := runQueries(ctx, l, func(ctx context.Context, qi int, q *query.Query) (cellResult, error) {
 				g := l.Graphs[q.ID]
 				st, err := l.truthCtx(ctx, q.ID)
 				if err != nil {

@@ -79,6 +79,21 @@ const (
 	PKFK
 )
 
+// Label returns the short filename-safe name of the configuration, used by
+// the snapshot store and the CLI/service flag surface.
+func (c IndexConfig) Label() string {
+	switch c {
+	case NoIndexes:
+		return "none"
+	case PKOnly:
+		return "pk"
+	case PKFK:
+		return "pkfk"
+	default:
+		return fmt.Sprintf("cfg%d", int(c))
+	}
+}
+
 func (c IndexConfig) String() string {
 	switch c {
 	case NoIndexes:

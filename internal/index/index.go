@@ -61,6 +61,50 @@ func (h *Hash) Unique() bool { return h.unique }
 // DistinctKeys returns the number of distinct keys in the index.
 func (h *Hash) DistinctKeys() int { return len(h.m) }
 
+// Postings returns the index contents in deterministic order: keys
+// ascending, each with its row-id list (rows within a key are in insertion
+// order, i.e. ascending, since BuildHash scans the column front to back).
+// It is the serialization surface of the snapshot store.
+func (h *Hash) Postings() (keys []int64, rows [][]int32) {
+	keys = make([]int64, 0, len(h.m))
+	for k := range h.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	rows = make([][]int32, len(keys))
+	for i, k := range keys {
+		rows[i] = h.m[k]
+	}
+	return keys, rows
+}
+
+// RestoreHash rebuilds a hash index from Postings-shaped input (the inverse
+// of Postings, used when loading an index snapshot). It validates the
+// structural invariants BuildHash would have established: keys strictly
+// ascending (no duplicates), every key holding at least one row, and at
+// most one row per key for unique indexes. Row-id bounds are the caller's
+// to check — the index does not know its table.
+func RestoreHash(keys []int64, rows [][]int32, unique bool) (*Hash, error) {
+	if len(keys) != len(rows) {
+		return nil, fmt.Errorf("index: %d keys but %d posting lists", len(keys), len(rows))
+	}
+	h := &Hash{m: make(map[int64][]int32, len(keys)), unique: unique}
+	for i, k := range keys {
+		if i > 0 && keys[i-1] >= k {
+			return nil, fmt.Errorf("index: keys not strictly ascending at %d (%d after %d)", i, k, keys[i-1])
+		}
+		if len(rows[i]) == 0 {
+			return nil, fmt.Errorf("index: key %d has no rows", k)
+		}
+		if unique && len(rows[i]) > 1 {
+			return nil, fmt.Errorf("index: duplicate key %d in unique index", k)
+		}
+		h.m[k] = rows[i]
+		h.n += len(rows[i])
+	}
+	return h, nil
+}
+
 // Sorted is a sorted (key, row) index supporting equality and range lookups
 // via binary search. It models an unclustered B+Tree leaf level.
 type Sorted struct {

@@ -40,6 +40,29 @@ func (s *Set) Has(table, column string) bool {
 // Size returns the number of registered indexes.
 func (s *Set) Size() int { return len(s.m) }
 
+// Item is one registered index with its (table, column) key.
+type Item struct {
+	Table  string
+	Column string
+	Index  Index
+}
+
+// Items returns the registered indexes sorted by (table, column), the
+// deterministic iteration order the snapshot store serializes in.
+func (s *Set) Items() []Item {
+	out := make([]Item, 0, len(s.m))
+	for k, idx := range s.m {
+		out = append(out, Item{Table: k.table, Column: k.column, Index: idx})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}
+
 // Describe returns a sorted human-readable list of indexed columns.
 func (s *Set) Describe() []string {
 	out := make([]string, 0, len(s.m))

@@ -1,0 +1,55 @@
+package parallel
+
+import "sync"
+
+// Flight is a generic single-flight group: concurrent Do calls for one key
+// collapse into a single execution of fn, whose result every waiter shares.
+// Unlike KeyedOnce, results are NOT cached — once the winning call returns,
+// the key is forgotten, so a later Do runs fn again. That makes Flight the
+// right shape for expensive fallible work guarded by an external cache (the
+// service's system pool, the facade's truth stores): a thundering herd of
+// cold requests performs the work exactly once, while a failure (or a
+// context cancellation surfaced as an error) never poisons future attempts.
+//
+// The zero value is ready to use.
+type Flight[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	v    V
+	err  error
+}
+
+// Do returns the result of fn for key, executing fn itself only if no other
+// call for key is in flight; otherwise it blocks until the in-flight call
+// finishes and returns its result. shared reports whether the result came
+// from another caller's execution. fn runs outside the group's lock, so
+// flights of distinct keys proceed in parallel.
+//
+// fn must not panic: a panicking fn would leave every waiter for the key
+// blocked forever.
+func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		<-c.done
+		return c.v, c.err, true
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	c.v, c.err = fn()
+
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.v, c.err, false
+}

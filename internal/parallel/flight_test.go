@@ -1,0 +1,106 @@
+package parallel
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightCollapsesConcurrentCalls(t *testing.T) {
+	var f Flight[string, int]
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	sharedCount := new(atomic.Int64)
+
+	// One caller enters first and blocks inside fn so the rest pile up
+	// behind the in-flight call.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, _ := f.Do("k", func() (int, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("leader: got (%d, %v)", v, err)
+		}
+	}()
+	<-started
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := f.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			results[i] = v
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	// Let every waiter reach the in-flight wait before the leader finishes:
+	// they are all runnable and this sleep yields the scheduler to them;
+	// nothing else can block them on the way into Do.
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1 (every waiter shares the leader's flight)", got)
+	}
+	if got := sharedCount.Load(); got != waiters {
+		t.Fatalf("%d of %d waiters shared the in-flight result", got, waiters)
+	}
+}
+
+func TestFlightDoesNotCacheResultsOrErrors(t *testing.T) {
+	var f Flight[string, int]
+	boom := errors.New("boom")
+	if _, err, _ := f.Do("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("first call: %v", err)
+	}
+	// The failed flight must not latch: the next call runs fn again and can
+	// succeed.
+	v, err, shared := f.Do("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 || shared {
+		t.Fatalf("second call: (%d, %v, shared=%v)", v, err, shared)
+	}
+	// And a successful result is not cached either.
+	v, _, _ = f.Do("k", func() (int, error) { return 8, nil })
+	if v != 8 {
+		t.Fatalf("third call returned stale value %d", v)
+	}
+}
+
+func TestFlightDistinctKeysDoNotBlock(t *testing.T) {
+	var f Flight[int, int]
+	blockA := make(chan struct{})
+	startedA := make(chan struct{})
+	go f.Do(1, func() (int, error) { close(startedA); <-blockA; return 1, nil })
+	<-startedA
+	// Key 2 must proceed while key 1 is in flight.
+	v, err, _ := f.Do(2, func() (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("key 2 blocked or failed: (%d, %v)", v, err)
+	}
+	close(blockA)
+}

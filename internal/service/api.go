@@ -1,0 +1,84 @@
+package service
+
+// The JSON bodies of the /v1 endpoints. Field vocabulary deliberately
+// mirrors jobench.Options and the CLI's plan flags — the same strings the
+// flags accept ("postgres", "pkfk", "bushy", "dp", ...) are valid here, and
+// zero values select the same defaults the CLI uses.
+
+// PlanRequest selects a world (seed, scale → pool key) and one
+// optimization's knobs. Omitted seed/scale fall back to the server's
+// defaults.
+type PlanRequest struct {
+	Seed  int64   `json:"seed,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+
+	// Query is a workload query id ("1a".."33c").
+	Query string `json:"query"`
+	// Estimator: postgres|dbms-a|dbms-b|dbms-c|hyper|true (default postgres).
+	Estimator string `json:"estimator,omitempty"`
+	// CostModel: simple|postgres|tuned (default simple).
+	CostModel string `json:"cost_model,omitempty"`
+	// Indexes: none|pk|pkfk (default pkfk).
+	Indexes string `json:"indexes,omitempty"`
+	// DisableNestedLoops omits non-indexed nested-loop joins; omitted means
+	// true, the CLI's default.
+	DisableNestedLoops *bool `json:"disable_nested_loops,omitempty"`
+	// Shape: bushy|leftdeep|rightdeep|zigzag (default bushy).
+	Shape string `json:"shape,omitempty"`
+	// Algorithm: dp|dpccp|quickpick|goo (default dp).
+	Algorithm string `json:"algorithm,omitempty"`
+	// PlanSeed drives randomized enumerators (quickpick).
+	PlanSeed int64 `json:"plan_seed,omitempty"`
+}
+
+// OptimizeResponse is one planned query.
+type OptimizeResponse struct {
+	Query string  `json:"query"`
+	Plan  string  `json:"plan"`
+	Cost  float64 `json:"cost"`
+}
+
+// ExecuteRequest is PlanRequest plus the engine knobs.
+type ExecuteRequest struct {
+	PlanRequest
+	// Rehash lets hash joins grow at runtime; omitted means true, the
+	// CLI's default.
+	Rehash *bool `json:"rehash,omitempty"`
+	// WorkLimit aborts after this many work units (0 = unlimited).
+	WorkLimit int64 `json:"work_limit,omitempty"`
+}
+
+// ExecuteResponse is one executed query.
+type ExecuteResponse struct {
+	Query    string `json:"query"`
+	Rows     int64  `json:"rows"`
+	Work     int64  `json:"work"`
+	TimedOut bool   `json:"timed_out"`
+	Plan     string `json:"plan"`
+}
+
+// EstimateRequest asks one estimator for a query's result size.
+type EstimateRequest struct {
+	Seed      int64   `json:"seed,omitempty"`
+	Scale     float64 `json:"scale,omitempty"`
+	Query     string  `json:"query"`
+	Estimator string  `json:"estimator,omitempty"`
+}
+
+// EstimateResponse is the predicted result cardinality.
+type EstimateResponse struct {
+	Query       string  `json:"query"`
+	Estimator   string  `json:"estimator"`
+	Cardinality float64 `json:"cardinality"`
+}
+
+// QueriesResponse lists the workload.
+type QueriesResponse struct {
+	Count   int      `json:"count"`
+	Queries []string `json:"queries"`
+}
+
+// ErrorResponse is every endpoint's failure body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

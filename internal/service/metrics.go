@@ -1,0 +1,112 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's ops counters, rendered at /metrics in the
+// Prometheus text exposition format. It is dependency-free on purpose: the
+// container bakes in no Prometheus client, and the handful of counters the
+// service needs — request counts and latencies per route, pool
+// hits/misses/evictions, in-flight warmups, report-cache hits — fit in a
+// mutex-guarded map plus a few atomics.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[routeCode]*routeStats
+
+	PoolHits        atomic.Int64
+	PoolMisses      atomic.Int64
+	PoolEvictions   atomic.Int64
+	WarmupsInFlight atomic.Int64
+	ReportHits      atomic.Int64
+	ReportMisses    atomic.Int64
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+type routeStats struct {
+	count   int64
+	seconds float64
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: make(map[routeCode]*routeStats)}
+}
+
+// Observe records one completed request.
+func (m *Metrics) Observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := routeCode{route, code}
+	st := m.requests[k]
+	if st == nil {
+		st = &routeStats{}
+		m.requests[k] = st
+	}
+	st.count++
+	st.seconds += d.Seconds()
+}
+
+// Render produces the Prometheus text format, keys sorted for a stable
+// (diffable, testable) exposition.
+func (m *Metrics) Render() string {
+	m.mu.Lock()
+	keys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	type row struct {
+		k  routeCode
+		st routeStats
+	}
+	rows := make([]row, len(keys))
+	for i, k := range keys {
+		rows[i] = row{k, *m.requests[k]}
+	}
+	m.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("# HELP jobench_requests_total Completed HTTP requests by route and status code.\n")
+	b.WriteString("# TYPE jobench_requests_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "jobench_requests_total{route=%q,code=\"%d\"} %d\n", r.k.route, r.k.code, r.st.count)
+	}
+	b.WriteString("# HELP jobench_request_seconds_total Cumulative request latency by route and status code.\n")
+	b.WriteString("# TYPE jobench_request_seconds_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "jobench_request_seconds_total{route=%q,code=\"%d\"} %g\n", r.k.route, r.k.code, r.st.seconds)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\njobench_%s %d\n",
+			"jobench_"+name, help, "jobench_"+name, kindOf(name), name, v)
+	}
+	gauge("pool_hits_total", "System pool lookups served by a resident instance.", m.PoolHits.Load())
+	gauge("pool_misses_total", "System pool lookups that required construction.", m.PoolMisses.Load())
+	gauge("pool_evictions_total", "Instances evicted from the system pool.", m.PoolEvictions.Load())
+	gauge("pool_warmups_inflight", "System or lab constructions currently running.", m.WarmupsInFlight.Load())
+	gauge("report_cache_hits_total", "Experiment reports served from the report cache.", m.ReportHits.Load())
+	gauge("report_cache_misses_total", "Experiment reports that had to be computed.", m.ReportMisses.Load())
+	return b.String()
+}
+
+func kindOf(name string) string {
+	if strings.HasSuffix(name, "_total") {
+		return "counter"
+	}
+	return "gauge"
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"strconv"
+
+	"jobench"
+	"jobench/internal/experiments"
+	"jobench/internal/parallel"
+)
+
+// Key identifies one resident world in the pool: everything that determines
+// the opened System (and its experiments Lab) besides server-wide settings.
+// The cache dir participates so two servers sharing one process but
+// pointing at different snapshot stores can never alias.
+type Key struct {
+	Seed     int64
+	Scale    float64
+	CacheDir string
+}
+
+func (k Key) String() string {
+	return "seed=" + strconv.FormatInt(k.Seed, 10) +
+		",scale=" + strconv.FormatFloat(k.Scale, 'g', -1, 64)
+}
+
+// entry is one resident instance: the facade System and the experiments
+// Lab for a key, each constructed lazily (a server used only for
+// /v1/optimize never pays for a Lab and vice versa).
+type entry struct {
+	sys *jobench.System
+	lab *experiments.Lab
+}
+
+// Pool keeps warm instances resident, keyed by (seed, scale, cache dir),
+// with LRU eviction beyond a fixed capacity and single-flight
+// construction: a thundering herd of cold requests for one key performs
+// exactly one Open while every other request blocks for (and then shares)
+// the same instance. Construction failures are not cached — the next
+// request retries.
+//
+// All methods are safe for concurrent use.
+type Pool struct {
+	cap     int
+	metrics *Metrics
+
+	// openSystem and openLab build a cold instance; injectable so the pool
+	// tests can count and stall constructions without generating data.
+	openSystem func(Key) (*jobench.System, error)
+	openLab    func(Key) (*experiments.Lab, error)
+
+	entries *lruMap
+
+	sysFlight parallel.Flight[Key, *jobench.System]
+	labFlight parallel.Flight[Key, *experiments.Lab]
+}
+
+// NewPool builds a pool of at most capacity resident instances (minimum 1)
+// whose cold constructions run through open functions derived from cfg.
+func NewPool(cfg Config, metrics *Metrics) *Pool {
+	if metrics == nil {
+		metrics = NewMetrics()
+	}
+	capacity := cfg.PoolSize
+	if capacity <= 0 {
+		capacity = 2
+	}
+	return &Pool{
+		cap:     capacity,
+		metrics: metrics,
+		openSystem: func(k Key) (*jobench.System, error) {
+			return jobench.Open(jobench.Options{
+				Scale: k.Scale, Seed: k.Seed, Parallel: cfg.Parallel,
+				CacheDir: k.CacheDir, Logf: cfg.logf(),
+			})
+		},
+		openLab: func(k Key) (*experiments.Lab, error) {
+			return experiments.NewLab(experiments.Config{
+				Scale: k.Scale, Seed: k.Seed, Parallel: cfg.Parallel,
+				CacheDir: k.CacheDir, Logf: cfg.logf(),
+			})
+		},
+		entries: newLRUMap(capacity, metrics),
+	}
+}
+
+// System returns the resident System for key, constructing it (exactly
+// once under concurrency) on a miss.
+func (p *Pool) System(key Key) (*jobench.System, error) {
+	if e := p.entries.get(key); e != nil && e.sys != nil {
+		p.metrics.PoolHits.Add(1)
+		return e.sys, nil
+	}
+	sys, err, shared := p.sysFlight.Do(key, func() (*jobench.System, error) {
+		// A flight that completed between our miss and entering Do already
+		// populated the entry; don't rebuild.
+		if e := p.entries.get(key); e != nil && e.sys != nil {
+			p.metrics.PoolHits.Add(1)
+			return e.sys, nil
+		}
+		// Counted here, not in the caller, so a thundering herd records one
+		// miss per construction — the metric's contract — rather than one
+		// per piled-up request.
+		p.metrics.PoolMisses.Add(1)
+		p.metrics.WarmupsInFlight.Add(1)
+		defer p.metrics.WarmupsInFlight.Add(-1)
+		sys, err := p.openSystem(key)
+		if err != nil {
+			return nil, err
+		}
+		p.entries.set(key, func(e *entry) { e.sys = sys })
+		return sys, nil
+	})
+	if shared && err == nil {
+		// Joined another request's in-flight construction: served warm.
+		p.metrics.PoolHits.Add(1)
+	}
+	return sys, err
+}
+
+// Lab returns the resident experiments Lab for key, constructing it
+// (exactly once under concurrency) on a miss.
+func (p *Pool) Lab(key Key) (*experiments.Lab, error) {
+	if e := p.entries.get(key); e != nil && e.lab != nil {
+		p.metrics.PoolHits.Add(1)
+		return e.lab, nil
+	}
+	lab, err, shared := p.labFlight.Do(key, func() (*experiments.Lab, error) {
+		if e := p.entries.get(key); e != nil && e.lab != nil {
+			p.metrics.PoolHits.Add(1)
+			return e.lab, nil
+		}
+		p.metrics.PoolMisses.Add(1)
+		p.metrics.WarmupsInFlight.Add(1)
+		defer p.metrics.WarmupsInFlight.Add(-1)
+		lab, err := p.openLab(key)
+		if err != nil {
+			return nil, err
+		}
+		p.entries.set(key, func(e *entry) { e.lab = lab })
+		return lab, nil
+	})
+	if shared && err == nil {
+		p.metrics.PoolHits.Add(1)
+	}
+	return lab, err
+}
+
+// Len reports the number of resident instances.
+func (p *Pool) Len() int { return p.entries.len() }

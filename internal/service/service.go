@@ -1,0 +1,496 @@
+// Package service is the benchmark-as-a-service layer: an HTTP/JSON server
+// that keeps warm jobench.System instances resident in an LRU pool and
+// serves the facade surface (optimize, execute, estimate, workload
+// listing) plus every paper experiment concurrently. Cold instances are
+// built under single-flight — a thundering herd of requests for one
+// (seed, scale) performs exactly one Open — and deterministic experiment
+// reports are memoized in a report cache. The ops surface is /healthz,
+// /metrics (Prometheus text format), and graceful shutdown: cancelling the
+// serve context stops the listener and propagates cancellation into
+// in-flight true-cardinality and experiment work.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jobench"
+	"jobench/internal/experiments"
+	"jobench/internal/parallel"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (":8080").
+	Addr string
+	// DefaultSeed and DefaultScale apply when a request omits them,
+	// mirroring the CLI's -seed/-scale defaults.
+	DefaultSeed  int64
+	DefaultScale float64
+	// Parallel sizes the worker pools of every resident instance
+	// (0 = GOMAXPROCS).
+	Parallel int
+	// CacheDir is the shared snapshot store; it becomes part of every pool
+	// key. Empty disables snapshot caching (cold opens regenerate).
+	CacheDir string
+	// PoolSize bounds the resident instances; the least recently used is
+	// evicted beyond it (default 2).
+	PoolSize int
+	// ShutdownGrace bounds how long a cancelled server waits for in-flight
+	// requests to notice the cancellation and flush (default 5s).
+	ShutdownGrace time.Duration
+	// Logf receives serve-loop and snapshot diagnostics (default
+	// log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) logf() func(format string, args ...any) {
+	if c.Logf != nil {
+		return c.Logf
+	}
+	return log.Printf
+}
+
+// Server is the benchmark service.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// baseCtx is the Serve context: the lifetime of the server itself.
+	// Shared computations (report flights) run under it rather than under
+	// the first requester's context, so one client's disconnect cannot
+	// cancel work other waiters are sharing. Set once in Serve, before any
+	// request can arrive.
+	baseCtx context.Context
+
+	reports      *reportCache
+	reportFlight parallel.Flight[reportKey, string]
+}
+
+// New builds a Server (without binding a socket).
+func New(cfg Config) *Server {
+	if cfg.DefaultScale <= 0 {
+		cfg.DefaultScale = 1
+	}
+	if cfg.DefaultSeed == 0 {
+		cfg.DefaultSeed = 42
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 5 * time.Second
+	}
+	m := NewMetrics()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg, m),
+		metrics: m,
+		mux:     http.NewServeMux(),
+		reports: newReportCache(),
+	}
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/optimize", s.handleOptimize)
+	s.route("POST /v1/execute", s.handleExecute)
+	s.route("POST /v1/estimate", s.handleEstimate)
+	s.route("GET /v1/queries", s.handleQueries)
+	s.route("GET /v1/experiment/{name}", s.handleExperiment)
+	return s
+}
+
+// Handler returns the service's HTTP handler (also useful under
+// httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (for tests and embedding).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// route registers a handler wrapped in the metrics middleware. pattern is
+// a Go 1.22 mux pattern ("METHOD /path"); its path part labels the
+// metrics.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (status int, err error)
+
+func (s *Server) route(pattern string, h handlerFunc) {
+	label := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		label = pattern[i+1:]
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status, err := h(w, r)
+		if err != nil {
+			writeError(w, status, err)
+		}
+		s.metrics.Observe(label, status, time.Since(start))
+	})
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
+// shuts down gracefully: the listener closes, every in-flight request sees
+// its context cancelled (requests inherit ctx), and the server waits up to
+// cfg.ShutdownGrace for handlers to flush before returning.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.logf()("jobench serve: listening on %s (pool %d, cache-dir %q)",
+		ln.Addr(), s.pool.cap, s.cfg.CacheDir)
+	return s.Serve(ctx, ln)
+}
+
+// Serve runs the server on an existing listener; see ListenAndServe.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.baseCtx = ctx
+	srv := &http.Server{
+		Handler: s.Handler(),
+		// Every request context derives from ctx, which is how shutdown
+		// cancellation reaches in-flight truecard DPs and experiment
+		// sweeps.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.cfg.logf()("jobench serve: shutting down (%v)", context.Cause(ctx))
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		<-errc // Serve has returned http.ErrServerClosed
+		return err
+	}
+}
+
+// --- request plumbing -------------------------------------------------------
+
+// serverCtx returns the server's lifetime context (Background under
+// httptest, where Serve never ran).
+func (s *Server) serverCtx() context.Context {
+	if s.baseCtx != nil {
+		return s.baseCtx
+	}
+	return context.Background()
+}
+
+func (s *Server) key(seed int64, scale float64) Key {
+	if seed == 0 {
+		seed = s.cfg.DefaultSeed
+	}
+	// The NaN guard backs up querySeedScale for any path that builds a key
+	// from a float it did not parse itself (JSON cannot encode NaN, but
+	// the key must be safe regardless of who calls this).
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		scale = s.cfg.DefaultScale
+	}
+	return Key{Seed: seed, Scale: scale, CacheDir: s.cfg.CacheDir}
+}
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusOf maps a pipeline error onto an HTTP status: unknown names are
+// client errors (404 for queries/experiments, 400 for knob vocabulary),
+// cancellation means the server is going away or the client left (503),
+// anything else is a 500.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case strings.Contains(err.Error(), "unknown query"),
+		strings.Contains(err.Error(), "unknown experiment"):
+		return http.StatusNotFound
+	case strings.Contains(err.Error(), "unknown"):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// planOptions translates a PlanRequest's knob strings (CLI vocabulary)
+// into jobench.PlanOptions.
+func planOptions(req PlanRequest) (jobench.PlanOptions, error) {
+	disableNLJ := true
+	if req.DisableNestedLoops != nil {
+		disableNLJ = *req.DisableNestedLoops
+	}
+	opts, err := jobench.MakePlanOptions(req.Estimator, req.CostModel, req.Indexes,
+		disableNLJ, req.Shape, req.Algorithm)
+	if err != nil {
+		return opts, err
+	}
+	opts.Seed = req.PlanSeed
+	return opts, nil
+}
+
+// --- handlers ---------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) (int, error) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) (int, error) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.metrics.Render()))
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req PlanRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	opts, err := planOptions(req)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	sys, err := s.pool.System(s.key(req.Seed, req.Scale))
+	if err != nil {
+		return statusOf(err), err
+	}
+	// The request context flows into the facade so a disconnect or
+	// shutdown aborts an on-demand truth computation (estimator "true").
+	plan, cost, err := sys.OptimizeContext(r.Context(), req.Query, opts)
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, OptimizeResponse{Query: req.Query, Plan: plan, Cost: cost})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req ExecuteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	opts, err := planOptions(req.PlanRequest)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	rehash := true
+	if req.Rehash != nil {
+		rehash = *req.Rehash
+	}
+	sys, err := s.pool.System(s.key(req.Seed, req.Scale))
+	if err != nil {
+		return statusOf(err), err
+	}
+	res, err := sys.ExecuteContext(r.Context(), req.Query, jobench.RunOptions{
+		PlanOptions: opts, Rehash: rehash, WorkLimit: req.WorkLimit,
+	})
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, ExecuteResponse{
+		Query: req.Query, Rows: res.Rows, Work: res.Work,
+		TimedOut: res.TimedOut, Plan: res.Plan,
+	})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req EstimateRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	sys, err := s.pool.System(s.key(req.Seed, req.Scale))
+	if err != nil {
+		return statusOf(err), err
+	}
+	estimator := req.Estimator
+	if estimator == "" {
+		estimator = jobench.EstPostgres
+	}
+	card, err := sys.EstimateCardinalityContext(r.Context(), req.Query, estimator)
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Query: req.Query, Estimator: estimator, Cardinality: card,
+	})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) (int, error) {
+	seed, scale, err := querySeedScale(r)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	sys, err := s.pool.System(s.key(seed, scale))
+	if err != nil {
+		return statusOf(err), err
+	}
+	ids := sys.QueryIDs()
+	writeJSON(w, http.StatusOK, QueriesResponse{Count: len(ids), Queries: ids})
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) (int, error) {
+	name := r.PathValue("name")
+	// Validate the name before anything expensive: a miss must cost a
+	// slice scan, not the construction of an entire Lab.
+	if !slices.Contains(experiments.Names(), name) {
+		return http.StatusNotFound, fmt.Errorf("unknown experiment %q (%s)",
+			name, strings.Join(experiments.Names(), "|"))
+	}
+	seed, scale, err := querySeedScale(r)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	samples := 0
+	if v := r.URL.Query().Get("samples"); v != "" {
+		samples, err = strconv.Atoi(v)
+		if err != nil || samples < 0 {
+			return http.StatusBadRequest, fmt.Errorf("invalid samples %q", v)
+		}
+	}
+	// Normalize samples before it becomes part of the cache key: only fig9
+	// consumes it, and fig9 treats 0 as its 10000 default — without this,
+	// distinct samples values would redundantly recompute (and separately
+	// cache) byte-identical reports.
+	if name != "fig9" {
+		samples = 0
+	} else if samples == 0 {
+		samples = 10000
+	}
+	text, err := s.report(reportKey{key: s.key(seed, scale), name: name, samples: samples})
+	if err != nil {
+		return statusOf(err), err
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte(text))
+	return http.StatusOK, nil
+}
+
+func querySeedScale(r *http.Request) (seed int64, scale float64, err error) {
+	q := r.URL.Query()
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("invalid seed %q", v)
+		}
+	}
+	if v := q.Get("scale"); v != "" {
+		scale, err = strconv.ParseFloat(v, 64)
+		// NaN and ±Inf parse successfully but must never become part of a
+		// pool key: NaN != NaN makes such a key undeletable from every map
+		// it enters (the flight group, the LRU), a permanent leak.
+		if err != nil || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return 0, 0, fmt.Errorf("invalid scale %q", v)
+		}
+	}
+	return seed, scale, nil
+}
+
+// --- report cache -----------------------------------------------------------
+
+// reportKey addresses one memoized experiment report. Everything an
+// experiment's output depends on is in here: the world (pool key), the
+// experiment name, and its parameters — the drivers are deterministic in
+// exactly these inputs (reports are byte-identical at any worker count by
+// the runner's order-preserving contract).
+type reportKey struct {
+	key     Key
+	name    string
+	samples int
+}
+
+// reportCacheCap bounds the memoized reports. Keys embed client-supplied
+// (seed, scale), so without a cap a client iterating seeds would grow the
+// cache without limit; beyond the cap the oldest insertion is dropped
+// (recomputable at the cost of one sweep).
+const reportCacheCap = 128
+
+type reportCache struct {
+	mu    sync.Mutex
+	m     map[reportKey]string
+	order []reportKey // insertion order, oldest first
+}
+
+func newReportCache() *reportCache {
+	return &reportCache{m: make(map[reportKey]string)}
+}
+
+func (c *reportCache) get(k reportKey) (string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	text, ok := c.m[k]
+	return text, ok
+}
+
+func (c *reportCache) put(k reportKey, text string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[k]; !ok {
+		c.order = append(c.order, k)
+	}
+	c.m[k] = text
+	for len(c.m) > reportCacheCap && len(c.order) > 0 {
+		victim := c.order[0]
+		c.order = c.order[1:]
+		delete(c.m, victim)
+	}
+}
+
+// report returns the memoized rendering of one experiment, computing it
+// under single-flight on a miss. The computation runs under the server's
+// lifetime context, not the triggering request's: concurrent waiters share
+// the flight, so one client's disconnect must not cancel work the others
+// (and the cache) still want — while shutdown still aborts it. Only
+// successful renders are cached, so a cancelled or failed run never
+// poisons the cache.
+func (s *Server) report(k reportKey) (string, error) {
+	if text, ok := s.reports.get(k); ok {
+		s.metrics.ReportHits.Add(1)
+		return text, nil
+	}
+	s.metrics.ReportMisses.Add(1)
+	text, err, _ := s.reportFlight.Do(k, func() (string, error) {
+		if text, ok := s.reports.get(k); ok {
+			return text, nil
+		}
+		lab, err := s.pool.Lab(k.key)
+		if err != nil {
+			return "", err
+		}
+		text, err := experiments.RunExperiment(s.serverCtx(), lab, k.name, experiments.Params{Samples: k.samples})
+		if err != nil {
+			return "", err
+		}
+		s.reports.put(k, text)
+		return text, nil
+	})
+	return text, err
+}

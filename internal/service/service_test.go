@@ -1,0 +1,359 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jobench"
+	"jobench/internal/experiments"
+)
+
+// One shared test server (and its pooled instances) across every test in
+// the file: the world is deterministic, so sharing costs nothing and saves
+// repeated Opens.
+var (
+	testOnce sync.Once
+	testSrv  *Server
+	testHTTP *httptest.Server
+)
+
+const (
+	testScale = 0.05
+	testSeed  = 7
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	testOnce.Do(func() {
+		testSrv = New(Config{
+			DefaultSeed:  testSeed,
+			DefaultScale: testScale,
+			PoolSize:     2,
+			Logf:         func(string, ...any) {},
+		})
+		testHTTP = httptest.NewServer(testSrv.Handler())
+	})
+	return testSrv, testHTTP
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// referenceSystem opens the same world outside the service for comparison.
+var (
+	refOnce sync.Once
+	refSys  *jobench.System
+)
+
+func referenceSystem(t *testing.T) *jobench.System {
+	t.Helper()
+	refOnce.Do(func() {
+		var err error
+		refSys, err = jobench.Open(jobench.Options{Scale: testScale, Seed: testSeed})
+		if err != nil {
+			t.Fatalf("reference open: %v", err)
+		}
+	})
+	if refSys == nil {
+		t.Skip("reference system failed to open in an earlier test")
+	}
+	return refSys
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var v map[string]string
+	if err := json.Unmarshal(body, &v); err != nil || v["status"] != "ok" {
+		t.Fatalf("body %q (%v)", body, err)
+	}
+}
+
+func TestQueries(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := getBody(t, ts.URL+"/v1/queries")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v QueriesResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Count != 113 || len(v.Queries) != 113 || v.Queries[0] != "1a" {
+		t.Fatalf("got %d queries, first %q", v.Count, v.Queries[0])
+	}
+}
+
+func TestOptimizeMatchesFacade(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", PlanRequest{Query: "13d"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var v OptimizeResponse
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	sys := referenceSystem(t)
+	wantPlan, wantCost, err := sys.Optimize("13d", jobench.PlanOptions{
+		Indexes: jobench.PKFK, DisableNestedLoops: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Plan != wantPlan {
+		t.Errorf("service plan differs from facade:\n--- service ---\n%s\n--- facade ---\n%s", v.Plan, wantPlan)
+	}
+	if v.Cost != wantCost {
+		t.Errorf("service cost %v, facade %v", v.Cost, wantCost)
+	}
+}
+
+func TestExecuteAndEstimate(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/execute", ExecuteRequest{PlanRequest: PlanRequest{Query: "1a"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute status %d: %s", resp.StatusCode, body)
+	}
+	var ex ExecuteResponse
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	sys := referenceSystem(t)
+	want, err := sys.Execute("1a", jobench.RunOptions{
+		PlanOptions: jobench.PlanOptions{Indexes: jobench.PKFK, DisableNestedLoops: true},
+		Rehash:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Rows != want.Rows || ex.Work != want.Work {
+		t.Errorf("service execute (%d rows, %d work), facade (%d rows, %d work)",
+			ex.Rows, ex.Work, want.Rows, want.Work)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Query: "1a", Estimator: "postgres"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate status %d: %s", resp.StatusCode, body)
+	}
+	var est EstimateResponse
+	if err := json.Unmarshal(body, &est); err != nil {
+		t.Fatal(err)
+	}
+	wantCard, err := sys.EstimateCardinality("1a", jobench.EstPostgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cardinality != wantCard {
+		t.Errorf("service estimate %v, facade %v", est.Cardinality, wantCard)
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", PlanRequest{Query: "nope"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown query: status %d: %s", resp.StatusCode, body)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("unknown query error body %q", body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/optimize", PlanRequest{Query: "1a", Indexes: "btree"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad knob: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body = getBody(t, ts.URL+"/v1/experiment/fig99")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown experiment: status %d: %s", resp.StatusCode, body)
+	}
+	// NaN parses as a float but must be rejected before it can become an
+	// (undeletable) pool key.
+	for _, bad := range []string{"NaN", "Inf", "-Inf"} {
+		resp, body = getBody(t, ts.URL+"/v1/queries?scale="+bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("scale=%s: status %d: %s", bad, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestExperimentByteIdenticalAndCached is the acceptance test for the
+// experiment surface: /v1/experiment/table1 renders byte-identically to
+// the CLI path (both go through experiments.RunExperiment, compared here
+// against a directly driven Lab), and the second request is served from
+// the report cache.
+func TestExperimentByteIdenticalAndCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("computes truth for the full workload")
+	}
+	srv, ts := testServer(t)
+	resp, body := getBody(t, ts.URL+"/v1/experiment/table1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	lab, err := experiments.NewLab(experiments.Config{Scale: testScale, Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.RunExperiment(context.Background(), lab, "table1", experiments.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != want {
+		t.Errorf("service report differs from CLI rendering:\n--- service ---\n%s\n--- cli ---\n%s", body, want)
+	}
+
+	hitsBefore := srv.Metrics().ReportHits.Load()
+	resp2, body2 := getBody(t, ts.URL+"/v1/experiment/table1")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second request status %d", resp2.StatusCode)
+	}
+	if string(body2) != string(body) {
+		t.Error("cached report differs from the first rendering")
+	}
+	if srv.Metrics().ReportHits.Load() != hitsBefore+1 {
+		t.Error("second request did not hit the report cache")
+	}
+}
+
+// TestConcurrentMixedRequests hammers the HTTP surface with mixed
+// optimize/execute/estimate/queries traffic; under -race this extends the
+// facade's concurrency contract through the full service stack.
+func TestConcurrentMixedRequests(t *testing.T) {
+	_, ts := testServer(t)
+	queries := []string{"1a", "6a", "17e"}
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*3)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qid := queries[w%len(queries)]
+			var resp *http.Response
+			var body []byte
+			switch w % 4 {
+			case 0:
+				resp, body = postJSON(t, ts.URL+"/v1/optimize", PlanRequest{Query: qid})
+			case 1:
+				resp, body = postJSON(t, ts.URL+"/v1/execute", ExecuteRequest{PlanRequest: PlanRequest{Query: qid}})
+			case 2:
+				resp, body = postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{Query: qid})
+			case 3:
+				resp, body = getBody(t, ts.URL+"/v1/queries")
+			}
+			if resp.StatusCode != http.StatusOK {
+				errc <- fmt.Errorf("worker %d: status %d: %s", w, resp.StatusCode, body)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := testServer(t)
+	// Generate at least one observation first.
+	getBody(t, ts.URL+"/healthz")
+	resp, body := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"jobench_requests_total{route=\"/healthz\",code=\"200\"}",
+		"jobench_request_seconds_total",
+		"jobench_pool_hits_total",
+		"jobench_pool_misses_total",
+		"jobench_pool_warmups_inflight",
+		"jobench_report_cache_hits_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeGracefulShutdown proves cancelling the serve context stops the
+// server promptly and cleanly.
+func TestServeGracefulShutdown(t *testing.T) {
+	srv := New(Config{
+		DefaultSeed: testSeed, DefaultScale: testScale,
+		ShutdownGrace: 2 * time.Second,
+		Logf:          func(string, ...any) {},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx, ln) }()
+
+	resp, err := http.Get("http://" + ln.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after cancellation", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return within 5s of cancellation")
+	}
+	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}

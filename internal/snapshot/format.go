@@ -1,8 +1,9 @@
 // Package snapshot persists the expensive artifacts of opening a benchmark
-// instance — the generated storage.Database, its stats, and per-query
-// truecard stores — as versioned, checksummed binary files in a
-// content-addressed cache directory, so repeat runs load in milliseconds
-// instead of regenerating for minutes.
+// instance — the generated storage.Database, its stats, the index sets of
+// the three physical designs, and per-query truecard stores — as
+// versioned, checksummed binary files in a content-addressed cache
+// directory, so repeat runs load in milliseconds instead of regenerating
+// for minutes.
 //
 // Every file shares one frame: a magic number, the format version, a
 // section kind, the cache key fingerprint, a length-prefixed payload, and
@@ -15,9 +16,9 @@
 // into "regenerate with a warning" — never a panic and never silently
 // wrong data.
 //
-// Databases fan encode/decode out per table and truth stores are one file
-// per query, both through internal/parallel, mirroring how the rest of the
-// system parallelizes.
+// Databases fan encode/decode out per table, index sets per index, and
+// truth stores are one file per query, all through internal/parallel,
+// mirroring how the rest of the system parallelizes.
 package snapshot
 
 import (
@@ -42,6 +43,7 @@ const (
 	kindDatabase byte = 1
 	kindStats    byte = 2
 	kindTruth    byte = 3
+	kindIndexes  byte = 4
 )
 
 // enc is an append-only little-endian encoder.

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"jobench/internal/index"
 	"jobench/internal/query"
 	"jobench/internal/stats"
 	"jobench/internal/storage"
@@ -232,6 +233,31 @@ func (s *Store) SaveStats(opts stats.Options, sdb *stats.DB) error {
 	return s.write(statsFile(opts), EncodeStats(sdb, s.fp))
 }
 
+// indexesFile names the snapshot of one physical design. config is a
+// caller-chosen filename-safe label ("none", "pk", "pkfk").
+func indexesFile(config string) string {
+	return "indexes-" + config + ".snap"
+}
+
+// LoadIndexes reads the cached index set of one physical design, validating
+// it against db (row-id bounds, known tables and columns).
+func (s *Store) LoadIndexes(config string, db *storage.Database) (*index.Set, error) {
+	data, err := s.read(indexesFile(config))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeIndexes(data, s.fp, db, s.workers)
+}
+
+// SaveIndexes writes the index snapshot of one physical design.
+func (s *Store) SaveIndexes(config string, set *index.Set) error {
+	data, err := EncodeIndexes(set, s.fp, s.workers)
+	if err != nil {
+		return err
+	}
+	return s.write(indexesFile(config), data)
+}
+
 // truthFile names one query's truth snapshot. Workload ids ("1a".."33c")
 // pass through; anything a user registered with an unruly name is hashed
 // into a safe filename.
@@ -274,7 +300,10 @@ type Info struct {
 	HasDatabase bool
 	StatsFiles  int
 	TruthFiles  int
-	Bytes       int64
+	// IndexSets lists the cached physical designs by label ("pk", "pkfk",
+	// ...), sorted.
+	IndexSets []string
+	Bytes     int64
 }
 
 // Inspect summarizes every snapshot under cacheDir. A missing cache
@@ -309,11 +338,15 @@ func Inspect(cacheDir string) ([]Info, error) {
 				info.HasDatabase = true
 			case strings.HasPrefix(d.Name(), "stats-"):
 				info.StatsFiles++
+			case strings.HasPrefix(d.Name(), "indexes-") && strings.HasSuffix(d.Name(), ".snap"):
+				info.IndexSets = append(info.IndexSets,
+					strings.TrimSuffix(strings.TrimPrefix(d.Name(), "indexes-"), ".snap"))
 			case filepath.Base(filepath.Dir(path)) == truthDir:
 				info.TruthFiles++
 			}
 			return nil
 		})
+		sort.Strings(info.IndexSets)
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Fingerprint < out[j].Fingerprint })

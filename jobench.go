@@ -50,7 +50,8 @@ type Options struct {
 	// identical at any setting.
 	Parallel int
 	// CacheDir enables the persistent snapshot store: the generated
-	// database, its statistics, and every computed true-cardinality store
+	// database, its statistics, the three index sets, and every computed
+	// true-cardinality store
 	// are persisted beneath this directory and reloaded by the next Open
 	// with the same Scale, Seed, and workload, skipping generation and
 	// truth computation entirely. Snapshots are versioned and checksummed;
@@ -63,12 +64,13 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
-// generateDB and computeTruth are indirection points so the cache tests
-// can prove a warm Open performs zero database generation and zero
-// true-cardinality computation.
+// generateDB, computeTruth and buildIndexes are indirection points so the
+// cache tests can prove a warm Open performs zero database generation, zero
+// true-cardinality computation, and zero index construction.
 var (
 	generateDB   = imdb.Generate
 	computeTruth = truecard.ComputeContext
+	buildIndexes = imdb.BuildIndexes
 )
 
 // IndexConfig selects a physical design (§4 of the paper).
@@ -117,6 +119,50 @@ type PlanOptions struct {
 	Seed int64
 }
 
+// MakePlanOptions builds PlanOptions from the string knob names shared by
+// the CLI's flags and the service's JSON API, so both surfaces accept
+// exactly the same vocabulary. Empty strings select the defaults
+// (postgres estimates, simple cost model, PK+FK indexes, bushy trees,
+// exhaustive DP).
+func MakePlanOptions(estimator, costModel, indexes string, disableNLJ bool, shape, algorithm string) (PlanOptions, error) {
+	opts := PlanOptions{Estimator: estimator, CostModel: costModel, DisableNestedLoops: disableNLJ}
+	switch indexes {
+	case "none":
+		opts.Indexes = NoIndexes
+	case "pk":
+		opts.Indexes = PKOnly
+	case "pkfk", "":
+		opts.Indexes = PKFK
+	default:
+		return opts, fmt.Errorf("jobench: unknown index config %q (none|pk|pkfk)", indexes)
+	}
+	switch shape {
+	case "bushy", "":
+		opts.Shape = plan.Bushy
+	case "leftdeep":
+		opts.Shape = plan.LeftDeep
+	case "rightdeep":
+		opts.Shape = plan.RightDeep
+	case "zigzag":
+		opts.Shape = plan.ZigZag
+	default:
+		return opts, fmt.Errorf("jobench: unknown shape %q (bushy|leftdeep|rightdeep|zigzag)", shape)
+	}
+	switch algorithm {
+	case "dp", "":
+		opts.Algorithm = optimizer.DP
+	case "dpccp":
+		opts.Algorithm = optimizer.DPccp
+	case "quickpick":
+		opts.Algorithm = optimizer.QuickPick1000
+	case "goo":
+		opts.Algorithm = optimizer.GOO
+	default:
+		return opts, fmt.Errorf("jobench: unknown algorithm %q (dp|dpccp|quickpick|goo)", algorithm)
+	}
+	return opts, nil
+}
+
 // RunOptions control one execution.
 type RunOptions struct {
 	PlanOptions
@@ -134,9 +180,20 @@ type Result struct {
 	Plan     string // EXPLAIN rendering of the executed plan
 }
 
-// System is an opened benchmark instance. Its read paths (Optimize,
-// Execute, Estimate*) are safe for concurrent use; the lazily computed
-// true-cardinality cache is guarded by a mutex.
+// System is an opened benchmark instance.
+//
+// Every method is safe for concurrent use by multiple goroutines — the
+// service layer hammers one shared System from many requests at once. The
+// pieces that make that true:
+//
+//   - The database, statistics, index sets, and estimators are immutable
+//     after Open. Optimize/Execute/Estimate* build all per-call state fresh
+//     (providers, optimizer, executor) and only read the shared structures.
+//   - The query registry (queries, order, graphs) is guarded by an RWMutex
+//     so AddQuery can run concurrently with the read paths.
+//   - The lazily computed true-cardinality stores are guarded by a mutex,
+//     and each store is computed through a single-flight group: concurrent
+//     requests for one uncached query run exactly one DP and share it.
 type System struct {
 	db       *storage.Database
 	stats    *stats.DB
@@ -146,20 +203,22 @@ type System struct {
 	snap *snapshot.Store // nil when Options.CacheDir was empty
 	logf func(format string, args ...any)
 
+	qmu     sync.RWMutex
 	queries map[string]*query.Query
 	order   []string
 	graphs  map[string]*query.Graph
 
-	truthMu sync.Mutex
-	truth   map[string]*truecard.Store
+	truthMu     sync.Mutex
+	truth       map[string]*truecard.Store
+	truthFlight parallel.Flight[string, *truecard.Store]
 
 	estimators map[string]cardest.Estimator
 }
 
 // Open generates the data set, computes statistics and indexes, and loads
 // the JOB workload. With Options.CacheDir set, the database, statistics,
-// and all previously computed true cardinalities load from the snapshot
-// store instead of being regenerated.
+// index sets, and all previously computed true cardinalities load from
+// the snapshot store instead of being regenerated.
 func Open(opts Options) (*System, error) {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
@@ -222,7 +281,7 @@ func Open(opts Options) (*System, error) {
 	}
 	for i, cfg := range configs {
 		tasks = append(tasks, func() (err error) {
-			sets[i], err = imdb.BuildIndexes(db, cfg)
+			sets[i], err = snapshot.LoadOrBuildIndexes(snap, logf, "jobench", db, cfg, buildIndexes)
 			return err
 		})
 	}
@@ -271,10 +330,8 @@ func Open(opts Options) (*System, error) {
 // SELECT ... FROM tbl alias, ... WHERE <conjunction of predicates and
 // equi-joins>). The query is validated against the schema and becomes
 // addressable by id in Optimize, Execute and the cardinality methods.
+// AddQuery may run concurrently with the read paths.
 func (s *System) AddQuery(id, sql string) error {
-	if _, exists := s.queries[id]; exists {
-		return fmt.Errorf("jobench: query %q already exists", id)
-	}
 	q, err := query.ParseSQL(id, sql)
 	if err != nil {
 		return err
@@ -286,6 +343,11 @@ func (s *System) AddQuery(id, sql string) error {
 	if err != nil {
 		return err
 	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if _, exists := s.queries[id]; exists {
+		return fmt.Errorf("jobench: query %q already exists", id)
+	}
 	s.queries[id] = q
 	s.order = append(s.order, id)
 	s.graphs[id] = g
@@ -296,7 +358,7 @@ func (s *System) AddQuery(id, sql string) error {
 // the optimizer's estimated cardinality next to the true cardinality of
 // every operator — the classic way to see where estimates collapse.
 func (s *System) ExplainAnalyze(queryID string, opts RunOptions) (string, error) {
-	root, g, err := s.optimize(queryID, opts.PlanOptions)
+	root, g, err := s.optimizeCtx(context.Background(), queryID, opts.PlanOptions)
 	if err != nil {
 		return "", err
 	}
@@ -351,8 +413,11 @@ func qerr(est, truth float64) float64 {
 	return truth / est
 }
 
-// QueryIDs lists the 113 workload queries in family order.
+// QueryIDs lists the registered queries in family order (the 113 workload
+// queries, then any AddQuery registrations in insertion order).
 func (s *System) QueryIDs() []string {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
 	out := make([]string, len(s.order))
 	copy(out, s.order)
 	return out
@@ -370,10 +435,11 @@ func (s *System) SQL(queryID string) (string, error) {
 // JoinGraphDot renders a query's join graph in Graphviz dot syntax (the
 // paper's Fig. 2 for query 13d).
 func (s *System) JoinGraphDot(queryID string) (string, error) {
-	if _, err := s.query(queryID); err != nil {
+	g, err := s.graph(queryID)
+	if err != nil {
 		return "", err
 	}
-	return s.graphs[queryID].Dot(), nil
+	return g.Dot(), nil
 }
 
 // TableRows reports the generated table sizes.
@@ -386,11 +452,23 @@ func (s *System) TableRows() map[string]int {
 }
 
 func (s *System) query(id string) (*query.Query, error) {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
 	q, ok := s.queries[id]
 	if !ok {
 		return nil, fmt.Errorf("jobench: unknown query %q (ids run 1a..33c)", id)
 	}
 	return q, nil
+}
+
+func (s *System) graph(id string) (*query.Graph, error) {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	g, ok := s.graphs[id]
+	if !ok {
+		return nil, fmt.Errorf("jobench: unknown query %q (ids run 1a..33c)", id)
+	}
+	return g, nil
 }
 
 func (s *System) model(name string) (costmodel.Model, error) {
@@ -406,10 +484,13 @@ func (s *System) model(name string) (costmodel.Model, error) {
 	}
 }
 
-func (s *System) provider(queryID, estimator string) (cardest.Provider, error) {
-	g := s.graphs[queryID]
+func (s *System) provider(ctx context.Context, queryID, estimator string) (cardest.Provider, error) {
+	g, err := s.graph(queryID)
+	if err != nil {
+		return nil, err
+	}
 	if estimator == EstTrue {
-		st, err := s.TruthStore(queryID)
+		st, err := s.truthStore(ctx, queryID)
 		if err != nil {
 			return nil, err
 		}
@@ -440,34 +521,47 @@ func (s *System) truthStore(ctx context.Context, queryID string) (*truecard.Stor
 	if ok {
 		return st, nil
 	}
-	if _, err := s.query(queryID); err != nil {
+	g, err := s.graph(queryID)
+	if err != nil {
 		return nil, err
 	}
-	g := s.graphs[queryID]
-	if s.snap != nil {
-		cached, ok := snapshot.Load(s.logf, "jobench: snapshot truth "+queryID,
-			func() (*truecard.Store, error) { return s.snap.LoadTruth(g) })
+	// Single-flight per query: a burst of concurrent requests for one
+	// uncached truth store runs the (expensive) DP exactly once and shares
+	// the result. Errors are not latched — a cancelled or failed
+	// computation leaves the next caller free to retry.
+	st, err, _ = s.truthFlight.Do(queryID, func() (*truecard.Store, error) {
+		s.truthMu.Lock()
+		st, ok := s.truth[queryID]
+		s.truthMu.Unlock()
 		if ok {
-			s.truthMu.Lock()
-			s.truth[queryID] = cached
-			s.truthMu.Unlock()
-			return cached, nil
+			return st, nil
 		}
-	}
-	st, err := computeTruth(ctx, s.db, g, truecard.Options{Parallel: s.parallel})
-	if err != nil {
-		return nil, fmt.Errorf("jobench: true cardinalities for %s (row limit %d): %w",
-			queryID, truecard.DefaultMaxRows, err)
-	}
-	if s.snap != nil {
-		snapshot.Save(s.logf, "jobench: snapshot save truth "+queryID, func() error {
-			return s.snap.SaveTruth(st)
-		})
-	}
-	s.truthMu.Lock()
-	s.truth[queryID] = st
-	s.truthMu.Unlock()
-	return st, nil
+		if s.snap != nil {
+			cached, ok := snapshot.Load(s.logf, "jobench: snapshot truth "+queryID,
+				func() (*truecard.Store, error) { return s.snap.LoadTruth(g) })
+			if ok {
+				s.truthMu.Lock()
+				s.truth[queryID] = cached
+				s.truthMu.Unlock()
+				return cached, nil
+			}
+		}
+		st, err := computeTruth(ctx, s.db, g, truecard.Options{Parallel: s.parallel})
+		if err != nil {
+			return nil, fmt.Errorf("jobench: true cardinalities for %s (row limit %d): %w",
+				queryID, truecard.DefaultMaxRows, err)
+		}
+		if s.snap != nil {
+			snapshot.Save(s.logf, "jobench: snapshot save truth "+queryID, func() error {
+				return s.snap.SaveTruth(st)
+			})
+		}
+		s.truthMu.Lock()
+		s.truth[queryID] = st
+		s.truthMu.Unlock()
+		return st, nil
+	})
+	return st, err
 }
 
 // Warmup precomputes the true-cardinality store of every registered query
@@ -481,7 +575,15 @@ func (s *System) truthStore(ctx context.Context, queryID string) (*truecard.Stor
 // otherwise hold one core each while the rest idle; the inner fan-out
 // soaks up that straggler tail, and idle inner workers cost nothing.
 func (s *System) Warmup() error {
-	_, err := parallel.RunCells(context.Background(), s.parallel, s.QueryIDs(),
+	return s.WarmupContext(context.Background())
+}
+
+// WarmupContext is Warmup with cancellation: ctx flows into every
+// true-cardinality DP, so a cancelled warmup (service shutdown, client
+// disconnect) aborts the in-flight computations instead of finishing them
+// orphaned.
+func (s *System) WarmupContext(ctx context.Context) error {
+	_, err := parallel.RunCells(ctx, s.parallel, s.QueryIDs(),
 		func(ctx context.Context, qid string) (struct{}, error) {
 			// The pool ctx flows into each DP so one query's failure also
 			// cancels the sibling computations already in flight.
@@ -497,39 +599,57 @@ func (s *System) TrueCardinality(queryID string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	v, _ := st.Card(query.FullSet(s.graphs[queryID].N))
+	g, err := s.graph(queryID)
+	if err != nil {
+		return 0, err
+	}
+	v, _ := st.Card(query.FullSet(g.N))
 	return v, nil
 }
 
 // EstimateCardinality returns an estimator's prediction of a query's result
 // size.
 func (s *System) EstimateCardinality(queryID, estimator string) (float64, error) {
-	if _, err := s.query(queryID); err != nil {
-		return 0, err
-	}
-	prov, err := s.provider(queryID, estimator)
+	return s.EstimateCardinalityContext(context.Background(), queryID, estimator)
+}
+
+// EstimateCardinalityContext is EstimateCardinality with cancellation: ctx
+// bounds the on-demand true-cardinality DP when estimator is EstTrue.
+func (s *System) EstimateCardinalityContext(ctx context.Context, queryID, estimator string) (float64, error) {
+	g, err := s.graph(queryID)
 	if err != nil {
 		return 0, err
 	}
-	return prov.Card(query.FullSet(s.graphs[queryID].N)), nil
+	prov, err := s.provider(ctx, queryID, estimator)
+	if err != nil {
+		return 0, err
+	}
+	return prov.Card(query.FullSet(g.N)), nil
 }
 
 // Optimize plans a query and returns its EXPLAIN rendering plus estimated
 // cost.
 func (s *System) Optimize(queryID string, opts PlanOptions) (string, float64, error) {
-	root, g, err := s.optimize(queryID, opts)
+	return s.OptimizeContext(context.Background(), queryID, opts)
+}
+
+// OptimizeContext is Optimize with cancellation: ctx bounds the on-demand
+// true-cardinality DP the EstTrue provider may trigger (the service hands
+// the request context in, so a client disconnect or shutdown aborts it).
+func (s *System) OptimizeContext(ctx context.Context, queryID string, opts PlanOptions) (string, float64, error) {
+	root, g, err := s.optimizeCtx(ctx, queryID, opts)
 	if err != nil {
 		return "", 0, err
 	}
 	return plan.Explain(root, g), root.ECost, nil
 }
 
-func (s *System) optimize(queryID string, opts PlanOptions) (*plan.Node, *query.Graph, error) {
-	if _, err := s.query(queryID); err != nil {
+func (s *System) optimizeCtx(ctx context.Context, queryID string, opts PlanOptions) (*plan.Node, *query.Graph, error) {
+	g, err := s.graph(queryID)
+	if err != nil {
 		return nil, nil, err
 	}
-	g := s.graphs[queryID]
-	prov, err := s.provider(queryID, opts.Estimator)
+	prov, err := s.provider(ctx, queryID, opts.Estimator)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -559,7 +679,12 @@ func (s *System) optimize(queryID string, opts PlanOptions) (*plan.Node, *query.
 
 // Execute optimizes and runs a query.
 func (s *System) Execute(queryID string, opts RunOptions) (Result, error) {
-	root, g, err := s.optimize(queryID, opts.PlanOptions)
+	return s.ExecuteContext(context.Background(), queryID, opts)
+}
+
+// ExecuteContext is Execute with cancellation; see OptimizeContext.
+func (s *System) ExecuteContext(ctx context.Context, queryID string, opts RunOptions) (Result, error) {
+	root, g, err := s.optimizeCtx(ctx, queryID, opts.PlanOptions)
 	if err != nil {
 		return Result{}, err
 	}

@@ -12,7 +12,10 @@ SNAPSHOT_SCALE ?= 0.3
 # Where `make serve` listens.
 SERVE_ADDR ?= :8080
 
-.PHONY: build test test-short race-short bench bench-smoke fmt fmt-check vet ci snapshot serve smoke-serve
+.PHONY: build test test-short race-short bench bench-smoke bench-json fmt fmt-check vet ci snapshot serve smoke-serve
+
+# Where bench-json drops its perf-trajectory artifacts.
+BENCH_DIR ?= bench
 
 build:
 	$(GO) build ./...
@@ -36,9 +39,24 @@ bench:
 
 # One iteration per benchmark, no tests: catches bit-rot in bench_test.go
 # and establishes a perf baseline without benchmarking-grade runtimes.
-# Includes BenchmarkTruecardCompute (serial vs parallel truecard DP).
+# Includes BenchmarkTruecardCompute (serial vs parallel truecard DP) and
+# the engine micro-benches (BenchmarkEngineExecuteJOB/EngineHashJoin).
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Perf-trajectory capture of the hot-path benchmarks (engine execution,
+# truecard DP) at benchmarking-grade iteration counts: one run yields
+# BENCH_hotpaths.json (the full `go test -json` stream) and
+# BENCH_hotpaths.txt (benchstat-compatible text recovered from it by
+# cmd/benchtxt). CI uploads $(BENCH_DIR) as an artifact on every push, so
+# regressions show up as a diffable series.
+bench-json:
+	@mkdir -p $(BENCH_DIR)
+	$(GO) test -json -run='^$$' -bench='BenchmarkEngineExecuteJOB|BenchmarkEngineHashJoin|BenchmarkTruecardCompute' \
+		-benchmem -benchtime=5x -count=3 ./internal/engine ./internal/truecard \
+		> $(BENCH_DIR)/BENCH_hotpaths.json
+	$(GO) run ./cmd/benchtxt < $(BENCH_DIR)/BENCH_hotpaths.json > $(BENCH_DIR)/BENCH_hotpaths.txt
+	@cat $(BENCH_DIR)/BENCH_hotpaths.txt
 
 # Build (or refresh) the snapshot cache: generates the database, runs
 # ANALYZE, computes all 113 true-cardinality stores, and persists the lot

@@ -1,0 +1,43 @@
+// benchtxt extracts the plain output stream from a `go test -json` run on
+// stdin, recovering the benchstat-compatible text from a benchmark capture
+// that is archived as JSON — one benchmark run yields both artifacts.
+//
+// Usage: go test -json -bench ... | tee BENCH.json | benchtxt > BENCH.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Pass through anything that is not go-test JSON (e.g. build
+			// noise) so failures stay visible.
+			fmt.Println(string(line))
+			continue
+		}
+		if ev.Action == "output" {
+			fmt.Print(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtxt: %v\n", err)
+		os.Exit(1)
+	}
+}

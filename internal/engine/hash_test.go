@@ -1,95 +1,13 @@
 package engine
 
 import (
+	"math"
 	"testing"
-	"testing/quick"
 )
 
-func TestHashTableProbeAndChains(t *testing.T) {
-	// A table sized for 4 entries receiving 4000 forces long chains.
-	ht := newHashTable(4)
-	for i := int32(0); i < 4000; i++ {
-		ht.insert(int64(i%100), i, false)
-	}
-	out, walked := ht.probe(7, nil)
-	if len(out) != 40 {
-		t.Fatalf("probe(7) found %d entries, want 40", len(out))
-	}
-	// The bucket holds ~1000 entries (4000 over 4 buckets): long chains.
-	if walked < 100 {
-		t.Fatalf("walked only %d entries; expected long collision chains", walked)
-	}
-
-	// The same data in a rehashing table: short chains.
-	ht2 := newHashTable(4)
-	for i := int32(0); i < 4000; i++ {
-		ht2.insert(int64(i%100), i, true)
-	}
-	out2, walked2 := ht2.probe(7, nil)
-	if len(out2) != 40 {
-		t.Fatalf("rehash probe found %d", len(out2))
-	}
-	if walked2 >= walked/2 {
-		t.Fatalf("rehash chains (%d) not much shorter than fixed (%d)", walked2, walked)
-	}
-}
-
-func TestHashTableSizing(t *testing.T) {
-	for _, tc := range []struct {
-		est  float64
-		want uint64
-	}{
-		{0, 4}, {1, 4}, {4, 4}, {5, 8}, {1000, 1024}, {-3, 4},
-	} {
-		ht := newHashTable(tc.est)
-		if got := uint64(len(ht.buckets)); got != tc.want {
-			t.Errorf("newHashTable(%g): %d buckets, want %d", tc.est, got, tc.want)
-		}
-	}
-	if testing.Short() {
-		// The cap check below allocates (and the kernel zeroes) the full
-		// 1<<28-bucket table — tens of seconds of wall clock.
-		t.Skip("skipping huge-allocation cap check in -short mode")
-	}
-	// NaN and absurd estimates must not blow up the allocation.
-	huge := newHashTable(1e30)
-	if len(huge.buckets) > 1<<28 {
-		t.Fatal("estimate cap not applied")
-	}
-}
-
-// Property: probe returns exactly the rows inserted under a key, regardless
-// of rehashing.
-func TestHashTableCorrectnessProperty(t *testing.T) {
-	f := func(keys []int8, rehash bool) bool {
-		ht := newHashTable(2)
-		want := make(map[int64][]int32)
-		for i, k := range keys {
-			ht.insert(int64(k), int32(i), rehash)
-			want[int64(k)] = append(want[int64(k)], int32(i))
-		}
-		for k, rows := range want {
-			got, _ := ht.probe(k, nil)
-			if len(got) != len(rows) {
-				return false
-			}
-			seen := make(map[int32]bool, len(got))
-			for _, r := range got {
-				seen[r] = true
-			}
-			for _, r := range rows {
-				if !seen[r] {
-					return false
-				}
-			}
-		}
-		got, _ := ht.probe(999, nil)
-		return len(got) == 0
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
+// The hash-table unit and property tests (probe/chain lengths, sizing,
+// metering equivalence against the old chained layout) live with the table
+// in internal/hashtab; this file covers the engine-side helpers.
 
 func TestMergeRels(t *testing.T) {
 	cases := []struct{ a, b, want []int }{
@@ -108,5 +26,21 @@ func TestMergeRels(t *testing.T) {
 				t.Fatalf("mergeRels(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
 			}
 		}
+	}
+}
+
+func TestEmitCap(t *testing.T) {
+	for _, tc := range []struct {
+		ecard float64
+		want  int
+	}{
+		{-1, 0}, {0, 0}, {42.9, 42}, {float64(emitCapMax) * 10, emitCapMax},
+	} {
+		if got := emitCap(tc.ecard); got != tc.want {
+			t.Errorf("emitCap(%g) = %d, want %d", tc.ecard, got, tc.want)
+		}
+	}
+	if got := emitCap(math.NaN()); got != 0 {
+		t.Errorf("emitCap(NaN) = %d, want 0", got)
 	}
 }

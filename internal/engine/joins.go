@@ -1,172 +1,108 @@
 package engine
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
+	"jobench/internal/hashtab"
 	"jobench/internal/plan"
 	"jobench/internal/query"
 	"jobench/internal/storage"
 )
 
-// hashTable is a real chained hash table over int64 keys. Its bucket count
-// comes from the optimizer's estimate, which is the §4.1 mechanism: an
-// underestimated build side yields long collision chains whose traversal
-// costs real work. With rehash enabled the table doubles once the load
-// factor exceeds 3 (the PostgreSQL 9.5 behaviour), paying the reinsertion
-// work instead.
-type hashTable struct {
-	buckets [][]hashEntry
-	mask    uint64
-	n       int
-}
-
-type hashEntry struct {
-	key int64
-	row int32 // index into the build batch
-}
-
-func nextPow2(v uint64) uint64 {
-	if v < 4 {
-		return 4
-	}
-	p := uint64(4)
-	for p < v {
-		p <<= 1
-	}
-	return p
-}
-
-func newHashTable(estimate float64) *hashTable {
-	if math.IsNaN(estimate) || estimate < 1 {
-		estimate = 1
-	}
-	if estimate > 1<<28 {
-		estimate = 1 << 28
-	}
-	nb := nextPow2(uint64(estimate))
-	return &hashTable{buckets: make([][]hashEntry, nb), mask: nb - 1}
-}
-
-func hash64(v int64) uint64 {
-	x := uint64(v)
-	x ^= x >> 33
-	x *= 0xff51afd7ed558ccd
-	x ^= x >> 33
-	x *= 0xc4ceb9fe1a85ec53
-	x ^= x >> 33
-	return x
-}
-
-// insert adds an entry and returns the work units spent (including any
-// rehash triggered by it).
-func (h *hashTable) insert(key int64, row int32, rehash bool) int64 {
-	work := int64(HashBuildFactor)
-	b := hash64(key) & h.mask
-	h.buckets[b] = append(h.buckets[b], hashEntry{key, row})
-	h.n++
-	if rehash && uint64(h.n) > 3*uint64(len(h.buckets)) {
-		work += h.grow()
-	}
-	return work
-}
-
-func (h *hashTable) grow() int64 {
-	old := h.buckets
-	nb := uint64(len(old)) * 2
-	h.buckets = make([][]hashEntry, nb)
-	h.mask = nb - 1
-	var work int64
-	for _, bucket := range old {
-		for _, e := range bucket {
-			b := hash64(e.key) & h.mask
-			h.buckets[b] = append(h.buckets[b], e)
-			work++
-		}
-	}
-	return work
-}
-
-// probe returns the matching rows for key and the number of entries
-// examined (the chain walk the paper's Fig. 6c removes by rehashing).
-func (h *hashTable) probe(key int64, out []int32) ([]int32, int64) {
-	b := hash64(key) & h.mask
-	bucket := h.buckets[b]
-	for _, e := range bucket {
-		if e.key == key {
-			out = append(out, e.row)
-		}
-	}
-	return out, int64(len(bucket))
-}
-
 // hashJoin builds on the left child (§6.2 convention), probes with the
-// right child.
-func (ex *executor) hashJoin(n *plan.Node) (*batch, error) {
-	left, err := ex.exec(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ex.exec(n.Right)
-	if err != nil {
-		return nil, err
-	}
+// right child. The table is hashtab's flat open-layout table; its bucket
+// count comes from the optimizer's estimate, which is the §4.1 mechanism:
+// an underestimated build side yields long collision chains whose
+// traversal costs real work. With rehash enabled the table doubles once
+// the load factor exceeds 3 (the PostgreSQL 9.5 behaviour), paying the
+// reinsertion work instead.
+func (ex *executor) hashJoin(n *plan.Node, live query.BitSet) (*batch, error) {
 	jc, err := ex.condition(n)
 	if err != nil {
 		return nil, err
 	}
+	leftLive, rightLive := childLive(jc, live)
+	left, err := ex.exec(n.Left, leftLive)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.exec(n.Right, rightLive)
+	if err != nil {
+		return nil, err
+	}
 	// The hash table is sized by the optimizer's estimate of the build
-	// side, NOT its true size: that is the whole point.
-	ht := newHashTable(n.Left.ECard)
-	buildCol := left.colOf(jc.buildRel)
-	for i, row := range buildCol {
-		if jc.buildCol.IsNull(int(row)) {
-			continue
+	// side, NOT its true size: that is the whole point. The entry arena,
+	// whose size is no part of the §4.1 model, is reserved at the true
+	// build size — an allocation saving with no metering effect.
+	ht := hashtab.New(n.Left.ECard)
+	buildRows := left.colOf(jc.buildRel)
+	ht.Reserve(len(buildRows))
+	bCol := jc.buildCol
+	for base := 0; base < len(buildRows); base += ex.block {
+		end := min(base+ex.block, len(buildRows))
+		var w int64
+		for i := base; i < end; i++ {
+			row := buildRows[i]
+			if bCol.IsNull(int(row)) {
+				continue
+			}
+			w += HashBuildFactor + ht.Insert(bCol.Ints[row], int32(i), ex.cfg.Rehash)
 		}
-		w := ht.insert(jc.buildCol.Ints[row], int32(i), ex.cfg.Rehash)
 		if err := ex.charge(w); err != nil {
 			return nil, err
 		}
 	}
-	em := newEmitter(left, right)
-	probeCol := right.colOf(jc.probeRel)
-	var matches []int32
-	for ri, row := range probeCol {
-		if jc.probeCol.IsNull(int(row)) {
-			if err := ex.charge(1); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		var walked int64
-		matches, walked = ht.probe(jc.probeCol.Ints[row], matches[:0])
-		if err := ex.charge(1 + walked); err != nil {
-			return nil, err
-		}
-		for _, li := range matches {
-			if !checkResiduals(jc, left, int(li), right, ri) {
+
+	em := newEmitter(ex.sc, left, right, live, n.ECard)
+	res := bindResiduals(jc, left, right)
+	probeRows := right.colOf(jc.probeRel)
+	pCol := jc.probeCol
+	matches := ex.sc.matches[:0]
+	lIdx, rIdx := ex.sc.lIdx[:0], ex.sc.rIdx[:0]
+	for base := 0; base < len(probeRows); base += ex.block {
+		end := min(base+ex.block, len(probeRows))
+		var w int64
+		lIdx, rIdx = lIdx[:0], rIdx[:0]
+		for ri := base; ri < end; ri++ {
+			row := probeRows[ri]
+			if pCol.IsNull(int(row)) {
+				w++
 				continue
 			}
-			em.emit(left, int(li), right, ri)
-			if err := ex.charge(1); err != nil {
-				return nil, err
+			// The chain walk is metered in full (the §4.1 penalty Fig. 6c
+			// removes by rehashing), matches or not.
+			var walked int64
+			matches, walked = ht.Probe(pCol.Ints[row], matches[:0])
+			w += 1 + walked
+			for _, li := range matches {
+				if !checkResiduals(res, int(li), ri) {
+					continue
+				}
+				lIdx = append(lIdx, li)
+				rIdx = append(rIdx, int32(ri))
+				w++
 			}
 		}
+		em.emitBlock(left, right, lIdx, rIdx)
+		if err := ex.charge(w); err != nil {
+			return nil, err
+		}
 	}
+	ex.sc.matches, ex.sc.lIdx, ex.sc.rIdx = matches[:0], lIdx[:0], rIdx[:0]
+	ex.release(left)
+	ex.release(right)
 	return em.batch(), nil
 }
 
 // indexJoin looks up each left tuple in the index on the right base
 // relation; the right relation's selection applies only *after* the fetch
 // (§2.4), which is also why its cost uses the unfiltered intermediate.
-func (ex *executor) indexJoin(n *plan.Node) (*batch, error) {
+func (ex *executor) indexJoin(n *plan.Node, live query.BitSet) (*batch, error) {
 	if !n.Right.IsLeaf() {
 		return nil, fmt.Errorf("engine: IndexNLJoin with non-leaf inner")
-	}
-	left, err := ex.exec(n.Left)
-	if err != nil {
-		return nil, err
 	}
 	rRel := n.Right.Rel
 	table, col := n.RightKeyColumn(ex.g)
@@ -175,7 +111,7 @@ func (ex *executor) indexJoin(n *plan.Node) (*batch, error) {
 		return nil, fmt.Errorf("engine: no index on %s.%s", table, col)
 	}
 	t := ex.table(rRel)
-	filter, err := query.CompileAll(ex.g.Q.Rels[rRel].Preds, t)
+	filter, err := ex.compileFilter(rRel, t)
 	if err != nil {
 		return nil, err
 	}
@@ -188,114 +124,148 @@ func (ex *executor) indexJoin(n *plan.Node) (*batch, error) {
 		// index with left values, so the "probe" side here must be r.
 		return nil, fmt.Errorf("engine: index join condition inverted")
 	}
+	leftLive, _ := childLive(jc, live)
+	left, err := ex.exec(n.Left, leftLive)
+	if err != nil {
+		return nil, err
+	}
 
-	// A single-row pseudo batch for the inner side keeps the emitter
-	// machinery uniform.
-	inner := &batch{rels: []int{rRel}, cols: [][]int32{{0}}}
-	em := newEmitter(left, inner)
-	outerCol := left.colOf(jc.buildRel)
-	for li, row := range outerCol {
-		if jc.buildCol.IsNull(int(row)) {
-			if err := ex.charge(1); err != nil {
-				return nil, err
+	em := newIndexEmitter(ex.sc, left, rRel, live, n.ECard)
+	res := bindResiduals(jc, left, nil)
+	outerRows := left.colOf(jc.buildRel)
+	oCol := jc.buildCol
+	lIdx, rRows := ex.sc.lIdx[:0], ex.sc.rIdx[:0]
+	for base := 0; base < len(outerRows); base += ex.block {
+		end := min(base+ex.block, len(outerRows))
+		var w int64
+		lIdx, rRows = lIdx[:0], rRows[:0]
+		for li := base; li < end; li++ {
+			row := outerRows[li]
+			if oCol.IsNull(int(row)) {
+				w++
+				continue
 			}
-			continue
+			// Random access into the index.
+			w += RandomAccessFactor
+			for _, rRow := range idx.Lookup(oCol.Ints[row]) {
+				// Fetch + selection check after the fetch.
+				w++
+				if !filter(int(rRow)) {
+					continue
+				}
+				if !checkResiduals(res, li, int(rRow)) {
+					continue
+				}
+				lIdx = append(lIdx, int32(li))
+				rRows = append(rRows, rRow)
+				w++
+			}
 		}
-		// Random access into the index.
-		if err := ex.charge(RandomAccessFactor); err != nil {
+		em.emitIndexBlock(left, lIdx, rRows)
+		if err := ex.charge(w); err != nil {
 			return nil, err
 		}
-		for _, rRow := range idx.Lookup(jc.buildCol.Ints[row]) {
-			// Fetch + selection check after the fetch.
-			if err := ex.charge(1); err != nil {
-				return nil, err
-			}
-			if !filter(int(rRow)) {
-				continue
-			}
-			inner.cols[0][0] = rRow
-			if !checkResiduals(jc, left, li, inner, 0) {
-				continue
-			}
-			em.emit(left, li, inner, 0)
-			if err := ex.charge(1); err != nil {
-				return nil, err
-			}
-		}
 	}
+	ex.sc.lIdx, ex.sc.rIdx = lIdx[:0], rRows[:0]
+	ex.release(left)
 	return em.batch(), nil
 }
 
-// nestedLoop is the classic O(n*m) join the optimizer can disable.
-func (ex *executor) nestedLoop(n *plan.Node) (*batch, error) {
-	left, err := ex.exec(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ex.exec(n.Right)
-	if err != nil {
-		return nil, err
-	}
+// nestedLoop is the classic O(n*m) join the optimizer can disable. The
+// inner side's key values and NULL flags are gathered once into flat
+// vectors, so the quadratic pair loop compares registers instead of
+// chasing row ids through the column — the metered work (every pair is
+// compared: this loop is the risk of §4.1) is unchanged.
+func (ex *executor) nestedLoop(n *plan.Node, live query.BitSet) (*batch, error) {
 	jc, err := ex.condition(n)
 	if err != nil {
 		return nil, err
 	}
-	em := newEmitter(left, right)
-	lCol := left.colOf(jc.buildRel)
-	rCol := right.colOf(jc.probeRel)
-	for li, lRow := range lCol {
-		lNull := jc.buildCol.IsNull(int(lRow))
-		lVal := jc.buildCol.Ints[lRow]
-		// Every pair is compared: this loop is the risk of §4.1.
-		if err := ex.charge(int64(len(rCol))); err != nil {
+	leftLive, rightLive := childLive(jc, live)
+	left, err := ex.exec(n.Left, leftLive)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.exec(n.Right, rightLive)
+	if err != nil {
+		return nil, err
+	}
+	em := newEmitter(ex.sc, left, right, live, n.ECard)
+	res := bindResiduals(jc, left, right)
+	lRows := left.colOf(jc.buildRel)
+	rRows := right.colOf(jc.probeRel)
+
+	innerV := ex.sc.innerV[:0]
+	innerN := ex.sc.innerN[:0]
+	pCol := jc.probeCol
+	for _, row := range rRows {
+		innerV = append(innerV, pCol.Ints[row])
+		innerN = append(innerN, pCol.IsNull(int(row)))
+	}
+
+	lIdx, rIdx := ex.sc.lIdx[:0], ex.sc.rIdx[:0]
+	bCol := jc.buildCol
+	m := int64(len(rRows))
+	for base := 0; base < len(lRows); base += ex.block {
+		end := min(base+ex.block, len(lRows))
+		var w int64
+		lIdx, rIdx = lIdx[:0], rIdx[:0]
+		for li := base; li < end; li++ {
+			row := lRows[li]
+			// Every pair is compared.
+			w += m
+			if bCol.IsNull(int(row)) {
+				continue
+			}
+			lVal := bCol.Ints[row]
+			for ri := range innerV {
+				if innerN[ri] || innerV[ri] != lVal {
+					continue
+				}
+				if !checkResiduals(res, li, ri) {
+					continue
+				}
+				lIdx = append(lIdx, int32(li))
+				rIdx = append(rIdx, int32(ri))
+				w++
+			}
+		}
+		em.emitBlock(left, right, lIdx, rIdx)
+		if err := ex.charge(w); err != nil {
 			return nil, err
 		}
-		if lNull {
-			continue
-		}
-		for ri, rRow := range rCol {
-			if jc.probeCol.IsNull(int(rRow)) || jc.probeCol.Ints[rRow] != lVal {
-				continue
-			}
-			if !checkResiduals(jc, left, li, right, ri) {
-				continue
-			}
-			em.emit(left, li, right, ri)
-			if err := ex.charge(1); err != nil {
-				return nil, err
-			}
-		}
 	}
+	ex.sc.innerV, ex.sc.innerN = innerV[:0], innerN[:0]
+	ex.sc.lIdx, ex.sc.rIdx = lIdx[:0], rIdx[:0]
+	ex.release(left)
+	ex.release(right)
 	return em.batch(), nil
 }
 
 // sortMerge sorts both inputs on the key and merges.
-func (ex *executor) sortMerge(n *plan.Node) (*batch, error) {
-	left, err := ex.exec(n.Left)
-	if err != nil {
-		return nil, err
-	}
-	right, err := ex.exec(n.Right)
-	if err != nil {
-		return nil, err
-	}
+func (ex *executor) sortMerge(n *plan.Node, live query.BitSet) (*batch, error) {
 	jc, err := ex.condition(n)
 	if err != nil {
 		return nil, err
 	}
-
-	type keyed struct {
-		key int64
-		i   int
+	leftLive, rightLive := childLive(jc, live)
+	left, err := ex.exec(n.Left, leftLive)
+	if err != nil {
+		return nil, err
 	}
-	sortSide := func(b *batch, rel int, col *storage.Column) ([]keyed, error) {
+	right, err := ex.exec(n.Right, rightLive)
+	if err != nil {
+		return nil, err
+	}
+
+	sortSide := func(buf []keyed, b *batch, rel int, col *storage.Column) ([]keyed, error) {
 		rows := b.colOf(rel)
-		ks := make([]keyed, 0, len(rows))
+		ks := buf[:0]
 		for i, row := range rows {
 			if col.IsNull(int(row)) {
 				continue
 			}
-			ks = append(ks, keyed{col.Ints[row], i})
+			ks = append(ks, keyed{col.Ints[row], int32(i)})
 		}
 		n := len(ks)
 		if n > 1 {
@@ -303,14 +273,14 @@ func (ex *executor) sortMerge(n *plan.Node) (*batch, error) {
 				return nil, err
 			}
 		}
-		sort.Slice(ks, func(a, b int) bool { return ks[a].key < ks[b].key })
+		slices.SortFunc(ks, func(a, b keyed) int { return cmp.Compare(a.key, b.key) })
 		return ks, nil
 	}
-	lk, err := sortSide(left, jc.buildRel, jc.buildCol)
+	lk, err := sortSide(ex.sc.keysL, left, jc.buildRel, jc.buildCol)
 	if err != nil {
 		return nil, err
 	}
-	rk, err := sortSide(right, jc.probeRel, jc.probeCol)
+	rk, err := sortSide(ex.sc.keysR, right, jc.probeRel, jc.probeCol)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +288,17 @@ func (ex *executor) sortMerge(n *plan.Node) (*batch, error) {
 		return nil, err
 	}
 
-	em := newEmitter(left, right)
+	em := newEmitter(ex.sc, left, right, live, n.ECard)
+	res := bindResiduals(jc, left, right)
+	lIdx, rIdx := ex.sc.lIdx[:0], ex.sc.rIdx[:0]
+	var w int64
+	flush := func() error {
+		em.emitBlock(left, right, lIdx, rIdx)
+		lIdx, rIdx = lIdx[:0], rIdx[:0]
+		err := ex.charge(w)
+		w = 0
+		return err
+	}
 	i, j := 0, 0
 	for i < len(lk) && j < len(rk) {
 		switch {
@@ -338,17 +318,30 @@ func (ex *executor) sortMerge(n *plan.Node) (*batch, error) {
 			}
 			for a := i; a < i2; a++ {
 				for b := j; b < j2; b++ {
-					if err := ex.charge(1); err != nil {
-						return nil, err
-					}
-					if !checkResiduals(jc, left, lk[a].i, right, rk[b].i) {
+					w++
+					if !checkResiduals(res, int(lk[a].i), int(rk[b].i)) {
 						continue
 					}
-					em.emit(left, lk[a].i, right, rk[b].i)
+					lIdx = append(lIdx, lk[a].i)
+					rIdx = append(rIdx, rk[b].i)
+				}
+				// Settle per block of compared pairs, not per pair: the
+				// group cross product is where merge work concentrates.
+				if len(lIdx) >= ex.block || w >= int64(ex.block) {
+					if err := flush(); err != nil {
+						return nil, err
+					}
 				}
 			}
 			i, j = i2, j2
 		}
 	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	ex.sc.keysL, ex.sc.keysR = lk[:0], rk[:0]
+	ex.sc.lIdx, ex.sc.rIdx = lIdx[:0], rIdx[:0]
+	ex.release(left)
+	ex.release(right)
 	return em.batch(), nil
 }

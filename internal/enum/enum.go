@@ -267,11 +267,26 @@ func DP(sp *Space) (*plan.Node, error) {
 // uniformly at random until all relations are connected (§6.1, [40]). Join
 // algorithms are chosen cheapest-first per join.
 func QuickPick(sp *Space, rng *rand.Rand) (*plan.Node, error) {
+	return quickPickFrom(sp, rng, sp.leaves())
+}
+
+// leaves builds the annotated scan node of every relation once; leaf nodes
+// are immutable (joins allocate fresh nodes), so repeated QuickPick runs
+// share them instead of re-deriving cardinalities and scan costs per run.
+func (sp *Space) leaves() []*plan.Node {
+	ls := make([]*plan.Node, sp.G.N)
+	for r := range ls {
+		ls[r] = sp.leafFor(r)
+	}
+	return ls
+}
+
+func quickPickFrom(sp *Space, rng *rand.Rand, leaves []*plan.Node) (*plan.Node, error) {
 	g := sp.G
 	comp := make([]*plan.Node, g.N) // component plan per relation (by root)
 	find := make([]int, g.N)
 	for r := 0; r < g.N; r++ {
-		comp[r] = sp.leafFor(r)
+		comp[r] = leaves[r]
 		find[r] = r
 	}
 	root := func(r int) int {
@@ -317,11 +332,14 @@ func QuickPick(sp *Space, rng *rand.Rand) (*plan.Node, error) {
 
 // QuickPickBest runs QuickPick k times and keeps the cheapest plan under the
 // space's own (estimated) costs — the paper's "QuickPick-1000" heuristic.
+// Leaf construction is hoisted out of the loop: all k runs share one set of
+// annotated scan nodes.
 func QuickPickBest(sp *Space, k int, seed int64) (*plan.Node, error) {
 	rng := rand.New(rand.NewSource(seed))
+	leaves := sp.leaves()
 	var best *plan.Node
 	for i := 0; i < k; i++ {
-		n, err := QuickPick(sp, rng)
+		n, err := quickPickFrom(sp, rng, leaves)
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"jobench/internal/cardest"
 	"jobench/internal/costmodel"
@@ -16,6 +17,13 @@ import (
 	"jobench/internal/plan"
 	"jobench/internal/query"
 )
+
+// runnerPool recycles engine.Runners across the per-query cells of the
+// runtime sweeps: a Runner's scratch buffers (emit vectors, row-id pool)
+// grow to a sweep's working set once, instead of once per executed plan.
+// A sync.Pool keeps the reuse worker-local under the parallel runner
+// without tying cells to workers.
+var runnerPool = sync.Pool{New: func() any { return engine.NewRunner() }}
 
 // engineRules captures the engine/optimizer switches of §4.1.
 type engineRules struct {
@@ -44,7 +52,9 @@ func (l *Lab) runOne(ctx context.Context, qid string, prov cardest.Provider, idx
 	if err != nil {
 		return 0, false, err
 	}
-	baseRes, err := engine.Run(l.DB, idx, g, optPlan, engine.Config{Rehash: rules.Rehash})
+	runner := runnerPool.Get().(*engine.Runner)
+	defer runnerPool.Put(runner)
+	baseRes, err := runner.Run(l.DB, idx, g, optPlan, engine.Config{Rehash: rules.Rehash})
 	if err != nil {
 		return 0, false, fmt.Errorf("%s baseline: %w", qid, err)
 	}
@@ -57,7 +67,7 @@ func (l *Lab) runOne(ctx context.Context, qid string, prov cardest.Provider, idx
 	if err != nil {
 		return 0, false, err
 	}
-	res, err := engine.Run(l.DB, idx, g, estPlan, engine.Config{
+	res, err := runner.Run(l.DB, idx, g, estPlan, engine.Config{
 		Rehash:    rules.Rehash,
 		WorkLimit: timeoutFactor * baseWork,
 	})
@@ -317,7 +327,9 @@ func (l *Lab) Figure8Context(ctx context.Context) (*Figure8Result, error) {
 				if err != nil {
 					return cellResult{}, err
 				}
-				r, err := engine.Run(l.DB, l.IdxPKFK, g, p, engine.Config{Rehash: rules.Rehash})
+				runner := runnerPool.Get().(*engine.Runner)
+				defer runnerPool.Put(runner)
+				r, err := runner.Run(l.DB, l.IdxPKFK, g, p, engine.Config{Rehash: rules.Rehash})
 				if err != nil {
 					return cellResult{}, err
 				}

@@ -1,0 +1,178 @@
+// Package hashtab provides the flat, open-layout hash structures shared by
+// the execution engine and the true-cardinality DP.
+//
+// Both replace pointer-chasing designs — the engine's chained
+// [][]hashEntry buckets and truecard's map[int64][]int32 postings — with
+// contiguous arenas chained by int32 indices: one allocation per table
+// instead of one per bucket, sequential memory instead of scattered slice
+// headers, and no per-insert append growth on hot paths.
+//
+// Table keeps the §4.1 metering contract of the chained table it replaces
+// bit-for-bit: the bucket count is still derived from the optimizer's
+// cardinality estimate, a probe still reports the full collision-chain
+// length it walked, and a rehash still costs one work unit per reinserted
+// entry at exactly the same load-factor trigger. Only the memory layout
+// changed; every metered quantity is identical.
+package hashtab
+
+import (
+	"math"
+	"slices"
+)
+
+// GatherAppend appends src[idx[0]], src[idx[1]], ... to dst — the block
+// emit primitive of the vectorized executors (the engine's emitter,
+// truecard's join): capacity is ensured once per block, then the gather
+// runs as a straight indexed fill with no per-element append bookkeeping.
+func GatherAppend(dst, src []int32, idx []int32) []int32 {
+	n := len(dst)
+	dst = slices.Grow(dst, len(idx))[:n+len(idx)]
+	out := dst[n:]
+	for i, ix := range idx {
+		out[i] = src[ix]
+	}
+	return dst
+}
+
+// MaxBuckets caps the bucket count so absurd estimates (NaN guards, 1e30)
+// cannot blow up the allocation.
+const MaxBuckets = 1 << 28
+
+// Hash64 is the 64-bit finalizer of MurmurHash3, the shared hash function
+// of every structure in this package.
+func Hash64(v int64) uint64 {
+	x := uint64(v)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NextPow2 rounds v up to a power of two, with a floor of 4.
+func NextPow2(v uint64) uint64 {
+	if v < 4 {
+		return 4
+	}
+	p := uint64(4)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// Table is a flat chained hash table over int64 keys with int32 values.
+// Entries live in one contiguous arena (keys/vals/next); buckets are int32
+// head indices chained through next. Duplicate keys are kept; a probe
+// returns all of them.
+//
+// Sizing from a cardinality *estimate* is the §4.1 mechanism: an
+// underestimated build side yields long collision chains whose traversal
+// costs real, metered work. With rehashing enabled the table doubles once
+// the load factor exceeds 3 (the PostgreSQL 9.5 behaviour), paying the
+// reinsertion work instead.
+type Table struct {
+	heads []int32 // bucket heads; -1 = empty
+	keys  []int64 // entry arena, insertion order
+	vals  []int32
+	next  []int32 // collision chain links into the arena; -1 terminates
+	mask  uint64
+}
+
+// New sizes a table from the optimizer's cardinality estimate of the build
+// side (NOT its true size — that is the whole point). NaN and sub-1
+// estimates clamp to 1; the bucket count is capped at MaxBuckets.
+func New(estimate float64) *Table {
+	if math.IsNaN(estimate) || estimate < 1 {
+		estimate = 1
+	}
+	if estimate > MaxBuckets {
+		estimate = MaxBuckets
+	}
+	nb := NextPow2(uint64(estimate))
+	t := &Table{heads: make([]int32, nb), mask: nb - 1}
+	for i := range t.heads {
+		t.heads[i] = -1
+	}
+	return t
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.keys) }
+
+// NumBuckets returns the current bucket count.
+func (t *Table) NumBuckets() int { return len(t.heads) }
+
+// Reserve pre-grows the entry arena to hold n entries without reallocation.
+// It does not change the bucket count (which is the estimate's job).
+func (t *Table) Reserve(n int) {
+	if cap(t.keys) >= n {
+		return
+	}
+	keys := make([]int64, len(t.keys), n)
+	copy(keys, t.keys)
+	t.keys = keys
+	vals := make([]int32, len(t.vals), n)
+	copy(vals, t.vals)
+	t.vals = vals
+	next := make([]int32, len(t.next), n)
+	copy(next, t.next)
+	t.next = next
+}
+
+// Insert appends (key, val) and returns the rehash work performed: zero
+// normally, or the number of reinserted entries when the insert pushed the
+// load factor past 3 with rehashing enabled. The caller owns the per-insert
+// build cost; Insert only reports the extra metered work it triggered.
+func (t *Table) Insert(key int64, val int32, rehash bool) int64 {
+	i := int32(len(t.keys))
+	b := Hash64(key) & t.mask
+	t.keys = append(t.keys, key)
+	t.vals = append(t.vals, val)
+	t.next = append(t.next, t.heads[b])
+	t.heads[b] = i
+	if rehash && uint64(len(t.keys)) > 3*uint64(len(t.heads)) {
+		return t.grow()
+	}
+	return 0
+}
+
+// grow doubles the bucket count and rechains every arena entry, returning
+// one work unit per entry moved (the metered reinsertion cost of the 9.5
+// behaviour).
+func (t *Table) grow() int64 {
+	nb := uint64(len(t.heads)) * 2
+	if cap(t.heads) >= int(nb) {
+		t.heads = t.heads[:nb]
+	} else {
+		t.heads = make([]int32, nb)
+	}
+	t.mask = nb - 1
+	for i := range t.heads {
+		t.heads[i] = -1
+	}
+	for i := range t.keys {
+		b := Hash64(t.keys[i]) & t.mask
+		t.next[i] = t.heads[b]
+		t.heads[b] = int32(i)
+	}
+	return int64(len(t.keys))
+}
+
+// Probe appends the values stored under key to out and returns it, plus the
+// number of entries examined: the full collision-chain length, matching or
+// not — the chain walk §4.1's undersized tables pay for and Fig. 6c's
+// rehashing removes. Values of a duplicated key come back in reverse
+// insertion order (head insertion); all engine-metered quantities are
+// order-independent.
+func (t *Table) Probe(key int64, out []int32) ([]int32, int64) {
+	var walked int64
+	for i := t.heads[Hash64(key)&t.mask]; i >= 0; i = t.next[i] {
+		walked++
+		if t.keys[i] == key {
+			out = append(out, t.vals[i])
+		}
+	}
+	return out, walked
+}

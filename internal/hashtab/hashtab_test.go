@@ -1,0 +1,264 @@
+package hashtab
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableProbeAndChains(t *testing.T) {
+	// A table sized for 4 entries receiving 4000 forces long chains.
+	ht := New(4)
+	for i := int32(0); i < 4000; i++ {
+		ht.Insert(int64(i%100), i, false)
+	}
+	out, walked := ht.Probe(7, nil)
+	if len(out) != 40 {
+		t.Fatalf("Probe(7) found %d entries, want 40", len(out))
+	}
+	// The bucket holds ~1000 entries (4000 over 4 buckets): long chains.
+	if walked < 100 {
+		t.Fatalf("walked only %d entries; expected long collision chains", walked)
+	}
+
+	// The same data in a rehashing table: short chains.
+	ht2 := New(4)
+	for i := int32(0); i < 4000; i++ {
+		ht2.Insert(int64(i%100), i, true)
+	}
+	out2, walked2 := ht2.Probe(7, nil)
+	if len(out2) != 40 {
+		t.Fatalf("rehash Probe found %d", len(out2))
+	}
+	if walked2 >= walked/2 {
+		t.Fatalf("rehash chains (%d) not much shorter than fixed (%d)", walked2, walked)
+	}
+}
+
+func TestTableSizing(t *testing.T) {
+	for _, tc := range []struct {
+		est  float64
+		want int
+	}{
+		{0, 4}, {1, 4}, {4, 4}, {5, 8}, {1000, 1024}, {-3, 4},
+	} {
+		ht := New(tc.est)
+		if got := ht.NumBuckets(); got != tc.want {
+			t.Errorf("New(%g): %d buckets, want %d", tc.est, got, tc.want)
+		}
+	}
+	if testing.Short() {
+		// The cap check below allocates the full 1<<28-bucket table —
+		// seconds of wall clock.
+		t.Skip("skipping huge-allocation cap check in -short mode")
+	}
+	// NaN and absurd estimates must not blow up the allocation.
+	huge := New(1e30)
+	if huge.NumBuckets() > MaxBuckets {
+		t.Fatal("estimate cap not applied")
+	}
+}
+
+// chainedRef is the old [][]hashEntry design, kept as the metering oracle:
+// the flat table must report identical walk lengths and rehash work for any
+// insertion sequence.
+type chainedRef struct {
+	buckets [][]refEntry
+	mask    uint64
+	n       int
+}
+
+type refEntry struct {
+	key int64
+	row int32
+}
+
+func newChainedRef(buckets uint64) *chainedRef {
+	return &chainedRef{buckets: make([][]refEntry, buckets), mask: buckets - 1}
+}
+
+func (h *chainedRef) insert(key int64, row int32, rehash bool) int64 {
+	b := Hash64(key) & h.mask
+	h.buckets[b] = append(h.buckets[b], refEntry{key, row})
+	h.n++
+	if rehash && uint64(h.n) > 3*uint64(len(h.buckets)) {
+		old := h.buckets
+		nb := uint64(len(old)) * 2
+		h.buckets = make([][]refEntry, nb)
+		h.mask = nb - 1
+		var work int64
+		for _, bucket := range old {
+			for _, e := range bucket {
+				nb := Hash64(e.key) & h.mask
+				h.buckets[nb] = append(h.buckets[nb], e)
+				work++
+			}
+		}
+		return work
+	}
+	return 0
+}
+
+func (h *chainedRef) probe(key int64) (matches []int32, walked int64) {
+	bucket := h.buckets[Hash64(key)&h.mask]
+	for _, e := range bucket {
+		if e.key == key {
+			matches = append(matches, e.row)
+		}
+	}
+	return matches, int64(len(bucket))
+}
+
+// TestTableMeteringMatchesChainedReference: for random workloads, with and
+// without rehashing, every metered quantity (walk length per probe, rehash
+// work per insert) and every match set is identical between the flat table
+// and the chained reference it replaced. This is the §4.1 invariance
+// contract of the vectorized engine.
+func TestTableMeteringMatchesChainedReference(t *testing.T) {
+	f := func(keys []int16, probes []int16, rehash bool) bool {
+		ht := New(2)
+		ref := newChainedRef(uint64(ht.NumBuckets()))
+		for i, k := range keys {
+			if ht.Insert(int64(k), int32(i), rehash) != ref.insert(int64(k), int32(i), rehash) {
+				return false
+			}
+		}
+		if ht.Len() != ref.n {
+			return false
+		}
+		for _, k := range probes {
+			got, walked := ht.Probe(int64(k), nil)
+			want, refWalked := ref.probe(int64(k))
+			if walked != refWalked || len(got) != len(want) {
+				return false
+			}
+			seen := make(map[int32]bool, len(got))
+			for _, v := range got {
+				seen[v] = true
+			}
+			for _, v := range want {
+				if !seen[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Probe returns exactly the rows inserted under a key, regardless
+// of rehashing.
+func TestTableCorrectnessProperty(t *testing.T) {
+	f := func(keys []int8, rehash bool) bool {
+		ht := New(2)
+		want := make(map[int64][]int32)
+		for i, k := range keys {
+			ht.Insert(int64(k), int32(i), rehash)
+			want[int64(k)] = append(want[int64(k)], int32(i))
+		}
+		for k, rows := range want {
+			got, _ := ht.Probe(k, nil)
+			if len(got) != len(rows) {
+				return false
+			}
+			seen := make(map[int32]bool, len(got))
+			for _, r := range got {
+				seen[r] = true
+			}
+			for _, r := range rows {
+				if !seen[r] {
+					return false
+				}
+			}
+		}
+		got, _ := ht.Probe(999, nil)
+		return len(got) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableReserve(t *testing.T) {
+	ht := New(8)
+	ht.Insert(1, 10, false)
+	ht.Reserve(100)
+	ht.Insert(1, 11, false)
+	ht.Insert(2, 20, false)
+	if got, _ := ht.Probe(1, nil); len(got) != 2 {
+		t.Fatalf("Probe(1) after Reserve: %v", got)
+	}
+	if got, _ := ht.Probe(2, nil); len(got) != 1 || got[0] != 20 {
+		t.Fatalf("Probe(2) after Reserve: %v", got)
+	}
+	if ht.NumBuckets() != 8 {
+		t.Fatalf("Reserve changed bucket count to %d", ht.NumBuckets())
+	}
+}
+
+func TestPostingsMatchesMap(t *testing.T) {
+	// spread=1 exercises the dense offset-table resolution, the large
+	// prime spread forces the sparse flat-hash path.
+	for _, spread := range []int64{1, 2_000_003} {
+		postingsMatchesMap(t, spread)
+	}
+}
+
+func postingsMatchesMap(t *testing.T, spread int64) {
+	t.Helper()
+	f := func(pairs []int16) bool {
+		keys := make([]int64, len(pairs))
+		vals := make([]int32, len(pairs))
+		want := make(map[int64][]int32)
+		for i, k := range pairs {
+			keys[i] = int64(k%50) * spread
+			vals[i] = int32(i)
+			want[keys[i]] = append(want[keys[i]], vals[i])
+		}
+		p := BuildPostings(keys, vals)
+		if p.Len() != len(pairs) || p.Keys() != len(want) {
+			return false
+		}
+		for k, rows := range want {
+			got := p.Lookup(k)
+			if len(got) != len(rows) {
+				return false
+			}
+			// Order must match the map-of-appends it replaced: input order.
+			for i := range got {
+				if got[i] != rows[i] {
+					return false
+				}
+			}
+		}
+		return p.Lookup(-12345) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatalf("spread %d: %v", spread, err)
+	}
+}
+
+func TestPostingsEmpty(t *testing.T) {
+	p := BuildPostings(nil, nil)
+	if p.Len() != 0 || p.Keys() != 0 || p.Lookup(0) != nil {
+		t.Fatalf("empty postings misbehave: len=%d keys=%d", p.Len(), p.Keys())
+	}
+}
+
+// Keys spanning the full int64 range must not wrap the dense-range check
+// (span+1 overflows to 0) — this input used to panic.
+func TestPostingsExtremeKeyRange(t *testing.T) {
+	p := BuildPostings([]int64{math.MinInt64, math.MaxInt64}, []int32{1, 2})
+	if got := p.Lookup(math.MinInt64); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Lookup(MinInt64) = %v", got)
+	}
+	if got := p.Lookup(math.MaxInt64); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Lookup(MaxInt64) = %v", got)
+	}
+	if p.Lookup(0) != nil {
+		t.Fatal("Lookup(0) found a phantom group")
+	}
+}

@@ -7,8 +7,10 @@ package index
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
+	"jobench/internal/hashtab"
 	"jobench/internal/storage"
 )
 
@@ -24,56 +26,65 @@ type Index interface {
 	Unique() bool
 }
 
-// Hash is a hash-based index.
+// Hash is a hash-based index, backed by the flat grouped postings of
+// internal/hashtab: all row ids live in one contiguous arena grouped by
+// key, and a lookup is one flat-hash probe instead of a Go map access —
+// the single hottest operation of the engine's index-nested-loop joins.
 type Hash struct {
-	m      map[int64][]int32
-	n      int
+	p      *hashtab.Postings
 	unique bool
 }
 
 // BuildHash builds a hash index over col. If unique is true, duplicate keys
 // cause an error (primary key violation).
 func BuildHash(col *storage.Column, unique bool) (*Hash, error) {
-	h := &Hash{m: make(map[int64][]int32, col.Len()), unique: unique}
+	keys := make([]int64, 0, col.Len())
+	rows := make([]int32, 0, col.Len())
 	for i, v := range col.Ints {
 		if col.IsNull(i) {
 			continue
 		}
-		rows := h.m[v]
-		if unique && len(rows) > 0 {
-			return nil, fmt.Errorf("index: duplicate key %d in unique index on %q", v, col.Name)
+		keys = append(keys, v)
+		rows = append(rows, int32(i))
+	}
+	h := &Hash{p: hashtab.BuildPostings(keys, rows), unique: unique}
+	if unique && h.p.Keys() != h.p.Len() {
+		for g := 0; g < h.p.Keys(); g++ {
+			if k, vs := h.p.Group(g); len(vs) > 1 {
+				return nil, fmt.Errorf("index: duplicate key %d in unique index on %q", k, col.Name)
+			}
 		}
-		h.m[v] = append(rows, int32(i))
-		h.n++
 	}
 	return h, nil
 }
 
 // Lookup implements Index.
-func (h *Hash) Lookup(v int64) []int32 { return h.m[v] }
+func (h *Hash) Lookup(v int64) []int32 { return h.p.Lookup(v) }
 
 // Len implements Index.
-func (h *Hash) Len() int { return h.n }
+func (h *Hash) Len() int { return h.p.Len() }
 
 // Unique implements Index.
 func (h *Hash) Unique() bool { return h.unique }
 
 // DistinctKeys returns the number of distinct keys in the index.
-func (h *Hash) DistinctKeys() int { return len(h.m) }
+func (h *Hash) DistinctKeys() int { return h.p.Keys() }
 
 // Postings returns the index contents in deterministic order: keys
 // ascending, each with its row-id list (rows within a key are in insertion
 // order, i.e. ascending, since BuildHash scans the column front to back).
 // It is the serialization surface of the snapshot store.
 func (h *Hash) Postings() (keys []int64, rows [][]int32) {
-	keys = make([]int64, 0, len(h.m))
-	for k := range h.m {
+	n := h.p.Keys()
+	keys = make([]int64, 0, n)
+	for g := 0; g < n; g++ {
+		k, _ := h.p.Group(g)
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	slices.Sort(keys)
 	rows = make([][]int32, len(keys))
 	for i, k := range keys {
-		rows[i] = h.m[k]
+		rows[i] = h.p.Lookup(k)
 	}
 	return keys, rows
 }
@@ -88,7 +99,7 @@ func RestoreHash(keys []int64, rows [][]int32, unique bool) (*Hash, error) {
 	if len(keys) != len(rows) {
 		return nil, fmt.Errorf("index: %d keys but %d posting lists", len(keys), len(rows))
 	}
-	h := &Hash{m: make(map[int64][]int32, len(keys)), unique: unique}
+	total := 0
 	for i, k := range keys {
 		if i > 0 && keys[i-1] >= k {
 			return nil, fmt.Errorf("index: keys not strictly ascending at %d (%d after %d)", i, k, keys[i-1])
@@ -99,10 +110,17 @@ func RestoreHash(keys []int64, rows [][]int32, unique bool) (*Hash, error) {
 		if unique && len(rows[i]) > 1 {
 			return nil, fmt.Errorf("index: duplicate key %d in unique index", k)
 		}
-		h.m[k] = rows[i]
-		h.n += len(rows[i])
+		total += len(rows[i])
 	}
-	return h, nil
+	flatKeys := make([]int64, 0, total)
+	flatRows := make([]int32, 0, total)
+	for i, k := range keys {
+		for _, r := range rows[i] {
+			flatKeys = append(flatKeys, k)
+			flatRows = append(flatRows, r)
+		}
+	}
+	return &Hash{p: hashtab.BuildPostings(flatKeys, flatRows), unique: unique}, nil
 }
 
 // Sorted is a sorted (key, row) index supporting equality and range lookups

@@ -281,35 +281,34 @@ func (p *Pred) Compile(t *storage.Table) (func(row int) bool, error) {
 		if col.Kind != storage.KindString {
 			return nil, fmt.Errorf("query: string predicate on %s column %q", col.Kind, p.Col)
 		}
-		set := make(map[int64]struct{}, len(p.Strs))
+		// Dictionary codes are dense [0, DictSize), so the match set is a
+		// flat bool vector: one bounds-checked load per row instead of a
+		// hash probe — this filter runs once per fetched tuple on the
+		// engine's index-join path.
+		member := make([]bool, col.DictSize())
 		for _, s := range p.Strs {
 			if code, ok := col.Code(s); ok {
-				set[code] = struct{}{}
+				member[code] = true
 			}
 		}
 		return func(row int) bool {
-			if !notNull(row) {
-				return false
-			}
-			_, ok := set[col.Ints[row]]
-			return ok
+			return notNull(row) && member[col.Ints[row]]
 		}, nil
 	case PredLike, PredNotLike:
 		if col.Kind != storage.KindString {
 			return nil, fmt.Errorf("query: LIKE on %s column %q", col.Kind, p.Col)
 		}
 		pattern := p.Str
-		matches := make(map[int64]struct{})
+		member := make([]bool, col.DictSize())
 		for _, code := range col.SortedDictCodes(func(s string) bool { return LikeMatch(s, pattern) }) {
-			matches[code] = struct{}{}
+			member[code] = true
 		}
 		neg := p.Kind == PredNotLike
 		return func(row int) bool {
 			if !notNull(row) {
 				return false
 			}
-			_, ok := matches[col.Ints[row]]
-			return ok != neg
+			return member[col.Ints[row]] != neg
 		}, nil
 	case PredIsNull:
 		return func(row int) bool { return col.IsNull(row) }, nil

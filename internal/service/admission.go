@@ -1,0 +1,136 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// admission is the weighted semaphore in front of the experiment report
+// flight: a burst of distinct uncached reports must queue for capacity
+// units instead of oversubscribing the box with concurrent full-grid
+// sweeps. Waiters are granted strictly FIFO — a stream of light requests
+// cannot starve a heavy one — and acquisition is context-aware, so
+// shutdown (or a client giving up, where the caller passes a request
+// context) unblocks the queue.
+//
+// Report cache hits and piled-up waiters of an in-flight computation never
+// touch the semaphore: only the single goroutine actually computing a
+// report acquires.
+type admission struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	waiters []*admitWaiter
+
+	admitted int64 // total grants, for /metrics
+}
+
+type admitWaiter struct {
+	weight  int64
+	ready   chan struct{}
+	granted bool
+}
+
+func newAdmission(capacity int64) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &admission{cap: capacity}
+}
+
+// acquire blocks until weight units are available (or ctx is cancelled).
+// Weights above the total capacity clamp to it, so an over-weighted
+// request degrades to "the only thing running" instead of deadlocking.
+func (a *admission) acquire(ctx context.Context, weight int64) error {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.cap {
+		weight = a.cap
+	}
+	a.mu.Lock()
+	if len(a.waiters) == 0 && a.used+weight <= a.cap {
+		a.used += weight
+		a.admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	w := &admitWaiter{weight: weight, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// Lost the race: the grant happened as ctx fired. Hand the
+			// units straight back (and wake whoever they now fit).
+			a.used -= w.weight
+			a.admitted--
+			a.grantLocked()
+		} else {
+			for i, q := range a.waiters {
+				if q == w {
+					a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns weight units (clamped like acquire) and wakes waiters.
+func (a *admission) release(weight int64) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.cap {
+		weight = a.cap
+	}
+	a.mu.Lock()
+	a.used -= weight
+	if a.used < 0 {
+		a.used = 0
+	}
+	a.grantLocked()
+	a.mu.Unlock()
+}
+
+// grantLocked admits queued waiters FIFO while capacity lasts.
+func (a *admission) grantLocked() {
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		if a.used+w.weight > a.cap {
+			return
+		}
+		a.used += w.weight
+		a.admitted++
+		w.granted = true
+		a.waiters = a.waiters[1:]
+		close(w.ready)
+	}
+}
+
+// stats reports (current waiters, units in use, total admissions).
+func (a *admission) stats() (waiting int, inUse, admitted int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters), a.used, a.admitted
+}
+
+// experimentWeight prices an experiment in admission units: the full
+// execute-or-enumerate workload sweeps weigh 2, everything else (estimation
+// sweeps, single-query ablations) weighs 1. With the default capacity of 4
+// a server runs at most two heavy grids at once.
+func experimentWeight(name string) int64 {
+	switch name {
+	case "sec41", "fig6", "fig7", "fig8", "fig9", "table2", "table3", "hedging":
+		return 2
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionWeightsAndFIFO(t *testing.T) {
+	a := newAdmission(4)
+	ctx := context.Background()
+
+	// Two heavy sweeps fill the capacity.
+	if err := a.acquire(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// A light request must queue behind them...
+	order := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	started := make(chan struct{}, 2)
+	go func() {
+		defer wg.Done()
+		started <- struct{}{}
+		if err := a.acquire(ctx, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		order <- 1
+	}()
+	// Give the first waiter time to enqueue so FIFO order is deterministic.
+	<-started
+	waitForWaiters(t, a, 1)
+	go func() {
+		defer wg.Done()
+		started <- struct{}{}
+		if err := a.acquire(ctx, 1); err != nil {
+			t.Error(err)
+			return
+		}
+		order <- 2
+	}()
+	<-started
+	waitForWaiters(t, a, 2)
+
+	if w, inUse, admitted := a.stats(); w != 2 || inUse != 4 || admitted != 2 {
+		t.Fatalf("stats = (%d, %d, %d), want (2, 4, 2)", w, inUse, admitted)
+	}
+
+	// ...and be admitted FIFO as units free up, one at a time so the grant
+	// order is observable.
+	a.release(1)
+	if first := <-order; first != 1 {
+		t.Fatalf("first admission was waiter %d, want 1", first)
+	}
+	if w, _, _ := a.stats(); w != 1 {
+		t.Fatalf("%d waiters after first grant, want 1", w)
+	}
+	a.release(1)
+	if second := <-order; second != 2 {
+		t.Fatalf("second admission was waiter %d, want 2", second)
+	}
+	wg.Wait()
+	if w, inUse, admitted := a.stats(); w != 0 || inUse != 4 || admitted != 4 {
+		t.Fatalf("stats after grants = (%d, %d, %d), want (0, 4, 4)", w, inUse, admitted)
+	}
+}
+
+func waitForWaiters(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if w, _, _ := a.stats(); w >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw %d waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionCancelledWaiterLeavesQueue(t *testing.T) {
+	a := newAdmission(1)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx, 1) }()
+	waitForWaiters(t, a, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled acquire returned %v", err)
+	}
+	if w, _, _ := a.stats(); w != 0 {
+		t.Fatalf("cancelled waiter still queued (%d)", w)
+	}
+	// The capacity it never got must still be grantable.
+	a.release(1)
+	if err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdmissionOverweightClampsToCapacity(t *testing.T) {
+	a := newAdmission(2)
+	// Weight 5 > capacity 2 clamps: it must be admissible at all.
+	done := make(chan error, 1)
+	go func() { done <- a.acquire(context.Background(), 5) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("over-weighted acquire deadlocked")
+	}
+	a.release(5)
+	if _, inUse, _ := a.stats(); inUse != 0 {
+		t.Fatalf("in-use %d after clamped release, want 0", inUse)
+	}
+}
+
+func TestExperimentWeights(t *testing.T) {
+	if w := experimentWeight("sec41"); w != 2 {
+		t.Fatalf("sec41 weight %d, want 2", w)
+	}
+	if w := experimentWeight("table1"); w != 1 {
+		t.Fatalf("table1 weight %d, want 1", w)
+	}
+}

@@ -25,6 +25,10 @@ type Metrics struct {
 	WarmupsInFlight atomic.Int64
 	ReportHits      atomic.Int64
 	ReportMisses    atomic.Int64
+
+	// admission, when set, contributes the report admission-control gauges
+	// (waiting, units in use, total admitted).
+	admission *admission
 }
 
 type routeCode struct {
@@ -101,6 +105,12 @@ func (m *Metrics) Render() string {
 	gauge("pool_warmups_inflight", "System or lab constructions currently running.", m.WarmupsInFlight.Load())
 	gauge("report_cache_hits_total", "Experiment reports served from the report cache.", m.ReportHits.Load())
 	gauge("report_cache_misses_total", "Experiment reports that had to be computed.", m.ReportMisses.Load())
+	if m.admission != nil {
+		waiting, inUse, admitted := m.admission.stats()
+		gauge("report_admission_waiting", "Report computations queued for admission units.", int64(waiting))
+		gauge("report_admission_in_use", "Admission units held by running report computations.", inUse)
+		gauge("report_admission_admitted_total", "Report computations admitted since start.", admitted)
+	}
 	return b.String()
 }
 

@@ -47,6 +47,12 @@ type Config struct {
 	// PoolSize bounds the resident instances; the least recently used is
 	// evicted beyond it (default 2).
 	PoolSize int
+	// ReportCapacity is the admission-control budget for concurrent
+	// experiment computations, in weight units: full workload sweeps weigh
+	// 2, estimation sweeps and ablations 1. A burst of distinct uncached
+	// reports queues FIFO for these units instead of oversubscribing the
+	// box (default 4 — at most two heavy grids at once).
+	ReportCapacity int
 	// ShutdownGrace bounds how long a cancelled server waits for in-flight
 	// requests to notice the cancellation and flush (default 5s).
 	ShutdownGrace time.Duration
@@ -78,6 +84,7 @@ type Server struct {
 
 	reports      *reportCache
 	reportFlight parallel.Flight[reportKey, string]
+	admit        *admission
 }
 
 // New builds a Server (without binding a socket).
@@ -91,6 +98,9 @@ func New(cfg Config) *Server {
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = 5 * time.Second
 	}
+	if cfg.ReportCapacity <= 0 {
+		cfg.ReportCapacity = 4
+	}
 	m := NewMetrics()
 	s := &Server{
 		cfg:     cfg,
@@ -98,7 +108,9 @@ func New(cfg Config) *Server {
 		metrics: m,
 		mux:     http.NewServeMux(),
 		reports: newReportCache(),
+		admit:   newAdmission(int64(cfg.ReportCapacity)),
 	}
+	m.admission = s.admit
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/optimize", s.handleOptimize)
@@ -481,6 +493,14 @@ func (s *Server) report(k reportKey) (string, error) {
 		if text, ok := s.reports.get(k); ok {
 			return text, nil
 		}
+		// Admission control: only the goroutine that actually computes
+		// acquires (cache hits and flight waiters never queue), under the
+		// server lifetime context so shutdown unblocks the queue.
+		weight := experimentWeight(k.name)
+		if err := s.admit.acquire(s.serverCtx(), weight); err != nil {
+			return "", err
+		}
+		defer s.admit.release(weight)
 		lab, err := s.pool.Lab(k.key)
 		if err != nil {
 			return "", err

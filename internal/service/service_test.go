@@ -260,6 +260,11 @@ func TestExperimentByteIdenticalAndCached(t *testing.T) {
 	if srv.Metrics().ReportHits.Load() != hitsBefore+1 {
 		t.Error("second request did not hit the report cache")
 	}
+	// Exactly one computation went through admission control (the cached
+	// second request never queued), and it released its units.
+	if waiting, inUse, admitted := srv.admit.stats(); waiting != 0 || inUse != 0 || admitted != 1 {
+		t.Errorf("admission stats = (%d, %d, %d), want (0, 0, 1)", waiting, inUse, admitted)
+	}
 }
 
 // TestConcurrentMixedRequests hammers the HTTP surface with mixed
@@ -315,6 +320,9 @@ func TestMetricsExposition(t *testing.T) {
 		"jobench_pool_misses_total",
 		"jobench_pool_warmups_inflight",
 		"jobench_report_cache_hits_total",
+		"jobench_report_admission_waiting",
+		"jobench_report_admission_in_use",
+		"jobench_report_admission_admitted_total",
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("metrics exposition missing %q:\n%s", want, body)

@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
+	"jobench/internal/hashtab"
 	"jobench/internal/parallel"
 	"jobench/internal/query"
 	"jobench/internal/storage"
@@ -212,10 +214,56 @@ type computer struct {
 	filters  []func(int) bool // compiled selections per relation
 	filtered [][]int32        // selected row ids per relation
 
-	// Hash maps per (relation, column, filtered?) are built lazily with
-	// per-key once-semantics, so concurrent workers extending different
-	// subgraphs by the same relation share one build instead of racing.
-	hashes parallel.KeyedOnce[hashKey, map[int64][]int32]
+	// Join hashes per (relation, column, filtered?) — flat grouped
+	// postings, not map[int64][]int32 — are built lazily with per-key
+	// once-semantics, so concurrent workers extending different subgraphs
+	// by the same relation share one build instead of racing.
+	hashes parallel.KeyedOnce[hashKey, *hashtab.Postings]
+
+	// bufs recycles row-id column buffers across DP levels: once level k is
+	// materialised, level k-1's columns are dead and their backing arrays
+	// feed level k+1. Workers pop and push concurrently.
+	bufMu sync.Mutex
+	bufs  [][]int32
+}
+
+// getBuf pops a recycled row-id buffer (length zero) or returns nil,
+// which appends treat as an empty slice.
+func (c *computer) getBuf() []int32 {
+	c.bufMu.Lock()
+	defer c.bufMu.Unlock()
+	if n := len(c.bufs); n > 0 {
+		b := c.bufs[n-1]
+		c.bufs[n-1] = nil
+		c.bufs = c.bufs[:n-1]
+		return b
+	}
+	return nil
+}
+
+// putBuf returns one buffer to the pool.
+func (c *computer) putBuf(b []int32) {
+	if cap(b) == 0 {
+		return
+	}
+	c.bufMu.Lock()
+	c.bufs = append(c.bufs, b[:0])
+	c.bufMu.Unlock()
+}
+
+// recycle returns a dead result's columns to the buffer pool.
+func (c *computer) recycle(r *result) {
+	if r == nil || len(r.cols) == 0 {
+		return
+	}
+	c.bufMu.Lock()
+	defer c.bufMu.Unlock()
+	for _, col := range r.cols {
+		if cap(col) > 0 {
+			c.bufs = append(c.bufs, col[:0])
+		}
+	}
+	r.cols = nil
 }
 
 type hashKey struct {
@@ -338,6 +386,14 @@ func ComputeContext(ctx context.Context, db *storage.Database, g *query.Graph, o
 			}
 			cur[s] = outs[i].res
 		}
+		// Level size-1 is dead now: recycle its row-id buffers into the
+		// pool feeding level size+1. Level 1 is exempt — its columns alias
+		// the shared filtered-row vectors, not pooled buffers.
+		if size > 2 {
+			for _, res := range prev {
+				c.recycle(res)
+			}
+		}
 		prev = cur
 	}
 	return st, nil
@@ -385,31 +441,40 @@ func (c *computer) computeSubset(ctx context.Context, s query.BitSet, prev map[q
 
 // hashOf returns (building lazily, exactly once per key even under
 // concurrent workers) a hash of relation rel's column col over either the
-// filtered rows or all rows. NULL keys are never inserted. The build scans
-// rows in ascending order, so the map's content is independent of which
-// worker builds it. The build deliberately does not poll the context: a
-// partially built hash must never land in the shared cache, and a build is
-// at most one column scan, after which the caller's probe loop polls.
-func (c *computer) hashOf(rel int, col string, filtered bool) map[int64][]int32 {
-	return c.hashes.Get(hashKey{rel, col, filtered}, func() map[int64][]int32 {
+// filtered rows or all rows, as flat grouped postings: one counting pass
+// groups every row id by key in two contiguous arenas, with none of the
+// per-key slice churn of the map[int64][]int32 it replaced. NULL keys are
+// never inserted. The build scans rows in ascending order, so per-key row
+// order is ascending — exactly what the map-of-appends produced — and the
+// content is independent of which worker builds it. The build deliberately
+// does not poll the context: a partially built hash must never land in the
+// shared cache, and a build is at most one column scan, after which the
+// caller's probe loop polls.
+func (c *computer) hashOf(rel int, col string, filtered bool) *hashtab.Postings {
+	return c.hashes.Get(hashKey{rel, col, filtered}, func() *hashtab.Postings {
 		column := c.tables[rel].MustColumn(col)
-		h := make(map[int64][]int32)
+		var keys []int64
+		var vals []int32
 		if filtered {
+			keys = make([]int64, 0, len(c.filtered[rel]))
+			vals = make([]int32, 0, len(c.filtered[rel]))
 			for _, row := range c.filtered[rel] {
 				if !column.IsNull(int(row)) {
-					v := column.Ints[row]
-					h[v] = append(h[v], row)
+					keys = append(keys, column.Ints[row])
+					vals = append(vals, row)
 				}
 			}
 		} else {
+			keys = make([]int64, 0, column.Len())
+			vals = make([]int32, 0, column.Len())
 			for row := 0; row < column.Len(); row++ {
 				if !column.IsNull(row) {
-					v := column.Ints[row]
-					h[v] = append(h[v], int32(row))
+					keys = append(keys, column.Ints[row])
+					vals = append(vals, int32(row))
 				}
 			}
 		}
-		return h
+		return hashtab.BuildPostings(keys, vals)
 	})
 }
 
@@ -487,10 +552,15 @@ func (c *computer) residuals(r int, edges []int) []residual {
 // per-tuple atomic load.
 const ctxCheckMask = 1<<14 - 1
 
+// emitBlockSize is the number of buffered match pairs per column-at-a-time
+// emit flush.
+const emitBlockSize = 1024
+
 // join probes base against relation r on the given edges and materialises
 // the combined result for subgraph s (filtered selects whether r's
-// selection applies). The row limit is checked before a tuple is emitted,
-// so no column ever grows past MaxRows.
+// selection applies). Matches accumulate in (base ordinal, r row) pair
+// buffers and are flushed column-at-a-time per block. The row limit is
+// checked before a tuple is emitted, so no column ever grows past MaxRows.
 func (c *computer) join(ctx context.Context, s query.BitSet, base *result, r int, edges []int, filtered bool) (*result, error) {
 	ecs := c.edgeCols(r, edges)
 	primary := ecs[0]
@@ -511,15 +581,40 @@ func (c *computer) join(ctx context.Context, s query.BitSet, base *result, r int
 	copy(outRels[pos+1:], outRels[pos:])
 	outRels[pos] = r
 
+	// srcs aligns each output column with its base input column; the slot
+	// for r itself (pos) takes the matched rows directly.
 	outCols := make([][]int32, len(outRels))
+	srcs := make([][]int32, len(outRels))
+	for k, rel := range outRels {
+		outCols[k] = c.getBuf()
+		if rel != r {
+			srcs[k] = base.colOf(rel)
+		}
+	}
 	probe := base.colOf(primary.probeRel)
 	n := base.rows()
-
-	baseColCache := make(map[int][]int32, len(base.rels))
-	for _, rel := range base.rels {
-		baseColCache[rel] = base.colOf(rel)
+	resRows := make([][]int32, len(res))
+	for j := range res {
+		resRows[j] = base.colOf(res[j].baseRel)
 	}
 
+	bIdx := c.getBuf() // base ordinal of each buffered match
+	rBuf := c.getBuf() // matched r row of each buffered match
+	flush := func() {
+		if len(bIdx) == 0 {
+			return
+		}
+		for k := range outCols {
+			if k == pos {
+				outCols[k] = append(outCols[k], rBuf...)
+			} else {
+				outCols[k] = hashtab.GatherAppend(outCols[k], srcs[k], bIdx)
+			}
+		}
+		bIdx, rBuf = bIdx[:0], rBuf[:0]
+	}
+
+	dv, dvOK := h.DenseView()
 	emitted := 0
 	for i := 0; i < n; i++ {
 		if i&ctxCheckMask == 0 {
@@ -532,37 +627,64 @@ func (c *computer) join(ctx context.Context, s query.BitSet, base *result, r int
 			continue
 		}
 		key := primary.probeCol.Ints[pRow]
-		matches := h[key]
+		// Dense keys resolve inline (surrogate keys almost always do);
+		// sparse domains fall back to the hashed lookup.
+		var matches []int32
+		if dvOK {
+			if slot := uint64(key) - uint64(dv.Min); slot < uint64(len(dv.Dense)) {
+				if g := dv.Dense[slot]; g != 0 {
+					matches = dv.Vals[dv.Offs[g-1]:dv.Offs[g]]
+				}
+			}
+		} else {
+			matches = h.Lookup(key)
+		}
 		if len(matches) == 0 {
 			continue
 		}
-	match:
-		for _, rRow := range matches {
-			for _, rs := range res {
-				bRow := int(baseColCache[rs.baseRel][i])
-				if rs.baseCol.IsNull(bRow) || rs.rCol.IsNull(int(rRow)) {
-					continue match
-				}
-				if rs.baseCol.Ints[bRow] != rs.rCol.Ints[rRow] {
-					continue match
-				}
-			}
-			if emitted >= c.opts.MaxRows {
+		if len(res) == 0 {
+			// No residual predicates (the common case): the whole match
+			// list is emitted as one run.
+			if emitted+len(matches) > c.opts.MaxRows {
 				return nil, fmt.Errorf("truecard: %s: intermediate %v exceeds %d rows",
 					c.g.Q.ID, s, c.opts.MaxRows)
 			}
-			emitted++
-			for k, rel := range outRels {
-				if rel == r {
-					outCols[k] = append(outCols[k], rRow)
-				} else {
-					outCols[k] = append(outCols[k], baseColCache[rel][i])
+			emitted += len(matches)
+			rBuf = append(rBuf, matches...)
+			for range matches {
+				bIdx = append(bIdx, int32(i))
+			}
+		} else {
+		match:
+			for _, rRow := range matches {
+				for j := range res {
+					rs := &res[j]
+					bRow := int(resRows[j][i])
+					if rs.baseCol.IsNull(bRow) || rs.rCol.IsNull(int(rRow)) {
+						continue match
+					}
+					if rs.baseCol.Ints[bRow] != rs.rCol.Ints[rRow] {
+						continue match
+					}
 				}
+				if emitted >= c.opts.MaxRows {
+					return nil, fmt.Errorf("truecard: %s: intermediate %v exceeds %d rows",
+						c.g.Q.ID, s, c.opts.MaxRows)
+				}
+				emitted++
+				bIdx = append(bIdx, int32(i))
+				rBuf = append(rBuf, rRow)
 			}
 		}
+		if len(bIdx) >= emitBlockSize {
+			flush()
+		}
 	}
-	if outCols[0] == nil {
-		for k := range outCols {
+	flush()
+	c.putBuf(bIdx)
+	c.putBuf(rBuf)
+	for k := range outCols {
+		if outCols[k] == nil {
 			outCols[k] = []int32{}
 		}
 	}
@@ -589,9 +711,9 @@ func (c *computer) countJoin(ctx context.Context, s query.BitSet, base *result, 
 
 	probe := base.colOf(primary.probeRel)
 	n := base.rows()
-	baseColCache := make(map[int][]int32, len(base.rels))
-	for _, rel := range base.rels {
-		baseColCache[rel] = base.colOf(rel)
+	resRows := make([][]int32, len(res))
+	for j := range res {
+		resRows[j] = base.colOf(res[j].baseRel)
 	}
 	limit := int64(c.opts.MaxRows)
 	if limit > math.MaxInt64/SansRowsFactor {
@@ -599,6 +721,7 @@ func (c *computer) countJoin(ctx context.Context, s query.BitSet, base *result, 
 	} else {
 		limit *= SansRowsFactor
 	}
+	dv, dvOK := h.DenseView()
 	var count int64
 	for i := 0; i < n; i++ {
 		if i&ctxCheckMask == 0 {
@@ -610,11 +733,33 @@ func (c *computer) countJoin(ctx context.Context, s query.BitSet, base *result, 
 		if primary.probeCol.IsNull(pRow) {
 			continue
 		}
-		matches := h[primary.probeCol.Ints[pRow]]
+		key := primary.probeCol.Ints[pRow]
+		var matches []int32
+		if dvOK {
+			if slot := uint64(key) - uint64(dv.Min); slot < uint64(len(dv.Dense)) {
+				if g := dv.Dense[slot]; g != 0 {
+					matches = dv.Vals[dv.Offs[g-1]:dv.Offs[g]]
+				}
+			}
+		} else {
+			matches = h.Lookup(key)
+		}
+		if len(res) == 0 {
+			// No residuals: the whole match list counts as one run. The
+			// limit is still settled per match list, not per probe scan —
+			// a single skewed join key can carry the whole overrun.
+			count += int64(len(matches))
+			if count > limit {
+				return count, fmt.Errorf("truecard: %s: sans-selection count for %v (relation %d unfiltered) exceeds %d rows",
+					c.g.Q.ID, s, r, limit)
+			}
+			continue
+		}
 	match:
 		for _, rRow := range matches {
-			for _, rs := range res {
-				bRow := int(baseColCache[rs.baseRel][i])
+			for j := range res {
+				rs := &res[j]
+				bRow := int(resRows[j][i])
 				if rs.baseCol.IsNull(bRow) || rs.rCol.IsNull(int(rRow)) {
 					continue match
 				}
@@ -623,8 +768,6 @@ func (c *computer) countJoin(ctx context.Context, s query.BitSet, base *result, 
 				}
 			}
 			count++
-			// Checked per match, not per probe row: a single skewed join
-			// key can carry the whole overrun in one match list.
 			if count > limit {
 				return count, fmt.Errorf("truecard: %s: sans-selection count for %v (relation %d unfiltered) exceeds %d rows",
 					c.g.Q.ID, s, r, limit)

@@ -12,7 +12,16 @@ SNAPSHOT_SCALE ?= 0.3
 # Where `make serve` listens.
 SERVE_ADDR ?= :8080
 
-.PHONY: build test test-short race-short bench bench-smoke bench-json fmt fmt-check vet ci snapshot serve smoke-serve
+.PHONY: build test test-short race-short bench bench-smoke bench-json bench-service fmt fmt-check vet docs-check ci snapshot serve smoke-serve
+
+# bench-service knobs: how long the mixed load runs, how many concurrent
+# workers fire it, which scale the replica fleet serves, and which worlds
+# (generator seeds) the load spreads across — distinct seeds are what make
+# the consistent-hash router involve every replica.
+LOAD_DURATION ?= 10s
+LOAD_CONCURRENCY ?= 8
+BENCH_SERVICE_SCALE ?= 0.1
+BENCH_SERVICE_SEEDS ?= 42,43,44
 
 # Where bench-json drops its perf-trajectory artifacts.
 BENCH_DIR ?= bench
@@ -95,6 +104,58 @@ smoke-serve:
 	wait $$server; \
 	echo "smoke-serve: OK"
 
+# Macro service benchmark: 3 serve replicas + 1 router on random ports,
+# a short mixed load (optimize/execute/estimate/experiment) through the
+# router, and the BENCH_service.json artifact with throughput and
+# p50/p90/p99/p999 per request class. jsoncheck validates the artifact
+# shape; all four processes must exit cleanly on SIGTERM. CI uploads
+# $(BENCH_DIR)/BENCH_service.json, so every later PR's macro-level
+# speedup (or regression) shows up as a diffable series.
+bench-service:
+	@set -e; \
+	mkdir -p $(BENCH_DIR) .smoke; \
+	$(GO) build -o .smoke/jobench ./cmd/jobench; \
+	$(GO) build -o .smoke/jsoncheck ./cmd/jsoncheck; \
+	base=$$(( 21000 + $$$$ % 20000 )); \
+	peers="http://127.0.0.1:$$base,http://127.0.0.1:$$((base+1)),http://127.0.0.1:$$((base+2))"; \
+	rport=$$((base+3)); \
+	pids=""; \
+	for i in 0 1 2; do \
+		port=$$((base+i)); \
+		.smoke/jobench serve -addr 127.0.0.1:$$port -scale $(BENCH_SERVICE_SCALE) \
+			-cache-dir $(CACHE_DIR) -pool 4 \
+			-replica-id replica-$$i -peers "$$peers" -self "http://127.0.0.1:$$port" & \
+		pids="$$pids $$!"; \
+	done; \
+	.smoke/jobench router -addr 127.0.0.1:$$rport -replicas "$$peers" & \
+	pids="$$pids $$!"; \
+	trap 'kill $$pids 2>/dev/null || true' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 90); do \
+		if curl -fsS "http://127.0.0.1:$$rport/healthz" >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 1; \
+	done; \
+	test $$ok -eq 1 || { echo "bench-service: router never became healthy"; exit 1; }; \
+	.smoke/jobench loadgen -target "http://127.0.0.1:$$rport" \
+		-duration $(LOAD_DURATION) -concurrency $(LOAD_CONCURRENCY) \
+		-scale $(BENCH_SERVICE_SCALE) -world-seeds $(BENCH_SERVICE_SEEDS) \
+		-out $(BENCH_DIR)/BENCH_service.json; \
+	.smoke/jsoncheck schema=jobench-loadgen/v1 concurrency=$(LOAD_CONCURRENCY) \
+		total.requests total.throughput_rps \
+		total.latency_ms.p50 total.latency_ms.p90 total.latency_ms.p99 total.latency_ms.p999 \
+		classes.optimize.throughput_rps classes.optimize.latency_ms.p50 \
+		classes.execute.latency_ms.p50 classes.estimate.latency_ms.p50 \
+		classes.experiment.latency_ms.p50 \
+		< $(BENCH_DIR)/BENCH_service.json; \
+	curl -fsS "http://127.0.0.1:$$rport/metrics" | grep -q '^jobench_router_replica_up' \
+		|| { echo "bench-service: router metrics missing replica gauges"; exit 1; }; \
+	for pid in $$pids; do kill -TERM $$pid 2>/dev/null || true; done; \
+	rc=0; \
+	for pid in $$pids; do wait $$pid || { echo "bench-service: pid $$pid exited uncleanly"; rc=1; }; done; \
+	trap - EXIT; \
+	test $$rc -eq 0; \
+	echo "bench-service: OK ($(BENCH_DIR)/BENCH_service.json)"
+
 fmt:
 	gofmt -w .
 
@@ -104,5 +165,12 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# Godoc gate: every exported identifier in the packages other code
+# programs against must carry a doc comment (cmd/docscheck, ~100 lines of
+# go/ast — no external linter needed).
+docs-check:
+	$(GO) run ./cmd/docscheck ./internal/hashtab ./internal/service ./internal/engine \
+		./internal/parallel ./internal/router ./internal/loadgen
+
 # Everything the CI checks job runs, in order.
-ci: fmt-check vet build test bench-smoke
+ci: fmt-check vet docs-check build test bench-smoke

@@ -14,12 +14,27 @@
 //	                   [-scale 0.3] [-samples 10000] [-max-queries 0] [-parallel N]
 //	jobench snapshot   build|inspect|clear [-cache-dir .jobench-cache] [-scale 0.3] [-seed 42]
 //	jobench serve      [-addr :8080] [-pool 2] [-scale 0.3] [-seed 42] [-cache-dir DIR]
+//	                   [-replica-id ID] [-peers URL,URL,...] [-self URL]
+//	jobench router     -replicas URL,URL,... [-addr :8070] [-inflight 32]
+//	jobench loadgen    [-target http://localhost:8070] [-duration 10s] [-concurrency 8]
+//	                   [-mix optimize=4,execute=2,estimate=3,experiment=1] [-out BENCH_service.json]
 //
 // "jobench serve" runs the benchmark-as-a-service layer: warm System
 // instances stay resident in an LRU pool and answer /v1/optimize,
 // /v1/execute, /v1/estimate, /v1/queries and /v1/experiment/{name}
 // concurrently, with /healthz and /metrics as the ops surface. It shuts
-// down gracefully on SIGINT/SIGTERM, cancelling in-flight work.
+// down gracefully on SIGINT/SIGTERM, cancelling in-flight work. Given
+// -peers and -self it also joins a replica fleet: report-cache misses
+// peek at the consistent-hash owner before computing.
+//
+// "jobench router" fronts N serve replicas with consistent hashing on
+// (seed, scale) so each replica's system pool stays hot; it health-checks
+// replicas, marks them down on consecutive failures, fails transport
+// errors over to the next live candidate, and serves its own /healthz and
+// /metrics. "jobench loadgen" replays a mixed optimize/execute/estimate/
+// experiment workload against a router (or single replica) and writes
+// throughput plus latency percentiles to a JSON artifact. See
+// docs/OPERATIONS.md for the full three-process topology.
 //
 // Every command accepts -parallel N to size the worker pool that fans
 // experiment cells out across cores (0 = all cores, 1 = serial); the same
@@ -34,16 +49,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"jobench"
 	"jobench/internal/experiments"
+	"jobench/internal/loadgen"
+	"jobench/internal/router"
 	"jobench/internal/service"
 	"jobench/internal/snapshot"
 )
@@ -72,6 +91,10 @@ func main() {
 		err = cmdSnapshot(args)
 	case "serve":
 		err = cmdServe(args)
+	case "router":
+		err = cmdRouter(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
 	case "help", "-h", "-help", "--help":
 		usage()
 		return
@@ -100,7 +123,14 @@ Commands:
   experiment  reproduce the paper's tables and figures (%s|all)
   snapshot    manage the persistent snapshot store (build|inspect|clear)
   serve       run the benchmark HTTP service (system pool + report cache)
+  router      front N serve replicas with consistent hashing on (seed, scale)
+  loadgen     replay mixed traffic, write latency histograms + throughput JSON
   help        print this synopsis
+
+Examples:
+  jobench serve   -addr :8081 -cache-dir .jobench-cache
+  jobench router  -addr :8070 -replicas http://127.0.0.1:8081,http://127.0.0.1:8082
+  jobench loadgen -target http://127.0.0.1:8070 -duration 10s -out BENCH_service.json
 
 Run "jobench <command> -h" for command flags. Every command accepts
 -parallel N (worker-pool size; 0 = all cores) and -cache-dir DIR (the
@@ -301,9 +331,15 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	pool := fs.Int("pool", 2, "max resident (seed, scale) instances; least recently used is evicted")
+	replicaID := fs.String("replica-id", "", "identity label exported at /metrics (jobench_replica_info)")
+	peers := fs.String("peers", "", "comma-separated base URLs of every fleet replica (including this one); enables report-cache peer-fill")
+	self := fs.String("self", "", "this replica's own entry in -peers (required with -peers)")
 	scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
 
+	if (*peers == "") != (*self == "") {
+		return fmt.Errorf("serve: -peers and -self must be set together")
+	}
 	// SIGINT/SIGTERM cancel the context; the server stops listening,
 	// cancellation propagates into in-flight truecard/experiment work, and
 	// handlers get a grace period to flush.
@@ -316,8 +352,134 @@ func cmdServe(args []string) error {
 		Parallel:     *par,
 		CacheDir:     *cacheDir,
 		PoolSize:     *pool,
+		ReplicaID:    *replicaID,
+		Peers:        splitList(*peers),
+		SelfURL:      *self,
 	})
 	return srv.ListenAndServe(ctx)
+}
+
+func cmdRouter(args []string) error {
+	fs := flag.NewFlagSet("router", flag.ExitOnError)
+	addr := fs.String("addr", ":8070", "listen address")
+	replicas := fs.String("replicas", "", "comma-separated base URLs of the serve replicas (required)")
+	inflight := fs.Int("inflight", 32, "max in-flight forwards per replica; excess requests queue")
+	healthEvery := fs.Duration("health-interval", 2*time.Second, "period of the per-replica /healthz probe")
+	markDown := fs.Int("mark-down-after", 2, "consecutive failures that mark a replica down")
+	fs.Parse(args)
+
+	srv, err := router.New(router.Config{
+		Addr:               *addr,
+		Replicas:           splitList(*replicas),
+		InFlightPerReplica: *inflight,
+		HealthInterval:     *healthEvery,
+		MarkDownAfter:      *markDown,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return srv.ListenAndServe(ctx)
+}
+
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	target := fs.String("target", "http://127.0.0.1:8070", "router or replica base URL")
+	duration := fs.Duration("duration", 10*time.Second, "how long the workers fire")
+	concurrency := fs.Int("concurrency", 8, "number of concurrent request loops")
+	mixSpec := fs.String("mix", "optimize=4,execute=2,estimate=3,experiment=1",
+		"request-class weights, class=weight comma-separated")
+	out := fs.String("out", "BENCH_service.json", "result artifact path (- for stdout)")
+	loadSeed := fs.Int64("load-seed", 1, "seed for the generator's random choices")
+	queries := fs.String("queries", "", "comma-separated workload ids (default: fetch from target)")
+	expNames := fs.String("experiments", "fig3", "comma-separated experiment names for the experiment class")
+	worldSeeds := fs.String("world-seeds", "", "comma-separated generator seeds to spread the load across (overrides -seed; the experiment class always uses the first)")
+	scale, seed, _, _ := openFlags(fs)
+	fs.Parse(args)
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	var seeds []int64
+	for _, s := range splitList(*worldSeeds) {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("loadgen: invalid world seed %q", s)
+		}
+		seeds = append(seeds, v)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		Target:      *target,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Mix:         mix,
+		Seed:        *loadSeed,
+		WorldSeed:   *seed,
+		WorldSeeds:  seeds,
+		Scale:       *scale,
+		Queries:     splitList(*queries),
+		Experiments: splitList(*expNames),
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d requests (%d errors) at %.1f req/s, p50 %.1fms p99 %.1fms -> %s\n",
+		res.Total.Requests, res.Total.Errors, res.Total.ThroughputRPS,
+		res.Total.Latency.P50, res.Total.Latency.P99, *out)
+	return nil
+}
+
+// splitList splits a comma-separated flag value, dropping empty entries
+// (so an unset flag yields nil, not [""]).
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// parseMix parses "class=weight,class=weight" into a loadgen mix.
+func parseMix(spec string) (map[string]int, error) {
+	mix := make(map[string]int)
+	for _, part := range splitList(spec) {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: mix entry %q is not class=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("loadgen: invalid weight in %q", part)
+		}
+		switch name {
+		case loadgen.ClassOptimize, loadgen.ClassExecute, loadgen.ClassEstimate, loadgen.ClassExperiment:
+		default:
+			return nil, fmt.Errorf("loadgen: unknown class %q (optimize|execute|estimate|experiment)", name)
+		}
+		mix[name] = w
+	}
+	return mix, nil
 }
 
 func cmdSnapshot(args []string) error {

@@ -1,11 +1,17 @@
 // Command jsoncheck asserts that stdin is a JSON object containing the
-// given key=value pairs (values compared as strings). It exists so the
-// service smoke test in the Makefile and CI can validate responses without
+// given keys. It exists so the service and bench-service smoke tests in
+// the Makefile and CI can validate responses and artifacts without
 // depending on jq being installed.
+//
+// Each argument is either key=value (the key must be present and its
+// value, rendered with fmt.Sprint, must equal the string) or a bare key
+// (the key must merely be present). Keys may be dotted paths traversing
+// nested objects.
 //
 // Usage:
 //
 //	curl -fsS http://localhost:8080/healthz | jsoncheck status=ok
+//	jsoncheck schema=jobench-loadgen/v1 total.requests classes.optimize.latency_ms.p50 < BENCH_service.json
 package main
 
 import (
@@ -26,18 +32,32 @@ func main() {
 		fatal("invalid JSON: %v\ninput: %s", err, data)
 	}
 	for _, arg := range os.Args[1:] {
-		key, want, ok := strings.Cut(arg, "=")
-		if !ok {
-			fatal("argument %q is not key=value", arg)
+		path, want, hasWant := strings.Cut(arg, "=")
+		got, err := lookup(obj, path)
+		if err != nil {
+			fatal("%v\ninput: %s", err, data)
 		}
-		got, present := obj[key]
-		if !present {
-			fatal("key %q missing\ninput: %s", key, data)
-		}
-		if fmt.Sprint(got) != want {
-			fatal("key %q = %v, want %q\ninput: %s", key, got, want, data)
+		if hasWant && fmt.Sprint(got) != want {
+			fatal("key %q = %v, want %q\ninput: %s", path, got, want, data)
 		}
 	}
+}
+
+// lookup resolves a dotted path through nested JSON objects.
+func lookup(obj map[string]any, path string) (any, error) {
+	parts := strings.Split(path, ".")
+	var cur any = obj
+	for i, part := range parts {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("key %q: %q is not an object", path, strings.Join(parts[:i], "."))
+		}
+		cur, ok = m[part]
+		if !ok {
+			return nil, fmt.Errorf("key %q missing (at %q)", path, part)
+		}
+	}
+	return cur, nil
 }
 
 func fatal(format string, args ...any) {

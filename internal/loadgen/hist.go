@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: bucket widths
+// double every 2^subBits buckets, so relative quantization error is
+// bounded at 1/2^subBits (6.25%) across the whole range while the bucket
+// array stays tiny. Values are recorded in microseconds; anything from
+// 1µs to ~73000s lands in a distinct bucket without allocation.
+//
+// Record is not safe for concurrent use — each load worker owns one
+// histogram and the results are combined with Merge, which avoids a
+// shared-counter hot spot entirely.
+type Histogram struct {
+	counts [numBuckets]int64
+	total  int64
+	sum    int64 // of recorded microsecond values, for Mean
+	max    int64
+}
+
+// subBits fixes the sub-bucket resolution: 2^subBits buckets per octave,
+// giving a worst-case relative error of 1/2^subBits = 6.25% per recorded
+// value.
+const subBits = 4
+
+const subCount = 1 << subBits // 16
+
+// numBuckets covers every value below 2^47 µs (~4.5 years); larger values
+// clamp into the last bucket.
+const numBuckets = (46 - subBits + 1) * subCount
+
+// bucketIndex maps a non-negative microsecond value to its bucket. Values
+// 0..15 get exact width-1 buckets; beyond that, each octave [2^k, 2^(k+1))
+// splits into 16 equal sub-buckets.
+func bucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subCount {
+		return int(v)
+	}
+	k := bits.Len64(uint64(v)) - 1 // floor(log2 v), >= subBits
+	idx := (k-subBits+1)*subCount + int((v>>(k-subBits))&(subCount-1))
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the largest value mapping into bucket i — the value
+// a quantile query reports, so the reported quantile never understates
+// the true one by more than the bucket width.
+func bucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	k := i/subCount - 1 + subBits // octave
+	sub := int64(i % subCount)
+	base := int64(1) << k
+	width := base / subCount
+	return base + (sub+1)*width - 1
+}
+
+// Record adds one observed duration.
+func (h *Histogram) Record(d time.Duration) {
+	us := d.Microseconds()
+	h.counts[bucketIndex(us)]++
+	h.total++
+	h.sum += us
+	if us > h.max {
+		h.max = us
+	}
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count reports the number of recorded values.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Max reports the largest recorded value (exact, not bucketed).
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max) * time.Microsecond }
+
+// Mean reports the arithmetic mean of the recorded values (exact).
+func (h *Histogram) Mean() time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum/h.total) * time.Microsecond
+}
+
+// Quantile returns the smallest bucket upper bound v such that at least
+// q*Count() recorded values are <= v. q is clamped to [0, 1]; a q of 0.5
+// is the median, 0.999 the p999. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank as a count: ceil(q * total), at least 1.
+	rank := int64(q*float64(h.total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketUpper(i)
+			// Never report past the true maximum: the top bucket's upper
+			// bound can overshoot a sparse tail by its whole width.
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v) * time.Microsecond
+		}
+	}
+	return time.Duration(h.max) * time.Microsecond
+}

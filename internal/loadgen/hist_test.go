@@ -1,0 +1,152 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-linear bucketing: exact width-1
+// buckets below 16µs, then 16 sub-buckets per octave. These constants are
+// the histogram's contract — a change here silently re-buckets every
+// recorded artifact.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64 // microseconds
+		idx  int
+		uppr int64
+	}{
+		{0, 0, 0},
+		{1, 1, 1},
+		{15, 15, 15},
+		{16, 16, 16}, // first octave bucket, still width 1
+		{31, 31, 31},
+		{32, 32, 33}, // width-2 buckets start
+		{33, 32, 33},
+		{34, 33, 35},
+		{63, 47, 63},
+		{64, 48, 67}, // width-4
+		{100, 57, 103},
+		{1000, 111, 1023},    // ~1ms
+		{1024, 112, 1087},    // width-64 buckets start
+		{10_000, 163, 10239}, // ~10ms
+		{1_000_000, 270, 1015807},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.idx {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.idx)
+		}
+		if got := bucketUpper(c.idx); got != c.uppr {
+			t.Errorf("bucketUpper(%d) = %d, want %d", c.idx, got, c.uppr)
+		}
+	}
+	// Negative values clamp to bucket 0; absurd values clamp into the last
+	// bucket instead of indexing out of range.
+	if got := bucketIndex(-5); got != 0 {
+		t.Errorf("bucketIndex(-5) = %d, want 0", got)
+	}
+	if got := bucketIndex(1 << 62); got != numBuckets-1 {
+		t.Errorf("bucketIndex(1<<62) = %d, want %d", got, numBuckets-1)
+	}
+}
+
+// TestBucketMonotone: every value maps into a bucket whose bounds contain
+// it, and indices are monotone in the value.
+func TestBucketMonotone(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1_000_000; v += 7 {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if up := bucketUpper(i); v > up {
+			t.Fatalf("value %d exceeds its bucket %d's upper bound %d", v, i, up)
+		}
+	}
+}
+
+// TestQuantileKnownInputs pins the percentile math against a distribution
+// small enough to verify by hand: 100 values of 1ms, then 10 of 10ms,
+// then 1 of 100ms.
+func TestQuantileKnownInputs(t *testing.T) {
+	h := &Histogram{}
+	for i := 0; i < 100; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(10 * time.Millisecond)
+	}
+	h.Record(100 * time.Millisecond)
+
+	if h.Count() != 111 {
+		t.Fatalf("Count = %d, want 111", h.Count())
+	}
+	// 1ms lands in the bucket with upper bound 1023µs; 10ms in 10239µs.
+	if got := h.Quantile(0.5); got != 1023*time.Microsecond {
+		t.Errorf("p50 = %v, want 1.023ms", got)
+	}
+	// rank(0.90) = ceil(99.9) = 100 → still the 1ms bucket.
+	if got := h.Quantile(0.90); got != 1023*time.Microsecond {
+		t.Errorf("p90 = %v, want 1.023ms", got)
+	}
+	// rank(0.99) = ceil(109.89) = 110 → the 10ms bucket.
+	if got := h.Quantile(0.99); got != 10239*time.Microsecond {
+		t.Errorf("p99 = %v, want 10.239ms", got)
+	}
+	// rank(0.999) = ceil(110.889) = 111 → the max; clamped to the exact
+	// max rather than the bucket bound.
+	if got := h.Quantile(0.999); got != 100*time.Millisecond {
+		t.Errorf("p999 = %v, want 100ms", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", got)
+	}
+	// Mean: (100*1000 + 10*10000 + 100000) / 111 = 2702.7 → 2.702ms.
+	if got := h.Mean(); got != 2702*time.Microsecond {
+		t.Errorf("Mean = %v, want 2.702ms", got)
+	}
+}
+
+// TestQuantileRelativeError: for any single recorded value, every
+// quantile reports within the bucketing's 6.25% relative error.
+func TestQuantileRelativeError(t *testing.T) {
+	for _, us := range []int64{1, 17, 999, 12345, 1_000_000, 87_654_321} {
+		h := &Histogram{}
+		h.Record(time.Duration(us) * time.Microsecond)
+		got := h.Quantile(0.5).Microseconds()
+		if got < us || float64(got) > float64(us)*1.0625+1 {
+			t.Errorf("value %dµs: p50 = %dµs, outside [v, 1.0625v]", us, got)
+		}
+	}
+}
+
+// TestMerge: merging worker histograms is equivalent to recording
+// everything into one.
+func TestMerge(t *testing.T) {
+	a, b, both := &Histogram{}, &Histogram{}, &Histogram{}
+	for i := 1; i <= 1000; i++ {
+		d := time.Duration(i*i) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+		both.Record(d)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() || a.Max() != both.Max() || a.Mean() != both.Mean() {
+		t.Fatal("merged aggregates differ from single-histogram recording")
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 0.999, 1} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("Quantile(%g): merged %v != direct %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}

@@ -1,0 +1,434 @@
+// Package loadgen replays mixed jobench traffic — optimize, execute,
+// estimate, and experiment requests at configurable ratios — against a
+// router or a single serve replica, from a fixed number of concurrent
+// workers for a fixed duration. Each worker records per-class latencies
+// into its own log-bucketed Histogram (no shared counters on the hot
+// path); the merged result reports throughput and p50/p90/p99/p999 per
+// request class and overall, and marshals to the BENCH_service.json
+// artifact CI archives.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Class names accepted in a Mix.
+const (
+	ClassOptimize   = "optimize"
+	ClassExecute    = "execute"
+	ClassEstimate   = "estimate"
+	ClassExperiment = "experiment"
+)
+
+// Config configures one load run.
+type Config struct {
+	// Target is the base URL the traffic is aimed at — a router or a
+	// single replica; the generator does not care which.
+	Target string
+	// Duration is how long the workers fire (default 10s).
+	Duration time.Duration
+	// Concurrency is the number of workers, each running one synchronous
+	// request loop (default 8).
+	Concurrency int
+	// Mix maps class name to relative weight; classes absent or weighted 0
+	// are never issued. Empty means the DefaultMix.
+	Mix map[string]int
+	// Seed drives every random choice (class and query selection), so a
+	// run is reproducible given the same config (default 1).
+	Seed int64
+	// WorldSeed and Scale select the (seed, scale) world the requests ask
+	// for; they ride in every request body, so the router's affinity key
+	// is the same for the whole run. Zero values let the server defaults
+	// apply.
+	WorldSeed int64
+	Scale     float64
+	// WorldSeeds, when set, spreads the load across several worlds (each
+	// at Scale): per request one seed is drawn uniformly, which is what
+	// makes a consistent-hash router distribute the run across replicas —
+	// a single world by construction all lands on its one owner. The
+	// experiment class always uses WorldSeeds[0] (or WorldSeed), so the
+	// paper-grade sweeps stay on the world whose snapshots are primed.
+	WorldSeeds []int64
+	// Queries are the workload ids optimize/execute/estimate pick from.
+	// Empty means fetch the list from Target's /v1/queries before the
+	// clock starts (which also warms the target's system pool).
+	Queries []string
+	// Experiments are the names the experiment class picks from (default
+	// fig3, the cheapest estimation sweep).
+	Experiments []string
+	// Client is the HTTP client used for every request (default: one
+	// client with sensible connection reuse).
+	Client *http.Client
+	// Logf receives progress diagnostics (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// DefaultMix is the standing traffic shape: mostly plan-only requests,
+// some executions and estimates, the occasional full experiment report.
+var DefaultMix = map[string]int{
+	ClassOptimize:   4,
+	ClassExecute:    2,
+	ClassEstimate:   3,
+	ClassExperiment: 1,
+}
+
+// ClassResult is the measured outcome for one request class.
+type ClassResult struct {
+	Requests      int64     `json:"requests"`
+	Errors        int64     `json:"errors"`
+	ThroughputRPS float64   `json:"throughput_rps"`
+	Latency       LatencyMS `json:"latency_ms"`
+}
+
+// LatencyMS is a latency summary in milliseconds.
+type LatencyMS struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// Result is one load run's report — the BENCH_service.json shape.
+type Result struct {
+	Schema          string                 `json:"schema"`
+	Target          string                 `json:"target"`
+	DurationSeconds float64                `json:"duration_seconds"`
+	Concurrency     int                    `json:"concurrency"`
+	Mix             map[string]int         `json:"mix"`
+	WorldSeeds      []int64                `json:"world_seeds"`
+	Scale           float64                `json:"scale"`
+	Total           ClassResult            `json:"total"`
+	Classes         map[string]ClassResult `json:"classes"`
+}
+
+// Schema identifies the Result JSON layout; bump when fields change
+// incompatibly so downstream tooling can tell artifacts apart.
+const Schema = "jobench-loadgen/v1"
+
+// Run fires the configured load and reports the merged result. It returns
+// an error only when the run could not start (bad config, unreachable
+// target while fetching the workload); request failures during the run are
+// counted per class, not fatal.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("loadgen: no target")
+	}
+	cfg.Target = strings.TrimRight(cfg.Target, "/")
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 8
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if len(cfg.Mix) == 0 {
+		cfg.Mix = DefaultMix
+	}
+	if len(cfg.Experiments) == 0 {
+		cfg.Experiments = []string{"fig3"}
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if len(cfg.WorldSeeds) == 0 {
+		cfg.WorldSeeds = []int64{cfg.WorldSeed}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	classes, weights, totalWeight := normalizeMix(cfg.Mix)
+	if totalWeight == 0 {
+		return nil, fmt.Errorf("loadgen: mix has no positive weights")
+	}
+	needQueries := false
+	for _, c := range classes {
+		if c != ClassExperiment {
+			needQueries = true
+		}
+	}
+	if needQueries && len(cfg.Queries) == 0 {
+		qs, err := fetchQueries(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: fetching workload from %s: %w", cfg.Target, err)
+		}
+		cfg.Queries = qs
+		logf("loadgen: fetched %d workload queries from %s", len(qs), cfg.Target)
+	}
+
+	type workerState struct {
+		hists  map[string]*Histogram
+		errors map[string]int64
+	}
+	states := make([]workerState, cfg.Concurrency)
+	for i := range states {
+		states[i].hists = make(map[string]*Histogram, len(classes))
+		states[i].errors = make(map[string]int64, len(classes))
+		for _, c := range classes {
+			states[i].hists[c] = &Histogram{}
+		}
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+	logf("loadgen: %d workers x %v against %s (mix %v)",
+		cfg.Concurrency, cfg.Duration, cfg.Target, cfg.Mix)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			st := &states[w]
+			for runCtx.Err() == nil {
+				class := pickClass(rng, classes, weights, totalWeight)
+				req, err := buildRequest(runCtx, cfg, rng, class)
+				if err != nil {
+					return // only fails on a broken config; don't spin
+				}
+				t0 := time.Now()
+				resp, err := cfg.Client.Do(req)
+				elapsed := time.Since(t0)
+				if err != nil {
+					if runCtx.Err() != nil {
+						return // deadline mid-request, not a real failure
+					}
+					st.errors[class]++
+					st.hists[class].Record(elapsed)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode >= 400 {
+					st.errors[class]++
+				}
+				st.hists[class].Record(elapsed)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Requests in flight at the deadline are allowed to finish; throughput
+	// divides by the real window, not the nominal duration.
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Schema:          Schema,
+		Target:          cfg.Target,
+		DurationSeconds: elapsed.Seconds(),
+		Concurrency:     cfg.Concurrency,
+		Mix:             cfg.Mix,
+		WorldSeeds:      cfg.WorldSeeds,
+		Scale:           cfg.Scale,
+		Classes:         make(map[string]ClassResult, len(classes)),
+	}
+	total := &Histogram{}
+	var totalErrs int64
+	for _, c := range classes {
+		h := &Histogram{}
+		var errs int64
+		for i := range states {
+			h.Merge(states[i].hists[c])
+			errs += states[i].errors[c]
+		}
+		res.Classes[c] = classResult(h, errs, elapsed)
+		total.Merge(h)
+		totalErrs += errs
+	}
+	res.Total = classResult(total, totalErrs, elapsed)
+	return res, nil
+}
+
+func classResult(h *Histogram, errs int64, window time.Duration) ClassResult {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	return ClassResult{
+		Requests:      h.Count(),
+		Errors:        errs,
+		ThroughputRPS: float64(h.Count()) / window.Seconds(),
+		Latency: LatencyMS{
+			P50:  ms(h.Quantile(0.50)),
+			P90:  ms(h.Quantile(0.90)),
+			P99:  ms(h.Quantile(0.99)),
+			P999: ms(h.Quantile(0.999)),
+			Mean: ms(h.Mean()),
+			Max:  ms(h.Max()),
+		},
+	}
+}
+
+// normalizeMix returns the positively-weighted classes in deterministic
+// (sorted) order with their weights and the weight sum.
+func normalizeMix(mix map[string]int) (classes []string, weights []int, total int) {
+	for c, w := range mix {
+		if w > 0 {
+			classes = append(classes, c)
+		}
+	}
+	sort.Strings(classes)
+	weights = make([]int, len(classes))
+	for i, c := range classes {
+		weights[i] = mix[c]
+		total += mix[c]
+	}
+	return classes, weights, total
+}
+
+func pickClass(rng *rand.Rand, classes []string, weights []int, total int) string {
+	n := rng.Intn(total)
+	for i, w := range weights {
+		if n < w {
+			return classes[i]
+		}
+		n -= w
+	}
+	return classes[len(classes)-1]
+}
+
+// buildRequest constructs one request of the given class against the
+// target, with the world's (seed, scale) in the body or query string so
+// the router's affinity hashing sees it.
+func buildRequest(ctx context.Context, cfg Config, rng *rand.Rand, class string) (*http.Request, error) {
+	// The experiment class pins to the first world (its sweeps want the
+	// primed snapshots); everything else spreads uniformly.
+	seed := cfg.WorldSeeds[0]
+	if class != ClassExperiment && len(cfg.WorldSeeds) > 1 {
+		seed = cfg.WorldSeeds[rng.Intn(len(cfg.WorldSeeds))]
+	}
+	world := func(m map[string]any) map[string]any {
+		if seed != 0 {
+			m["seed"] = seed
+		}
+		if cfg.Scale > 0 {
+			m["scale"] = cfg.Scale
+		}
+		return m
+	}
+	post := func(path string, body map[string]any) (*http.Request, error) {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+path, bytes.NewReader(buf))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	}
+	pickQuery := func() (string, error) {
+		if len(cfg.Queries) == 0 {
+			return "", fmt.Errorf("loadgen: class %q needs a workload query list", class)
+		}
+		return cfg.Queries[rng.Intn(len(cfg.Queries))], nil
+	}
+	switch class {
+	case ClassOptimize:
+		q, err := pickQuery()
+		if err != nil {
+			return nil, err
+		}
+		return post("/v1/optimize", world(map[string]any{"query": q}))
+	case ClassExecute:
+		q, err := pickQuery()
+		if err != nil {
+			return nil, err
+		}
+		return post("/v1/execute", world(map[string]any{"query": q}))
+	case ClassEstimate:
+		q, err := pickQuery()
+		if err != nil {
+			return nil, err
+		}
+		return post("/v1/estimate", world(map[string]any{"query": q}))
+	case ClassExperiment:
+		name := cfg.Experiments[rng.Intn(len(cfg.Experiments))]
+		url := cfg.Target + "/v1/experiment/" + name + worldQuery(seed, cfg.Scale)
+		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown class %q", class)
+	}
+}
+
+func worldQuery(seed int64, scale float64) string {
+	var parts []string
+	if seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", seed))
+	}
+	if scale > 0 {
+		parts = append(parts, fmt.Sprintf("scale=%g", scale))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "?" + strings.Join(parts, "&")
+}
+
+// fetchQueries asks the target for its workload ids (GET /v1/queries),
+// once per configured world, concurrently — this happens before the
+// measured window opens, so it doubles as a warmup of every world's
+// system pool (each on its owning replica when a router is the target).
+// The workload is the same in every world; the first world's list is the
+// one returned.
+func fetchQueries(ctx context.Context, cfg Config) ([]string, error) {
+	fctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer cancel()
+	results := make([][]string, len(cfg.WorldSeeds))
+	errs := make([]error, len(cfg.WorldSeeds))
+	var wg sync.WaitGroup
+	for i, seed := range cfg.WorldSeeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			results[i], errs[i] = fetchQueriesWorld(fctx, cfg, seed)
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results[0], nil
+}
+
+func fetchQueriesWorld(ctx context.Context, cfg Config, seed int64) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/v1/queries"+worldQuery(seed, cfg.Scale), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Queries []string `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	if len(out.Queries) == 0 {
+		return nil, fmt.Errorf("target reported an empty workload")
+	}
+	return out.Queries, nil
+}

@@ -1,0 +1,155 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeService mimics the /v1 surface well enough to load-test: it lists a
+// workload, answers every class, and counts requests per path.
+func fakeService(t *testing.T) (*httptest.Server, *atomic.Int64, *atomic.Int64) {
+	t.Helper()
+	var posts, experiments atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/v1/queries":
+			_ = json.NewEncoder(w).Encode(map[string]any{
+				"count": 3, "queries": []string{"1a", "13d", "6f"},
+			})
+		case r.URL.Path == "/v1/optimize", r.URL.Path == "/v1/execute", r.URL.Path == "/v1/estimate":
+			var body struct {
+				Query string `json:"query"`
+			}
+			if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Query == "" {
+				http.Error(w, "bad body", http.StatusBadRequest)
+				return
+			}
+			posts.Add(1)
+			fmt.Fprint(w, `{"ok":true}`)
+		default: // /v1/experiment/{name}
+			experiments.Add(1)
+			fmt.Fprint(w, "report text")
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &posts, &experiments
+}
+
+// TestRunMixedLoad drives a short real run: every weighted class is
+// issued, results aggregate, and the class counts sum to the total.
+func TestRunMixedLoad(t *testing.T) {
+	srv, posts, experiments := fakeService(t)
+	res, err := Run(context.Background(), Config{
+		Target:      srv.URL,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 4,
+		Seed:        7,
+		Mix: map[string]int{
+			ClassOptimize: 3, ClassExecute: 1, ClassEstimate: 2, ClassExperiment: 1,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schema != Schema {
+		t.Fatalf("schema %q, want %q", res.Schema, Schema)
+	}
+	if res.Total.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if res.Total.Errors != 0 {
+		t.Fatalf("%d errors against a healthy backend", res.Total.Errors)
+	}
+	var sum int64
+	for class, cr := range res.Classes {
+		if cr.Requests == 0 {
+			t.Errorf("class %s: zero requests despite positive weight", class)
+		}
+		if cr.Latency.P50 <= 0 || cr.Latency.P99 < cr.Latency.P50 {
+			t.Errorf("class %s: implausible latencies %+v", class, cr.Latency)
+		}
+		sum += cr.Requests
+	}
+	if sum != res.Total.Requests {
+		t.Fatalf("class requests sum %d != total %d", sum, res.Total.Requests)
+	}
+	if posts.Load() == 0 || experiments.Load() == 0 {
+		t.Fatalf("backend saw posts=%d experiments=%d; every class must fire",
+			posts.Load(), experiments.Load())
+	}
+	if res.Total.ThroughputRPS <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	// The report must marshal (it becomes BENCH_service.json).
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCountsErrors: 4xx/5xx responses count as errors but still record
+// latency.
+func TestRunCountsErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/queries" {
+			_ = json.NewEncoder(w).Encode(map[string]any{"queries": []string{"1a"}})
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	res, err := Run(context.Background(), Config{
+		Target:      srv.URL,
+		Duration:    100 * time.Millisecond,
+		Concurrency: 2,
+		Mix:         map[string]int{ClassOptimize: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Requests == 0 || res.Total.Errors != res.Total.Requests {
+		t.Fatalf("requests=%d errors=%d: every 500 must count as an error",
+			res.Total.Requests, res.Total.Errors)
+	}
+}
+
+// TestRunDeterministicChoices: the same seed produces the same class
+// sequence (pickClass is driven only by the seeded rng).
+func TestRunDeterministicChoices(t *testing.T) {
+	classes, weights, total := normalizeMix(DefaultMix)
+	seq := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		out := make([]string, 50)
+		for i := range out {
+			out[i] = pickClass(rng, classes, weights, total)
+		}
+		return out
+	}
+	a, b := seq(42), seq(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("choice %d differs for equal seeds: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestRunRejectsBadConfig: no target and an all-zero mix are startup
+// errors, not runtime surprises.
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("empty target must fail")
+	}
+	srv, _, _ := fakeService(t)
+	if _, err := Run(context.Background(), Config{
+		Target: srv.URL, Mix: map[string]int{ClassOptimize: 0},
+	}); err == nil {
+		t.Fatal("zero-weight mix must fail")
+	}
+}

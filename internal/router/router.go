@@ -1,0 +1,486 @@
+// Package router fronts N jobench serve replicas with consistent hashing
+// on (seed, scale): every request for one world lands on the same replica,
+// so that replica's LRU system pool stays hot while the others never pay
+// for it. The router health-checks each replica's /healthz on an interval,
+// marks a replica down after consecutive failures (its keys move to the
+// next-clockwise neighbor; everyone else's keys stay put) and back up on
+// recovery, bounds per-replica in-flight forwards, fails a transport error
+// over to the next live candidate, and exposes its own /healthz and
+// /metrics (per-replica request counts, latencies, retries, mark-downs).
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a router Server.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (":8070").
+	Addr string
+	// Replicas are the base URLs of the jobench serve backends
+	// ("http://127.0.0.1:8081"). At least one is required.
+	Replicas []string
+	// HealthInterval is the period of the per-replica /healthz probe
+	// (default 2s).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 1s).
+	HealthTimeout time.Duration
+	// MarkDownAfter is the number of consecutive probe or forward failures
+	// that marks a replica down (default 2). One success marks it back up.
+	MarkDownAfter int
+	// InFlightPerReplica bounds concurrent forwards per replica; excess
+	// requests queue (default 32).
+	InFlightPerReplica int
+	// ForwardTimeout bounds one forwarded request, queueing included
+	// (default 5m — experiment sweeps are legitimately slow).
+	ForwardTimeout time.Duration
+	// ShutdownGrace bounds how long a cancelled router waits for in-flight
+	// forwards to flush (default 5s).
+	ShutdownGrace time.Duration
+	// Logf receives router diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) logf() func(format string, args ...any) {
+	if c.Logf != nil {
+		return c.Logf
+	}
+	return log.Printf
+}
+
+// replica is one backend and its router-side state.
+type replica struct {
+	url string
+
+	up        atomic.Bool
+	consecNow atomic.Int64 // consecutive failures (probe or forward)
+
+	slots chan struct{} // in-flight limiter, capacity InFlightPerReplica
+
+	mu        sync.Mutex
+	requests  map[int]int64 // status code -> count (0 = transport error)
+	seconds   float64       // cumulative forward latency
+	retries   int64         // transport errors that triggered failover
+	markDowns int64         // up -> down transitions
+}
+
+// Server is the consistent-hash router.
+type Server struct {
+	cfg      Config
+	ring     *Ring
+	replicas map[string]*replica
+	mux      *http.ServeMux
+	client   *http.Client
+
+	noReplica atomic.Int64 // requests refused because no replica was live
+}
+
+// New builds a router Server (without binding a socket).
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("router: no replicas configured")
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = time.Second
+	}
+	if cfg.MarkDownAfter <= 0 {
+		cfg.MarkDownAfter = 2
+	}
+	if cfg.InFlightPerReplica <= 0 {
+		cfg.InFlightPerReplica = 32
+	}
+	if cfg.ForwardTimeout <= 0 {
+		cfg.ForwardTimeout = 5 * time.Minute
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 5 * time.Second
+	}
+	ring := NewRingFromConfig(cfg.Replicas)
+	s := &Server{
+		cfg:      cfg,
+		ring:     ring,
+		replicas: make(map[string]*replica, len(ring.Replicas())),
+		mux:      http.NewServeMux(),
+		client:   &http.Client{}, // per-attempt timeouts come from request contexts
+	}
+	for _, u := range ring.Replicas() {
+		rep := &replica{
+			url:      u,
+			slots:    make(chan struct{}, cfg.InFlightPerReplica),
+			requests: make(map[int]int64),
+		}
+		// Replicas start marked up: the first failed probe or forward flips
+		// them, and starting optimistic means a router booted alongside its
+		// replicas serves as soon as anything answers instead of rejecting
+		// until the first probe cycle completes.
+		rep.up.Store(true)
+		s.replicas[u] = rep
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/v1/", s.handleForward)
+	return s, nil
+}
+
+// NewRingFromConfig builds the ring the router uses; exported so replicas
+// (service peer-fill) and tests derive owners from the identical ring.
+func NewRingFromConfig(replicas []string) *Ring {
+	trimmed := make([]string, 0, len(replicas))
+	for _, r := range replicas {
+		r = strings.TrimRight(strings.TrimSpace(r), "/")
+		if r != "" {
+			trimmed = append(trimmed, r)
+		}
+	}
+	return NewRing(trimmed)
+}
+
+// Handler returns the router's HTTP handler (also useful under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe binds cfg.Addr and serves until ctx is cancelled, running
+// the health-check loop alongside; see service.Server.ListenAndServe for
+// the shutdown contract it mirrors.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.cfg.logf()("jobench router: listening on %s, %d replicas (%s)",
+		ln.Addr(), len(s.replicas), strings.Join(s.ring.Replicas(), ", "))
+	return s.Serve(ctx, ln)
+}
+
+// Serve runs the router on an existing listener until ctx is cancelled.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	go s.healthLoop(hctx)
+
+	srv := &http.Server{
+		Handler:     s.Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		s.cfg.logf()("jobench router: shutting down (%v)", context.Cause(ctx))
+		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		err := srv.Shutdown(shutCtx)
+		<-errc
+		return err
+	}
+}
+
+// --- health checking --------------------------------------------------------
+
+// healthLoop probes every replica immediately and then on HealthInterval
+// until ctx is cancelled.
+func (s *Server) healthLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		var wg sync.WaitGroup
+		for _, rep := range s.replicas {
+			wg.Add(1)
+			go func(rep *replica) {
+				defer wg.Done()
+				s.probe(ctx, rep)
+			}(rep)
+		}
+		wg.Wait()
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func (s *Server) probe(ctx context.Context, rep *replica) {
+	pctx, cancel := context.WithTimeout(ctx, s.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, rep.url+"/healthz", nil)
+	if err != nil {
+		s.noteFailure(rep)
+		return
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		s.noteFailure(rep)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		s.noteFailure(rep)
+		return
+	}
+	s.noteSuccess(rep)
+}
+
+// noteFailure records one failed probe or forward; MarkDownAfter
+// consecutive failures flip the replica down (counted once per
+// transition).
+func (s *Server) noteFailure(rep *replica) {
+	n := rep.consecNow.Add(1)
+	if n >= int64(s.cfg.MarkDownAfter) && rep.up.CompareAndSwap(true, false) {
+		rep.mu.Lock()
+		rep.markDowns++
+		rep.mu.Unlock()
+		s.cfg.logf()("jobench router: replica %s marked down after %d consecutive failures", rep.url, n)
+	}
+}
+
+// noteSuccess resets the failure streak and marks the replica up.
+func (s *Server) noteSuccess(rep *replica) {
+	rep.consecNow.Store(0)
+	if rep.up.CompareAndSwap(false, true) {
+		s.cfg.logf()("jobench router: replica %s back up", rep.url)
+	}
+}
+
+func (s *Server) isLive(url string) bool {
+	rep := s.replicas[url]
+	return rep != nil && rep.up.Load()
+}
+
+// --- forwarding -------------------------------------------------------------
+
+// maxBodyBytes bounds a forwarded request body; the /v1 bodies are small
+// JSON documents, so anything past this is abusive, not legitimate.
+const maxBodyBytes = 1 << 20
+
+// seedScale is the partial body decode used only for affinity: every field
+// except seed/scale is opaque to the router.
+type seedScale struct {
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+}
+
+func (s *Server) handleForward(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+		return
+	}
+
+	var ss seedScale
+	if len(body) > 0 {
+		// Affinity only: an undecodable body still forwards (the replica
+		// owns the real validation and its error message), hashed as the
+		// default world.
+		_ = json.Unmarshal(body, &ss)
+	} else {
+		q := r.URL.Query()
+		ss.Seed, _ = strconv.ParseInt(q.Get("seed"), 10, 64)
+		ss.Scale, _ = strconv.ParseFloat(q.Get("scale"), 64)
+	}
+	key := AffinityKey(ss.Seed, ss.Scale)
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ForwardTimeout)
+	defer cancel()
+
+	// Owner first, then clockwise failover candidates; skip replicas that
+	// are marked down, and treat a transport error as both a failure signal
+	// and a reason to try the next candidate.
+	tried := 0
+	for _, url := range s.ring.Sequence(key) {
+		rep := s.replicas[url]
+		if !rep.up.Load() {
+			continue
+		}
+		if tried > 0 {
+			rep.mu.Lock()
+			// Counted on the replica that receives the retried request: the
+			// metric answers "how much failover traffic landed here".
+			rep.retries++
+			rep.mu.Unlock()
+		}
+		tried++
+		done, err := s.forwardOnce(ctx, rep, r, body, w)
+		if done {
+			return
+		}
+		s.noteFailure(rep)
+		if ctx.Err() != nil {
+			httpError(w, http.StatusGatewayTimeout, ctx.Err())
+			return
+		}
+		s.cfg.logf()("jobench router: forward to %s failed (%v), trying next replica", url, err)
+	}
+	s.noReplica.Add(1)
+	httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no live replica for key %s", key))
+}
+
+// forwardOnce proxies one attempt to rep. done reports whether a response
+// (of any status) was written to w — after the first byte is committed
+// there is no failing over.
+func (s *Server) forwardOnce(ctx context.Context, rep *replica, r *http.Request, body []byte, w http.ResponseWriter) (done bool, err error) {
+	// Per-replica in-flight bound: queue for a slot rather than piling
+	// unbounded concurrency onto one backend.
+	select {
+	case rep.slots <- struct{}{}:
+	case <-ctx.Done():
+		return false, ctx.Err()
+	}
+	defer func() { <-rep.slots }()
+
+	req, err := http.NewRequestWithContext(ctx, r.Method, rep.url+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	if accept := r.Header.Get("Accept"); accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+
+	start := time.Now()
+	resp, err := s.client.Do(req)
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		rep.mu.Lock()
+		rep.requests[0]++
+		rep.seconds += elapsed
+		rep.mu.Unlock()
+		return false, err
+	}
+	defer resp.Body.Close()
+
+	rep.mu.Lock()
+	rep.requests[resp.StatusCode]++
+	rep.seconds += elapsed
+	rep.mu.Unlock()
+
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Jobench-Replica", rep.url)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return true, nil
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// --- ops surface ------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	live := 0
+	for _, rep := range s.replicas {
+		if rep.up.Load() {
+			live++
+		}
+	}
+	status := http.StatusOK
+	state := "ok"
+	if live == 0 {
+		status = http.StatusServiceUnavailable
+		state = "no live replicas"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status": state, "live": live, "replicas": len(s.replicas),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.renderMetrics()))
+}
+
+// renderMetrics produces the Prometheus text exposition, replicas and
+// status codes sorted for a stable (diffable, testable) rendering.
+func (s *Server) renderMetrics() string {
+	urls := s.ring.Replicas() // already sorted
+
+	var b strings.Builder
+	b.WriteString("# HELP jobench_router_replica_up Replica liveness as seen by the router (1 = up).\n")
+	b.WriteString("# TYPE jobench_router_replica_up gauge\n")
+	for _, u := range urls {
+		up := 0
+		if s.replicas[u].up.Load() {
+			up = 1
+		}
+		fmt.Fprintf(&b, "jobench_router_replica_up{replica=%q} %d\n", u, up)
+	}
+	b.WriteString("# HELP jobench_router_replica_requests_total Forward attempts by replica and status code (code 0 = transport error).\n")
+	b.WriteString("# TYPE jobench_router_replica_requests_total counter\n")
+	for _, u := range urls {
+		rep := s.replicas[u]
+		rep.mu.Lock()
+		codes := make([]int, 0, len(rep.requests))
+		for c := range rep.requests {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(&b, "jobench_router_replica_requests_total{replica=%q,code=\"%d\"} %d\n", u, c, rep.requests[c])
+		}
+		rep.mu.Unlock()
+	}
+	b.WriteString("# HELP jobench_router_replica_request_seconds_total Cumulative forward latency by replica.\n")
+	b.WriteString("# TYPE jobench_router_replica_request_seconds_total counter\n")
+	for _, u := range urls {
+		rep := s.replicas[u]
+		rep.mu.Lock()
+		fmt.Fprintf(&b, "jobench_router_replica_request_seconds_total{replica=%q} %g\n", u, rep.seconds)
+		rep.mu.Unlock()
+	}
+	b.WriteString("# HELP jobench_router_replica_retries_total Failover requests that landed on this replica after another replica's transport error.\n")
+	b.WriteString("# TYPE jobench_router_replica_retries_total counter\n")
+	for _, u := range urls {
+		rep := s.replicas[u]
+		rep.mu.Lock()
+		fmt.Fprintf(&b, "jobench_router_replica_retries_total{replica=%q} %d\n", u, rep.retries)
+		rep.mu.Unlock()
+	}
+	b.WriteString("# HELP jobench_router_replica_markdowns_total Up-to-down transitions per replica.\n")
+	b.WriteString("# TYPE jobench_router_replica_markdowns_total counter\n")
+	for _, u := range urls {
+		rep := s.replicas[u]
+		rep.mu.Lock()
+		fmt.Fprintf(&b, "jobench_router_replica_markdowns_total{replica=%q} %d\n", u, rep.markDowns)
+		rep.mu.Unlock()
+	}
+	b.WriteString("# HELP jobench_router_replica_inflight Forwards currently in flight per replica.\n")
+	b.WriteString("# TYPE jobench_router_replica_inflight gauge\n")
+	for _, u := range urls {
+		fmt.Fprintf(&b, "jobench_router_replica_inflight{replica=%q} %d\n", u, len(s.replicas[u].slots))
+	}
+	b.WriteString("# HELP jobench_router_no_replica_total Requests refused because no replica was live.\n")
+	b.WriteString("# TYPE jobench_router_no_replica_total counter\n")
+	fmt.Fprintf(&b, "jobench_router_no_replica_total %d\n", s.noReplica.Load())
+	return b.String()
+}

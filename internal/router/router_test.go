@@ -1,0 +1,219 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoBackend answers every /v1/* request with its own id plus the body it
+// saw, and /healthz with 200.
+func echoBackend(t *testing.T, id string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"backend": id, "path": r.URL.Path, "body": string(body)})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func newTestRouter(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestForwardAffinity: requests for one (seed, scale) world always land on
+// the ring owner, across both POST bodies and GET query params.
+func TestForwardAffinity(t *testing.T) {
+	a, _ := echoBackend(t, "a")
+	b, _ := echoBackend(t, "b")
+	c, _ := echoBackend(t, "c")
+	urls := []string{a.URL, b.URL, c.URL}
+	s := newTestRouter(t, Config{Addr: ":0", Replicas: urls})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	ring := NewRingFromConfig(urls)
+	for seed := int64(1); seed <= 20; seed++ {
+		key := AffinityKey(seed, 0.1)
+		wantURL := ring.Owner(key)
+
+		body := fmt.Sprintf(`{"query":"13d","seed":%d,"scale":0.1}`, seed)
+		resp, err := http.Post(front.URL+"/v1/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("X-Jobench-Replica"); got != wantURL {
+			t.Fatalf("seed %d: POST landed on %s, ring owner is %s", seed, got, wantURL)
+		}
+		resp.Body.Close()
+
+		resp, err = http.Get(fmt.Sprintf("%s/v1/queries?seed=%d&scale=0.1", front.URL, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Header.Get("X-Jobench-Replica"); got != wantURL {
+			t.Fatalf("seed %d: GET landed on %s, ring owner is %s", seed, got, wantURL)
+		}
+		resp.Body.Close()
+	}
+}
+
+// TestFailoverAndMarkDown: a dead owner's requests fail over to the next
+// live candidate; after MarkDownAfter transport errors the replica is
+// marked down (visible in /healthz and /metrics) and stops being tried.
+func TestFailoverAndMarkDown(t *testing.T) {
+	a, _ := echoBackend(t, "a")
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // nothing listens here anymore
+
+	urls := []string{a.URL, deadURL}
+	s := newTestRouter(t, Config{
+		Addr: ":0", Replicas: urls, MarkDownAfter: 2,
+		Logf: t.Logf,
+	})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	// Find a seed the dead replica owns, so forwards must fail over.
+	ring := NewRingFromConfig(urls)
+	seed := int64(-1)
+	for i := int64(0); i < 1000; i++ {
+		if ring.Owner(AffinityKey(i, 0.1)) == strings.TrimRight(deadURL, "/") {
+			seed = i
+			break
+		}
+	}
+	if seed < 0 {
+		t.Fatal("no key owned by the dead replica in 1000 tries")
+	}
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(front.URL+"/v1/optimize", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"seed":%d,"scale":0.1}`, seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d, want 200 via failover", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Jobench-Replica"); got != a.URL {
+			t.Fatalf("request %d: landed on %s, want failover to %s", i, got, a.URL)
+		}
+		resp.Body.Close()
+	}
+
+	if s.isLive(deadURL) {
+		t.Fatal("dead replica still marked live after repeated transport errors")
+	}
+	metrics := s.renderMetrics()
+	if want := fmt.Sprintf("jobench_router_replica_up{replica=%q} 0", deadURL); !strings.Contains(metrics, want) {
+		t.Fatalf("metrics missing %q:\n%s", want, metrics)
+	}
+	if want := fmt.Sprintf("jobench_router_replica_markdowns_total{replica=%q} 1", deadURL); !strings.Contains(metrics, want) {
+		t.Fatalf("metrics missing %q (mark-down must count once per transition):\n%s", want, metrics)
+	}
+	// Retries landed on the survivor.
+	if want := fmt.Sprintf("jobench_router_replica_retries_total{replica=%q}", a.URL); !strings.Contains(metrics, want) {
+		t.Fatalf("metrics missing retry counter for %s:\n%s", a.URL, metrics)
+	}
+}
+
+// TestHealthLoopRecovery: the probe loop marks a failing replica down and
+// a recovered one back up.
+func TestHealthLoopRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" && !healthy.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	defer backend.Close()
+
+	s := newTestRouter(t, Config{
+		Addr: ":0", Replicas: []string{backend.URL},
+		HealthInterval: 10 * time.Millisecond, HealthTimeout: time.Second,
+		MarkDownAfter: 2, Logf: t.Logf,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go s.healthLoop(ctx)
+
+	waitFor(t, "mark-down", func() bool { return !s.isLive(backend.URL) })
+	healthy.Store(true)
+	waitFor(t, "recovery", func() bool { return s.isLive(backend.URL) })
+}
+
+// TestNoLiveReplica: with everything down the router answers 503 and
+// counts it.
+func TestNoLiveReplica(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close()
+
+	s := newTestRouter(t, Config{Addr: ":0", Replicas: []string{deadURL}, MarkDownAfter: 1, Logf: t.Logf})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	// First request: transport error marks the only replica down.
+	resp, err := http.Post(front.URL+"/v1/optimize", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Second request: no live replica at all.
+	resp, err = http.Post(front.URL+"/v1/optimize", "application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 with no live replicas", resp.StatusCode)
+	}
+	if s.noReplica.Load() == 0 {
+		t.Fatal("no-replica refusals not counted")
+	}
+
+	hresp, err := http.Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz status %d, want 503 with no live replicas", hresp.StatusCode)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

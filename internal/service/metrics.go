@@ -25,10 +25,16 @@ type Metrics struct {
 	WarmupsInFlight atomic.Int64
 	ReportHits      atomic.Int64
 	ReportMisses    atomic.Int64
+	PeerFillHits    atomic.Int64
+	PeerFillMisses  atomic.Int64
 
 	// admission, when set, contributes the report admission-control gauges
 	// (waiting, units in use, total admitted).
 	admission *admission
+
+	// replicaID, when set, is exported as jobench_replica_info{replica=...}
+	// so a fleet's scraped series are tellable apart.
+	replicaID string
 }
 
 type routeCode struct {
@@ -105,6 +111,11 @@ func (m *Metrics) Render() string {
 	gauge("pool_warmups_inflight", "System or lab constructions currently running.", m.WarmupsInFlight.Load())
 	gauge("report_cache_hits_total", "Experiment reports served from the report cache.", m.ReportHits.Load())
 	gauge("report_cache_misses_total", "Experiment reports that had to be computed.", m.ReportMisses.Load())
+	gauge("peer_fill_hits_total", "Report misses satisfied by the owning replica's cache.", m.PeerFillHits.Load())
+	gauge("peer_fill_misses_total", "Peer-fill peeks that found the owner cold or unreachable.", m.PeerFillMisses.Load())
+	if m.replicaID != "" {
+		fmt.Fprintf(&b, "# HELP jobench_replica_info Identity of this replica (constant 1).\n# TYPE jobench_replica_info gauge\njobench_replica_info{replica=%q} 1\n", m.replicaID)
+	}
 	if m.admission != nil {
 		waiting, inUse, admitted := m.admission.stats()
 		gauge("report_admission_waiting", "Report computations queued for admission units.", int64(waiting))

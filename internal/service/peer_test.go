@@ -1,0 +1,172 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"jobench/internal/experiments"
+	"jobench/internal/router"
+)
+
+// newPeerTestServer builds a service whose Lab construction is stubbed to
+// count invocations — peer-fill tests must prove a fill happened INSTEAD
+// of a computation, and the cheapest proof is "openLab was never called".
+func newPeerTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *atomic.Int64) {
+	t.Helper()
+	cfg.Logf = func(string, ...any) {}
+	s := New(cfg)
+	var labBuilds atomic.Int64
+	s.pool.openLab = func(Key) (*experiments.Lab, error) {
+		labBuilds.Add(1)
+		return nil, fmt.Errorf("test server must not compute reports locally")
+	}
+	h := httptest.NewServer(s.Handler())
+	t.Cleanup(h.Close)
+	return s, h, &labBuilds
+}
+
+// seedOwnedBy finds a seed whose report the given peer owns on the ring.
+func seedOwnedBy(t *testing.T, peers []string, owner string, scale float64) int64 {
+	t.Helper()
+	ring := router.NewRingFromConfig(peers)
+	for seed := int64(1); seed < 2000; seed++ {
+		if ring.Owner(router.AffinityKey(seed, scale)) == owner {
+			return seed
+		}
+	}
+	t.Fatal("no seed owned by the requested peer in 2000 tries")
+	return 0
+}
+
+// TestPeerFill: replica B, asked for a report whose world replica A owns,
+// serves A's cached rendering byte-for-byte without constructing a Lab.
+func TestPeerFill(t *testing.T) {
+	const scale = 0.25
+	// Build A first on a placeholder topology; its real URL exists only
+	// after the httptest server starts, so topology is patched afterwards.
+	a, aHTTP, aLabs := newPeerTestServer(t, Config{DefaultSeed: 1, DefaultScale: scale})
+	b, bHTTP, bLabs := newPeerTestServer(t, Config{DefaultSeed: 1, DefaultScale: scale})
+	peers := []string{aHTTP.URL, bHTTP.URL}
+	a.peers = newPeerSet(Config{Peers: peers, SelfURL: aHTTP.URL})
+	b.peers = newPeerSet(Config{Peers: peers, SelfURL: bHTTP.URL})
+
+	seed := seedOwnedBy(t, peers, aHTTP.URL, scale)
+	const reportText = "=== table1 ===\nthe canonical rendering\n"
+	k := reportKey{key: a.key(seed, scale), name: "table1"}
+	a.reports.put(k, reportText)
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/experiment/table1?seed=%d&scale=%g", bHTTP.URL, seed, scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if string(body) != reportText {
+		t.Fatalf("peer-filled report differs:\ngot  %q\nwant %q", body, reportText)
+	}
+	if n := aLabs.Load() + bLabs.Load(); n != 0 {
+		t.Fatalf("%d Lab constructions; peer-fill must not compute", n)
+	}
+	if b.metrics.PeerFillHits.Load() != 1 {
+		t.Fatalf("PeerFillHits = %d, want 1", b.metrics.PeerFillHits.Load())
+	}
+
+	// The fill is cached locally: a second request is a plain cache hit,
+	// no second peek (A going away must not matter).
+	aHTTP.Close()
+	resp, err = http.Get(fmt.Sprintf("%s/v1/experiment/table1?seed=%d&scale=%g", bHTTP.URL, seed, scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != reportText {
+		t.Fatalf("cached re-read failed: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// TestPeerFillColdOwner: when the owner has nothing cached, the replica
+// falls through to local computation (here: the stubbed error) — a cold
+// fleet must not loop peeks.
+func TestPeerFillColdOwner(t *testing.T) {
+	const scale = 0.25
+	a, aHTTP, _ := newPeerTestServer(t, Config{DefaultSeed: 1, DefaultScale: scale})
+	b, bHTTP, bLabs := newPeerTestServer(t, Config{DefaultSeed: 1, DefaultScale: scale})
+	_ = a
+	peers := []string{aHTTP.URL, bHTTP.URL}
+	b.peers = newPeerSet(Config{Peers: peers, SelfURL: bHTTP.URL})
+
+	seed := seedOwnedBy(t, peers, aHTTP.URL, scale)
+	resp, err := http.Get(fmt.Sprintf("%s/v1/experiment/table1?seed=%d&scale=%g", bHTTP.URL, seed, scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	// The stub Lab fails, so the request errors — but it must have TRIED
+	// locally after the peek missed.
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("expected local-compute failure from the stub, got 200: %s", body)
+	}
+	if bLabs.Load() != 1 {
+		t.Fatalf("Lab constructions = %d, want 1 (local fallback)", bLabs.Load())
+	}
+	if b.metrics.PeerFillMisses.Load() != 1 {
+		t.Fatalf("PeerFillMisses = %d, want 1", b.metrics.PeerFillMisses.Load())
+	}
+}
+
+// TestReportPeekEndpoint: the peek endpoint serves only what is cached —
+// 404 on a cold key, 200 with the exact bytes on a warm one, and the
+// samples normalization matches handleExperiment's.
+func TestReportPeekEndpoint(t *testing.T) {
+	s, h, _ := newPeerTestServer(t, Config{DefaultSeed: 1, DefaultScale: 0.25})
+
+	resp, err := http.Get(h.URL + "/v1/report-cache/table1?seed=3&scale=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cold peek status %d, want 404", resp.StatusCode)
+	}
+
+	// fig9's samples default (0 → 10000) must normalize identically on
+	// both surfaces, or a fill could never match a computed key.
+	k := reportKey{key: s.key(3, 0.25), name: "fig9", samples: 10000}
+	s.reports.put(k, "fig9 text")
+	resp, err = http.Get(h.URL + "/v1/report-cache/fig9?seed=3&scale=0.25&samples=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "fig9 text" {
+		t.Fatalf("warm peek: status %d body %q", resp.StatusCode, body)
+	}
+}
+
+// TestReplicaInfoMetric: a configured ReplicaID shows up in /metrics.
+func TestReplicaInfoMetric(t *testing.T) {
+	_, h, _ := newPeerTestServer(t, Config{DefaultSeed: 1, DefaultScale: 0.25, ReplicaID: "replica-7"})
+	resp, err := http.Get(h.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := `jobench_replica_info{replica="replica-7"} 1`; !strings.Contains(string(body), want) {
+		t.Fatalf("/metrics missing %q", want)
+	}
+	if !strings.Contains(string(body), "jobench_peer_fill_hits_total") {
+		t.Fatal("/metrics missing peer-fill counters")
+	}
+}

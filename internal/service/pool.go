@@ -18,6 +18,8 @@ type Key struct {
 	CacheDir string
 }
 
+// String renders the key for logs and metrics labels (the cache dir is
+// deliberately omitted — it is server-wide in practice and noisy in logs).
 func (k Key) String() string {
 	return "seed=" + strconv.FormatInt(k.Seed, 10) +
 		",scale=" + strconv.FormatFloat(k.Scale, 'g', -1, 64)

@@ -56,6 +56,21 @@ type Config struct {
 	// ShutdownGrace bounds how long a cancelled server waits for in-flight
 	// requests to notice the cancellation and flush (default 5s).
 	ShutdownGrace time.Duration
+	// ReplicaID labels this replica in /metrics (jobench_replica_info) so
+	// scraped series from a fleet are tellable apart; empty omits the
+	// metric.
+	ReplicaID string
+	// Peers are the base URLs of every replica in the fleet, INCLUDING
+	// this one — the identical list (and order-insensitively so) that the
+	// router was started with, since both sides derive report ownership
+	// from the same consistent-hash ring. Empty disables peer-fill.
+	Peers []string
+	// SelfURL is this replica's own entry in Peers; required for peer-fill
+	// (a replica must know which reports it owns itself).
+	SelfURL string
+	// PeerTimeout bounds one peer-fill peek before falling back to local
+	// computation (default 10s).
+	PeerTimeout time.Duration
 	// Logf receives serve-loop and snapshot diagnostics (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -85,6 +100,7 @@ type Server struct {
 	reports      *reportCache
 	reportFlight parallel.Flight[reportKey, string]
 	admit        *admission
+	peers        *peerSet
 }
 
 // New builds a Server (without binding a socket).
@@ -109,8 +125,10 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		reports: newReportCache(),
 		admit:   newAdmission(int64(cfg.ReportCapacity)),
+		peers:   newPeerSet(cfg),
 	}
 	m.admission = s.admit
+	m.replicaID = cfg.ReplicaID
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/optimize", s.handleOptimize)
@@ -118,6 +136,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/estimate", s.handleEstimate)
 	s.route("GET /v1/queries", s.handleQueries)
 	s.route("GET /v1/experiment/{name}", s.handleExperiment)
+	s.route("GET /v1/report-cache/{name}", s.handleReportPeek)
 	return s
 }
 
@@ -388,22 +407,29 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) (int, 
 			return http.StatusBadRequest, fmt.Errorf("invalid samples %q", v)
 		}
 	}
-	// Normalize samples before it becomes part of the cache key: only fig9
-	// consumes it, and fig9 treats 0 as its 10000 default — without this,
-	// distinct samples values would redundantly recompute (and separately
-	// cache) byte-identical reports.
-	if name != "fig9" {
-		samples = 0
-	} else if samples == 0 {
-		samples = 10000
-	}
-	text, err := s.report(reportKey{key: s.key(seed, scale), name: name, samples: samples})
+	text, err := s.report(reportKey{key: s.key(seed, scale), name: name, samples: normalizeSamples(name, samples)})
 	if err != nil {
 		return statusOf(err), err
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte(text))
 	return http.StatusOK, nil
+}
+
+// normalizeSamples canonicalizes the samples parameter before it becomes
+// part of a report cache key: only fig9 consumes it, and fig9 treats 0 as
+// its 10000 default — without this, distinct samples values would
+// redundantly recompute (and separately cache) byte-identical reports.
+// The peer-fill peek endpoint applies the same normalization, so a key
+// always means the same report on every replica.
+func normalizeSamples(name string, samples int) int {
+	if name != "fig9" {
+		return 0
+	}
+	if samples == 0 {
+		return 10000
+	}
+	return samples
 }
 
 func querySeedScale(r *http.Request) (seed int64, scale float64, err error) {
@@ -491,6 +517,14 @@ func (s *Server) report(k reportKey) (string, error) {
 	s.metrics.ReportMisses.Add(1)
 	text, err, _ := s.reportFlight.Do(k, func() (string, error) {
 		if text, ok := s.reports.get(k); ok {
+			return text, nil
+		}
+		// Peer-fill: if another replica owns this report's world on the
+		// fleet's hash ring, it has probably rendered the report already —
+		// one cheap peek beats recomputing a whole sweep. Any failure falls
+		// through to the local computation.
+		if text, ok := s.peerFill(k); ok {
+			s.reports.put(k, text)
 			return text, nil
 		}
 		// Admission control: only the goroutine that actually computes

@@ -100,6 +100,8 @@ smoke-serve:
 	test $$ok -eq 1 || { echo "smoke-serve: server never became healthy"; exit 1; }; \
 	curl -fsS "http://127.0.0.1:$$port/healthz" | .smoke/jsoncheck status=ok; \
 	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"13d"}' | .smoke/jsoncheck query=13d; \
+	curl -fsS -X POST "http://127.0.0.1:$$port/v1/execute" -d '{"query":"13d","adaptive":true}' | .smoke/jsoncheck query=13d replans; \
+	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"13d","adaptive":true}' | .smoke/jsoncheck query=13d feedback_hit=true; \
 	kill -TERM $$server; \
 	wait $$server; \
 	echo "smoke-serve: OK"
@@ -139,13 +141,14 @@ bench-service:
 	.smoke/jobench loadgen -target "http://127.0.0.1:$$rport" \
 		-duration $(LOAD_DURATION) -concurrency $(LOAD_CONCURRENCY) \
 		-scale $(BENCH_SERVICE_SCALE) -world-seeds $(BENCH_SERVICE_SEEDS) \
+		-mix optimize=4,execute=2,estimate=3,experiment=1,reopt=2 \
 		-out $(BENCH_DIR)/BENCH_service.json; \
 	.smoke/jsoncheck schema=jobench-loadgen/v1 concurrency=$(LOAD_CONCURRENCY) \
 		total.requests total.throughput_rps \
 		total.latency_ms.p50 total.latency_ms.p90 total.latency_ms.p99 total.latency_ms.p999 \
 		classes.optimize.throughput_rps classes.optimize.latency_ms.p50 \
 		classes.execute.latency_ms.p50 classes.estimate.latency_ms.p50 \
-		classes.experiment.latency_ms.p50 \
+		classes.experiment.latency_ms.p50 classes.reopt.latency_ms.p50 \
 		< $(BENCH_DIR)/BENCH_service.json; \
 	curl -fsS "http://127.0.0.1:$$rport/metrics" | grep -q '^jobench_router_replica_up' \
 		|| { echo "bench-service: router metrics missing replica gauges"; exit 1; }; \
@@ -170,7 +173,7 @@ vet:
 # go/ast — no external linter needed).
 docs-check:
 	$(GO) run ./cmd/docscheck ./internal/hashtab ./internal/service ./internal/engine \
-		./internal/parallel ./internal/router ./internal/loadgen
+		./internal/parallel ./internal/router ./internal/loadgen ./internal/reopt
 
 # Everything the CI checks job runs, in order.
 ci: fmt-check vet docs-check build test bench-smoke

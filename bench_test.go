@@ -155,6 +155,18 @@ func BenchmarkTable3Heuristics(b *testing.B) {
 	}
 }
 
+// BenchmarkReoptJOB runs the adaptive re-optimization experiment — static
+// vs re-optimized vs feedback-warm over all 113 JOB queries.
+func BenchmarkReoptJOB(b *testing.B) {
+	l := lab(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Reopt(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- substrate micro-benchmarks ----------------------------------------------
 
 func BenchmarkGenerateIMDB(b *testing.B) {

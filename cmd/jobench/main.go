@@ -10,11 +10,12 @@
 //	jobench graph      -q 13d
 //	jobench explain    -q 13d [-est postgres] [-model simple] [-idx pkfk] [-scale 0.3]
 //	jobench run        -q 13d [-est postgres] [-model simple] [-idx pkfk] [-rehash] [-no-nlj]
+//	                   [-reopt] [-qerr 2] [-max-replans 4]
 //	jobench experiment -name table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|all
 //	                   [-scale 0.3] [-samples 10000] [-max-queries 0] [-parallel N]
 //	jobench snapshot   build|inspect|clear [-cache-dir .jobench-cache] [-scale 0.3] [-seed 42]
 //	jobench serve      [-addr :8080] [-pool 2] [-scale 0.3] [-seed 42] [-cache-dir DIR]
-//	                   [-replica-id ID] [-peers URL,URL,...] [-self URL]
+//	                   [-feedback-bytes N] [-replica-id ID] [-peers URL,URL,...] [-self URL]
 //	jobench router     -replicas URL,URL,... [-addr :8070] [-inflight 32]
 //	jobench loadgen    [-target http://localhost:8070] [-duration 10s] [-concurrency 8]
 //	                   [-mix optimize=4,execute=2,estimate=3,experiment=1] [-out BENCH_service.json]
@@ -26,6 +27,13 @@
 // down gracefully on SIGINT/SIGTERM, cancelling in-flight work. Given
 // -peers and -self it also joins a replica fleet: report-cache misses
 // peek at the consistent-hash owner before computing.
+//
+// "jobench run -reopt" executes adaptively: plan subtrees run first as
+// probes, observed intermediate cardinalities replace estimates whose
+// q-error exceeds -qerr (triggering up to -max-replans re-optimizations),
+// and the observations feed the plan-feedback cache. The service offers
+// the same via the "adaptive" request field; "serve -feedback-bytes"
+// bounds each resident instance's feedback cache.
 //
 // "jobench router" fronts N serve replicas with consistent hashing on
 // (seed, scale) so each replica's system pool stays hot; it health-checks
@@ -119,7 +127,7 @@ Commands:
   sql         print a workload query as SQL
   graph       print a query's join graph (Graphviz dot)
   explain     optimize a query and print the plan
-  run         optimize and execute a query
+  run         optimize and execute a query (-reopt for adaptive re-optimization)
   experiment  reproduce the paper's tables and figures (%s|all)
   snapshot    manage the persistent snapshot store (build|inspect|clear)
   serve       run the benchmark HTTP service (system pool + report cache)
@@ -251,6 +259,9 @@ func cmdRun(args []string) error {
 	est, model, idx, noNLJ, shape, algo := planFlags(fs)
 	rehash := fs.Bool("rehash", true, "resize hash tables at runtime")
 	limit := fs.Int64("work-limit", 0, "abort after this many work units")
+	adaptive := fs.Bool("reopt", false, "execute adaptively: probe intermediates, replan on misestimates, record feedback")
+	qerr := fs.Float64("qerr", 0, "q-error threshold that triggers a replan (0 = default 2); needs -reopt")
+	maxReplans := fs.Int("max-replans", 0, "re-optimizations per query (0 = default 4); needs -reopt")
 	scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
 	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
@@ -262,11 +273,26 @@ func cmdRun(args []string) error {
 		return err
 	}
 	start := time.Now()
-	res, err := sys.Execute(*q, jobench.RunOptions{
-		PlanOptions: opts, Rehash: *rehash, WorkLimit: *limit,
-	})
-	if err != nil {
-		return err
+	var res jobench.Result
+	if *adaptive {
+		ares, err := sys.ExecuteAdaptive(*q, jobench.AdaptiveOptions{
+			RunOptions:    jobench.RunOptions{PlanOptions: opts, Rehash: *rehash, WorkLimit: *limit},
+			QErrThreshold: *qerr,
+			MaxReplans:    *maxReplans,
+		})
+		if err != nil {
+			return err
+		}
+		res = ares.Result
+		fmt.Printf("adaptive: %d probes, %d replans, %d cardinalities pinned from feedback\n",
+			ares.Probes, ares.Replans, ares.Pinned)
+	} else {
+		res, err = sys.Execute(*q, jobench.RunOptions{
+			PlanOptions: opts, Rehash: *rehash, WorkLimit: *limit,
+		})
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Print(res.Plan)
 	if res.TimedOut {
@@ -331,6 +357,7 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	pool := fs.Int("pool", 2, "max resident (seed, scale) instances; least recently used is evicted")
+	feedbackBytes := fs.Int64("feedback-bytes", 0, "per-instance plan-feedback cache budget in bytes (0 = default 1 MiB)")
 	replicaID := fs.String("replica-id", "", "identity label exported at /metrics (jobench_replica_info)")
 	peers := fs.String("peers", "", "comma-separated base URLs of every fleet replica (including this one); enables report-cache peer-fill")
 	self := fs.String("self", "", "this replica's own entry in -peers (required with -peers)")
@@ -346,15 +373,16 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := service.New(service.Config{
-		Addr:         *addr,
-		DefaultSeed:  *seed,
-		DefaultScale: *scale,
-		Parallel:     *par,
-		CacheDir:     *cacheDir,
-		PoolSize:     *pool,
-		ReplicaID:    *replicaID,
-		Peers:        splitList(*peers),
-		SelfURL:      *self,
+		Addr:          *addr,
+		DefaultSeed:   *seed,
+		DefaultScale:  *scale,
+		Parallel:      *par,
+		CacheDir:      *cacheDir,
+		PoolSize:      *pool,
+		FeedbackBytes: *feedbackBytes,
+		ReplicaID:     *replicaID,
+		Peers:         splitList(*peers),
+		SelfURL:       *self,
 	})
 	return srv.ListenAndServe(ctx)
 }
@@ -389,7 +417,7 @@ func cmdLoadgen(args []string) error {
 	duration := fs.Duration("duration", 10*time.Second, "how long the workers fire")
 	concurrency := fs.Int("concurrency", 8, "number of concurrent request loops")
 	mixSpec := fs.String("mix", "optimize=4,execute=2,estimate=3,experiment=1",
-		"request-class weights, class=weight comma-separated")
+		"request-class weights, class=weight comma-separated (classes: optimize|execute|estimate|experiment|reopt)")
 	out := fs.String("out", "BENCH_service.json", "result artifact path (- for stdout)")
 	loadSeed := fs.Int64("load-seed", 1, "seed for the generator's random choices")
 	queries := fs.String("queries", "", "comma-separated workload ids (default: fetch from target)")
@@ -473,9 +501,10 @@ func parseMix(spec string) (map[string]int, error) {
 			return nil, fmt.Errorf("loadgen: invalid weight in %q", part)
 		}
 		switch name {
-		case loadgen.ClassOptimize, loadgen.ClassExecute, loadgen.ClassEstimate, loadgen.ClassExperiment:
+		case loadgen.ClassOptimize, loadgen.ClassExecute, loadgen.ClassEstimate,
+			loadgen.ClassExperiment, loadgen.ClassReopt:
 		default:
-			return nil, fmt.Errorf("loadgen: unknown class %q (optimize|execute|estimate|experiment)", name)
+			return nil, fmt.Errorf("loadgen: unknown class %q (optimize|execute|estimate|experiment|reopt)", name)
 		}
 		mix[name] = w
 	}

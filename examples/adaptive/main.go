@@ -1,0 +1,57 @@
+// Adaptive re-optimization end to end on one query: execute statically on
+// PostgreSQL-style estimates, execute adaptively (probing intermediates and
+// re-planning on misestimates), then plan again and watch the plan-feedback
+// cache pin the observed cardinalities — the paper's "what if the optimizer
+// had the true cardinalities?" question answered by paying for them once.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jobench"
+)
+
+func main() {
+	sys, err := jobench.Open(jobench.Options{Scale: 0.2, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const qid = "16b"
+	plan := jobench.PlanOptions{
+		Estimator:          jobench.EstPostgres,
+		CostModel:          jobench.ModelTuned,
+		Indexes:            jobench.PKOnly,
+		DisableNestedLoops: true,
+	}
+
+	// Static: plan once on estimates, run whatever comes out.
+	static, err := sys.Execute(qid, jobench.RunOptions{PlanOptions: plan, Rehash: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static:   %d rows, %12d work units\n", static.Rows, static.Work)
+
+	// Adaptive: probe plan subtrees, replan past q-error 2, record feedback.
+	adaptive, err := sys.ExecuteAdaptive(qid, jobench.AdaptiveOptions{
+		RunOptions: jobench.RunOptions{PlanOptions: plan, Rehash: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive: %d rows, %12d work units (%d probes, %d replans)\n",
+		adaptive.Rows, adaptive.Work, adaptive.Probes, adaptive.Replans)
+
+	// The observations now live in the plan-feedback cache: a repeat
+	// optimization of the same query fingerprint plans from truth.
+	warm, err := sys.OptimizeAdaptive(qid, plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replan:   feedback hit=%v, %d observed cardinalities pinned\n",
+		warm.FeedbackHit, warm.Pinned)
+	st := sys.FeedbackStats()
+	fmt.Printf("cache:    %d entries, %d bytes, %d hits, %d misses\n",
+		st.Entries, st.Bytes, st.Hits, st.Misses)
+}

@@ -266,3 +266,65 @@ func TestMissingIndexError(t *testing.T) {
 		t.Fatal("INL executed without indexes")
 	}
 }
+
+// TestRunSubtree: a plan subtree executes exactly as it would inside the
+// full plan — its row count is the true cardinality of its relation set,
+// and repeated runs meter identical work. This is the contract adaptive
+// re-optimization (internal/reopt) probes rely on.
+func TestRunSubtree(t *testing.T) {
+	l := lab(t)
+	for _, qid := range []string{"13d", "3b", "17e"} {
+		g, root := l.planFor(t, qid, plan.Bushy)
+		if root.IsLeaf() {
+			t.Fatalf("%s: plan has no joins", qid)
+		}
+		st, err := truecard.Compute(l.db, g, truecard.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		r := NewRunner()
+		// The root is itself a subtree: RunSubtree must agree with Run.
+		full, err := r.Run(l.db, l.pkfk, g, root, Config{Rehash: true})
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		asSub, err := r.RunSubtree(l.db, l.pkfk, g, root, Config{Rehash: true})
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		if asSub.Rows != full.Rows || asSub.Work != full.Work {
+			t.Errorf("%s: RunSubtree(root) = %d rows/%d work, Run = %d/%d",
+				qid, asSub.Rows, asSub.Work, full.Rows, full.Work)
+		}
+		// Every proper join subtree reports its true intermediate
+		// cardinality for work strictly below the full plan's.
+		var walk func(n *plan.Node)
+		walk = func(n *plan.Node) {
+			if n == nil || n.IsLeaf() {
+				return
+			}
+			res, err := r.RunSubtree(l.db, l.pkfk, g, n, Config{Rehash: true})
+			if err != nil {
+				t.Fatalf("%s %v: %v", qid, n.S, err)
+			}
+			want, _ := st.Card(n.S)
+			if res.Rows != int64(want) {
+				t.Errorf("%s subtree %v: %d rows, true cardinality %.0f", qid, n.S, res.Rows, want)
+			}
+			if n != root && res.Work >= full.Work {
+				t.Errorf("%s subtree %v: work %d not below full plan's %d", qid, n.S, res.Work, full.Work)
+			}
+			again, err := r.RunSubtree(l.db, l.pkfk, g, n, Config{Rehash: true})
+			if err != nil {
+				t.Fatalf("%s %v: %v", qid, n.S, err)
+			}
+			if again.Work != res.Work || again.Rows != res.Rows {
+				t.Errorf("%s subtree %v: non-deterministic (%d/%d vs %d/%d)",
+					qid, n.S, res.Rows, res.Work, again.Rows, again.Work)
+			}
+			walk(n.Left)
+			walk(n.Right)
+		}
+		walk(root)
+	}
+}

@@ -58,6 +58,7 @@ func Registry() []Experiment {
 			return l.RehashAblationContext(ctx, "17e", nil)
 		}},
 		{"hedging", func(ctx context.Context, l *Lab, _ Params) (Renderer, error) { return l.HedgingContext(ctx) }},
+		{"reopt", func(ctx context.Context, l *Lab, _ Params) (Renderer, error) { return l.ReoptContext(ctx) }},
 	}
 }
 

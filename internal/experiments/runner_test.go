@@ -61,6 +61,13 @@ func TestParallelReportsAreByteIdentical(t *testing.T) {
 			}
 			return r.Render(), nil
 		},
+		"reopt": func() (string, error) {
+			r, err := l.Reopt()
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
 	}
 	for name, run := range drivers {
 		var serial, parallel string

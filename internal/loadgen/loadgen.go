@@ -28,6 +28,11 @@ const (
 	ClassExecute    = "execute"
 	ClassEstimate   = "estimate"
 	ClassExperiment = "experiment"
+	// ClassReopt is an adaptive execution (/v1/execute with adaptive:true):
+	// mid-run re-optimization plus plan-feedback cache traffic, so its
+	// latency distribution shows what the feedback cache converges to under
+	// repeat traffic.
+	ClassReopt = "reopt"
 )
 
 // Config configures one load run.
@@ -350,6 +355,12 @@ func buildRequest(ctx context.Context, cfg Config, rng *rand.Rand, class string)
 			return nil, err
 		}
 		return post("/v1/execute", world(map[string]any{"query": q}))
+	case ClassReopt:
+		q, err := pickQuery()
+		if err != nil {
+			return nil, err
+		}
+		return post("/v1/execute", world(map[string]any{"query": q, "adaptive": true}))
 	case ClassEstimate:
 		q, err := pickQuery()
 		if err != nil {

@@ -153,3 +153,58 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		t.Fatal("zero-weight mix must fail")
 	}
 }
+
+// TestReoptClass: the reopt class hits /v1/execute with adaptive:true set,
+// and its latencies land in their own histogram.
+func TestReoptClass(t *testing.T) {
+	var adaptive, plain atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/queries" {
+			_ = json.NewEncoder(w).Encode(map[string]any{"count": 1, "queries": []string{"13d"}})
+			return
+		}
+		if r.URL.Path != "/v1/execute" {
+			http.Error(w, "unexpected path "+r.URL.Path, http.StatusNotFound)
+			return
+		}
+		var body struct {
+			Query    string `json:"query"`
+			Adaptive bool   `json:"adaptive"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, "bad body", http.StatusBadRequest)
+			return
+		}
+		if body.Adaptive {
+			adaptive.Add(1)
+		} else {
+			plain.Add(1)
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	t.Cleanup(srv.Close)
+	res, err := Run(context.Background(), Config{
+		Target:      srv.URL,
+		Duration:    200 * time.Millisecond,
+		Concurrency: 2,
+		Seed:        3,
+		Mix:         map[string]int{ClassReopt: 1, ClassExecute: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Errors != 0 {
+		t.Fatalf("%d errors", res.Total.Errors)
+	}
+	if adaptive.Load() == 0 || plain.Load() == 0 {
+		t.Fatalf("backend saw %d adaptive / %d plain executes; both classes must fire",
+			adaptive.Load(), plain.Load())
+	}
+	cr, ok := res.Classes[ClassReopt]
+	if !ok || cr.Requests != adaptive.Load() {
+		t.Fatalf("reopt class result %+v, backend counted %d", cr, adaptive.Load())
+	}
+	if cr.Latency.P50 <= 0 {
+		t.Fatalf("reopt histogram empty: %+v", cr.Latency)
+	}
+}

@@ -1,0 +1,180 @@
+package reopt
+
+import (
+	"sync"
+
+	"jobench/internal/query"
+)
+
+// DefaultBudgetBytes is the feedback-cache byte budget used when a
+// non-positive budget is configured (1 MiB — roughly two thousand JOB-sized
+// entries).
+const DefaultBudgetBytes = 1 << 20
+
+// Accounting constants for entry sizing. An entry is charged for its
+// fingerprint string, a fixed per-entry overhead (map bucket, list node,
+// struct headers), and a per-observation slot (BitSet key + float64 value +
+// map bucket share). The numbers are deliberately round: the contract is
+// "bounded and proportional", not "exact to the allocator byte".
+const (
+	entryOverheadBytes = 96
+	slotBytes          = 24
+)
+
+// Stats is a point-in-time snapshot of feedback-cache counters.
+type Stats struct {
+	// Hits counts Get calls that found an entry.
+	Hits int64
+	// Misses counts Get calls that found nothing.
+	Misses int64
+	// Entries is the current number of cached fingerprints.
+	Entries int64
+	// Bytes is the current accounted size of all entries.
+	Bytes int64
+	// Evictions counts entries removed to make room under the budget.
+	Evictions int64
+}
+
+// FeedbackCache is a concurrency-safe, memory-bounded LRU of observed
+// cardinalities keyed by canonical query fingerprint. Sizes are accounted
+// in bytes (see entryOverheadBytes/slotBytes); the cache never holds more
+// than its budget. Observations for one fingerprint merge into a single
+// entry (latest value wins), and a merged entry that alone would exceed
+// the whole budget is rejected rather than evicting everything else.
+type FeedbackCache struct {
+	mu        sync.Mutex
+	budget    int64
+	bytes     int64
+	entries   map[string]*feedbackEntry
+	head      *feedbackEntry // most recently used
+	tail      *feedbackEntry // least recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type feedbackEntry struct {
+	fp         string
+	cards      map[query.BitSet]float64
+	bytes      int64
+	prev, next *feedbackEntry
+}
+
+func entrySize(fp string, slots int) int64 {
+	return entryOverheadBytes + int64(len(fp)) + int64(slots)*slotBytes
+}
+
+// NewFeedbackCache returns a cache bounded by budget bytes; a non-positive
+// budget selects DefaultBudgetBytes.
+func NewFeedbackCache(budget int64) *FeedbackCache {
+	if budget <= 0 {
+		budget = DefaultBudgetBytes
+	}
+	return &FeedbackCache{budget: budget, entries: make(map[string]*feedbackEntry)}
+}
+
+// Budget reports the configured byte budget.
+func (c *FeedbackCache) Budget() int64 { return c.budget }
+
+// Get returns a copy of the observed cardinalities recorded for fp, or nil
+// on a miss. A hit marks the entry most recently used.
+func (c *FeedbackCache) Get(fp string) map[query.BitSet]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.unlink(e)
+	c.pushFront(e)
+	out := make(map[query.BitSet]float64, len(e.cards))
+	for s, v := range e.cards {
+		out[s] = v
+	}
+	return out
+}
+
+// Put merges cards into the entry for fp (new observations win), marks it
+// most recently used, and evicts least-recently-used entries until the
+// cache fits its budget again. A merged entry that alone would exceed the
+// budget leaves the cache unchanged.
+func (c *FeedbackCache) Put(fp string, cards map[query.BitSet]float64) {
+	if len(cards) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[fp]
+	merged := make(map[query.BitSet]float64, len(cards))
+	if ok {
+		for s, v := range e.cards {
+			merged[s] = v
+		}
+	}
+	for s, v := range cards {
+		merged[s] = v
+	}
+	size := entrySize(fp, len(merged))
+	if size > c.budget {
+		return
+	}
+	if ok {
+		c.bytes += size - e.bytes
+		e.cards, e.bytes = merged, size
+		c.unlink(e)
+		c.pushFront(e)
+	} else {
+		e = &feedbackEntry{fp: fp, cards: merged, bytes: size}
+		c.entries[fp] = e
+		c.bytes += size
+		c.pushFront(e)
+	}
+	for c.bytes > c.budget && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.entries, victim.fp)
+		c.bytes -= victim.bytes
+		c.evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *FeedbackCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Entries:   int64(len(c.entries)),
+		Bytes:     c.bytes,
+		Evictions: c.evictions,
+	}
+}
+
+func (c *FeedbackCache) pushFront(e *feedbackEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *FeedbackCache) unlink(e *feedbackEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

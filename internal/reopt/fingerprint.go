@@ -1,0 +1,133 @@
+// Package reopt implements adaptive re-optimization — the paper's "use
+// observed cardinalities instead of estimates" endgame — and the
+// plan-feedback cache that lets a service remember what it paid to learn.
+//
+// The execution loop (Run) executes prefixes of the chosen plan through the
+// block engine, compares each observed intermediate cardinality against the
+// optimizer's estimate, and when the q-error exceeds a threshold re-enters
+// plan enumeration over the whole query with the observation pinned and
+// propagated to supersets (a Propagator over the original provider). Work
+// is accounted the way a materializing executor would pay it: each probe is
+// charged incrementally over the intermediates it reuses, subtrees that
+// survive into the final plan are refunded from the final execution, and
+// intermediates invalidated by a replan stay charged.
+//
+// The FeedbackCache is a memory-bounded, byte-accounted LRU keyed by a
+// canonical query fingerprint, so repeat requests plan with previously
+// observed cardinalities before executing at all.
+package reopt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"jobench/internal/query"
+)
+
+// Canon is the canonical identity of a query: a fingerprint that is stable
+// under reordering of the FROM list, the WHERE conjuncts, and the two sides
+// of each join predicate, plus the relation permutation that maps the
+// query's relation indexes onto canonical positions. Feedback is stored in
+// canonical coordinates, so two spellings of the same query share one cache
+// entry — and the pinned cardinalities land on the right subexpressions in
+// either spelling.
+type Canon struct {
+	// FP is the canonical fingerprint (hex, 32 chars).
+	FP string
+
+	toCanon   []int // relation index -> canonical position
+	fromCanon []int // canonical position -> relation index
+}
+
+// Canonical computes the canonical identity of a query graph.
+func Canonical(g *query.Graph) Canon {
+	n := g.N
+	// Each relation's canonical key: table, alias, and its predicates in
+	// sorted rendered form. Sorting the predicate strings is what makes two
+	// WHERE orderings of the same conjunction collide.
+	keys := make([]string, n)
+	for i, rel := range g.Q.Rels {
+		preds := make([]string, len(rel.Preds))
+		for j, p := range rel.Preds {
+			preds[j] = p.String()
+		}
+		sort.Strings(preds)
+		keys[i] = rel.Table + "|" + rel.Alias + "|" + strings.Join(preds, "&")
+	}
+	ord := make([]int, n) // canonical position -> relation index
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool { return keys[ord[a]] < keys[ord[b]] })
+	toCanon := make([]int, n)
+	for pos, i := range ord {
+		toCanon[i] = pos
+	}
+
+	var b strings.Builder
+	for pos, i := range ord {
+		fmt.Fprintf(&b, "R%d=%s\n", pos, keys[i])
+	}
+	// Join predicates in canonical coordinates, smaller side first, sorted:
+	// stable under both edge ordering and predicate side-swaps.
+	var joins []string
+	for _, e := range g.Edges {
+		for _, j := range e.Preds {
+			l := fmt.Sprintf("%d.%s", toCanon[g.Q.RelIndex(j.LeftAlias)], j.LeftCol)
+			r := fmt.Sprintf("%d.%s", toCanon[g.Q.RelIndex(j.RightAlias)], j.RightCol)
+			if r < l {
+				l, r = r, l
+			}
+			joins = append(joins, l+"="+r)
+		}
+	}
+	sort.Strings(joins)
+	b.WriteString(strings.Join(joins, "\n"))
+
+	sum := sha256.Sum256([]byte(b.String()))
+	return Canon{FP: hex.EncodeToString(sum[:16]), toCanon: toCanon, fromCanon: ord}
+}
+
+// ToCanon maps a relation set from the query's coordinates into canonical
+// coordinates.
+func (c Canon) ToCanon(s query.BitSet) query.BitSet {
+	var out query.BitSet
+	s.ForEach(func(r int) { out = out.Add(c.toCanon[r]) })
+	return out
+}
+
+// FromCanon maps a canonical relation set back into the query's
+// coordinates.
+func (c Canon) FromCanon(s query.BitSet) query.BitSet {
+	var out query.BitSet
+	s.ForEach(func(r int) { out = out.Add(c.fromCanon[r]) })
+	return out
+}
+
+// MapToCanon translates a feedback map into canonical coordinates.
+func (c Canon) MapToCanon(m map[query.BitSet]float64) map[query.BitSet]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[query.BitSet]float64, len(m))
+	for s, v := range m {
+		out[c.ToCanon(s)] = v
+	}
+	return out
+}
+
+// MapFromCanon translates a canonical feedback map into the query's
+// coordinates.
+func (c Canon) MapFromCanon(m map[query.BitSet]float64) map[query.BitSet]float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[query.BitSet]float64, len(m))
+	for s, v := range m {
+		out[c.FromCanon(s)] = v
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package reopt
+
+import (
+	"testing"
+
+	"jobench/internal/query"
+)
+
+// spellingA and spellingB are the same three-way join written in different
+// orders: FROM list shuffled, WHERE conjuncts shuffled, join predicate sides
+// swapped. Canonicalization must collapse them onto one fingerprint.
+func spellingA() *query.Graph {
+	return query.MustBuildGraph(&query.Query{
+		ID: "fp-a",
+		Rels: []query.Rel{
+			{Alias: "a", Table: "t1", Preds: []*query.Pred{query.EqInt("kind", 3), query.LtInt("year", 2000)}},
+			{Alias: "b", Table: "t2"},
+			{Alias: "c", Table: "t3", Preds: []*query.Pred{query.EqStr("name", "x")}},
+		},
+		Joins: []query.Join{
+			{LeftAlias: "a", LeftCol: "id", RightAlias: "b", RightCol: "aid"},
+			{LeftAlias: "b", LeftCol: "id", RightAlias: "c", RightCol: "bid"},
+		},
+	})
+}
+
+func spellingB() *query.Graph {
+	return query.MustBuildGraph(&query.Query{
+		ID: "fp-b",
+		Rels: []query.Rel{
+			{Alias: "c", Table: "t3", Preds: []*query.Pred{query.EqStr("name", "x")}},
+			{Alias: "b", Table: "t2"},
+			{Alias: "a", Table: "t1", Preds: []*query.Pred{query.LtInt("year", 2000), query.EqInt("kind", 3)}},
+		},
+		Joins: []query.Join{
+			{LeftAlias: "c", LeftCol: "bid", RightAlias: "b", RightCol: "id"},
+			{LeftAlias: "b", LeftCol: "aid", RightAlias: "a", RightCol: "id"},
+		},
+	})
+}
+
+func TestFingerprintStableUnderReordering(t *testing.T) {
+	ga, gb := spellingA(), spellingB()
+	ca, cb := Canonical(ga), Canonical(gb)
+	if ca.FP != cb.FP {
+		t.Fatalf("equivalent spellings fingerprint differently: %s vs %s", ca.FP, cb.FP)
+	}
+	if len(ca.FP) != 32 {
+		t.Errorf("fingerprint %q not 32 hex chars", ca.FP)
+	}
+	// The canonical coordinates of each relation must agree across
+	// spellings, so feedback stored by one spelling lands on the right
+	// subexpression of the other.
+	for _, alias := range []string{"a", "b", "c"} {
+		sa := ca.ToCanon(bs(ga.Q.RelIndex(alias)))
+		sb := cb.ToCanon(bs(gb.Q.RelIndex(alias)))
+		if sa != sb {
+			t.Errorf("alias %s canonicalizes to %v in A but %v in B", alias, sa, sb)
+		}
+	}
+}
+
+func TestFingerprintDistinguishesQueries(t *testing.T) {
+	base := Canonical(spellingA())
+	// A different constant in one predicate is a different query.
+	q := spellingA().Q
+	q.Rels[0].Preds[0] = query.EqInt("kind", 4)
+	changedPred := Canonical(query.MustBuildGraph(q))
+	if changedPred.FP == base.FP {
+		t.Error("changing a predicate constant kept the fingerprint")
+	}
+	// A different join column is a different query.
+	q2 := spellingA().Q
+	q2.Joins[1].RightCol = "other"
+	changedJoin := Canonical(query.MustBuildGraph(q2))
+	if changedJoin.FP == base.FP {
+		t.Error("changing a join column kept the fingerprint")
+	}
+}
+
+func TestCanonRoundTrip(t *testing.T) {
+	g := spellingB()
+	c := Canonical(g)
+	for _, s := range []query.BitSet{bs(0), bs(1, 2), bs(0, 1, 2)} {
+		if got := c.FromCanon(c.ToCanon(s)); got != s {
+			t.Errorf("FromCanon(ToCanon(%v)) = %v", s, got)
+		}
+	}
+	if c.MapToCanon(nil) != nil || c.MapFromCanon(map[query.BitSet]float64{}) != nil {
+		t.Error("empty maps must translate to nil")
+	}
+}
+
+func TestFeedbackTranslatesAcrossSpellings(t *testing.T) {
+	ga, gb := spellingA(), spellingB()
+	ca, cb := Canonical(ga), Canonical(gb)
+	// Observe the (a ⋈ b) intermediate in spelling A's coordinates, store
+	// canonically, and read it back in spelling B's coordinates.
+	obsA := map[query.BitSet]float64{
+		bs(ga.Q.RelIndex("a"), ga.Q.RelIndex("b")): 12345,
+	}
+	stored := ca.MapToCanon(obsA)
+	gotB := cb.MapFromCanon(stored)
+	wantSet := bs(gb.Q.RelIndex("a"), gb.Q.RelIndex("b"))
+	if v, ok := gotB[wantSet]; !ok || v != 12345 {
+		t.Fatalf("observation did not survive the spelling change: %v", gotB)
+	}
+}

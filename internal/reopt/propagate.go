@@ -1,0 +1,85 @@
+package reopt
+
+import (
+	"math"
+	"sort"
+
+	"jobench/internal/cardest"
+	"jobench/internal/query"
+)
+
+// Propagator wraps a cardest.Provider with observed true cardinalities.
+// Observed sets return their truth directly; every other set's estimate is
+// scaled by the correction ratios (observed / estimated) of a greedy
+// disjoint cover of observed subsets. The base estimator derived the
+// superset's estimate from the very sub-estimates the observations
+// correct, so the same multiplicative error applies up the tree — the
+// adjustment-factor idea behind IBM's LEO learning optimizer. Without the
+// propagation a replan re-enters enumeration with every unprobed estimate
+// exactly as broken as before and can rarely exploit what execution just
+// learned.
+type Propagator struct {
+	base  cardest.Provider
+	obs   []obsEntry
+	bySet map[query.BitSet]float64
+}
+
+// obsEntry is one observation with its precomputed correction ratio,
+// sorted larger-set-first so the greedy cover prefers the most specific
+// correction.
+type obsEntry struct {
+	s     query.BitSet
+	ratio float64
+}
+
+// NewPropagator wraps base with the observations in obs (set -> true
+// cardinality). An empty obs returns base unchanged; obs is copied and may
+// be mutated by the caller afterwards.
+func NewPropagator(base cardest.Provider, obs map[query.BitSet]float64) cardest.Provider {
+	if len(obs) == 0 {
+		return base
+	}
+	p := &Propagator{base: base, bySet: make(map[query.BitSet]float64, len(obs))}
+	for s, v := range obs {
+		est := math.Max(1, base.Card(s))
+		p.obs = append(p.obs, obsEntry{s: s, ratio: math.Max(1, v) / est})
+		p.bySet[s] = v
+	}
+	sort.Slice(p.obs, func(i, j int) bool {
+		ci, cj := p.obs[i].s.Count(), p.obs[j].s.Count()
+		if ci != cj {
+			return ci > cj
+		}
+		return p.obs[i].s < p.obs[j].s
+	})
+	return p
+}
+
+// Card implements cardest.Provider.
+func (p *Propagator) Card(s query.BitSet) float64 {
+	if v, ok := p.bySet[s]; ok {
+		return math.Max(1, v)
+	}
+	est := p.base.Card(s)
+	ratio := 1.0
+	remaining := s
+	for _, o := range p.obs {
+		if remaining.Contains(o.s) {
+			ratio *= o.ratio
+			remaining = remaining.Minus(o.s)
+		}
+	}
+	return math.Max(1, est*ratio)
+}
+
+// SansSelection implements cardest.Provider by falling through to the base
+// estimator: observations carry all selections applied, so they say
+// nothing about the selection-free intermediate.
+func (p *Propagator) SansSelection(s query.BitSet, r int) float64 {
+	return p.base.SansSelection(s, r)
+}
+
+// Name implements cardest.Provider.
+func (p *Propagator) Name() string {
+	return p.base.Name() + " + feedback"
+}

@@ -29,13 +29,25 @@ type PlanRequest struct {
 	Algorithm string `json:"algorithm,omitempty"`
 	// PlanSeed drives randomized enumerators (quickpick).
 	PlanSeed int64 `json:"plan_seed,omitempty"`
+	// Adaptive consults the plan-feedback cache before planning: observed
+	// cardinalities from earlier adaptive executions of the same query
+	// fingerprint are pinned over the estimator. On /v1/execute it also
+	// enables mid-execution re-optimization.
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
-// OptimizeResponse is one planned query.
+// OptimizeResponse is one planned query. FeedbackHit and Pinned are present
+// exactly when the request was adaptive.
 type OptimizeResponse struct {
 	Query string  `json:"query"`
 	Plan  string  `json:"plan"`
 	Cost  float64 `json:"cost"`
+	// FeedbackHit reports whether the plan-feedback cache held observations
+	// for this query.
+	FeedbackHit *bool `json:"feedback_hit,omitempty"`
+	// Pinned is the number of observed cardinalities injected over the
+	// estimator.
+	Pinned *int `json:"pinned,omitempty"`
 }
 
 // ExecuteRequest is PlanRequest plus the engine knobs.
@@ -46,15 +58,30 @@ type ExecuteRequest struct {
 	Rehash *bool `json:"rehash,omitempty"`
 	// WorkLimit aborts after this many work units (0 = unlimited).
 	WorkLimit int64 `json:"work_limit,omitempty"`
+	// QErrThreshold is the q-error above which an adaptive execution
+	// replans (0 = the reopt default of 2). Ignored unless adaptive.
+	QErrThreshold float64 `json:"qerr_threshold,omitempty"`
+	// MaxReplans bounds re-optimizations per adaptive execution (0 = the
+	// reopt default of 4). Ignored unless adaptive.
+	MaxReplans int `json:"max_replans,omitempty"`
 }
 
-// ExecuteResponse is one executed query.
+// ExecuteResponse is one executed query. Replans, FeedbackHit and Pinned
+// are present exactly when the request was adaptive.
 type ExecuteResponse struct {
 	Query    string `json:"query"`
 	Rows     int64  `json:"rows"`
 	Work     int64  `json:"work"`
 	TimedOut bool   `json:"timed_out"`
 	Plan     string `json:"plan"`
+	// Replans counts mid-execution re-optimizations.
+	Replans *int `json:"replans,omitempty"`
+	// FeedbackHit reports whether planning started from cached
+	// observations.
+	FeedbackHit *bool `json:"feedback_hit,omitempty"`
+	// Pinned is the number of cached cardinalities injected before the
+	// first plan.
+	Pinned *int `json:"pinned,omitempty"`
 }
 
 // EstimateRequest asks one estimator for a query's result size.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"jobench/internal/reopt"
 )
 
 // Metrics is the service's ops counters, rendered at /metrics in the
@@ -27,6 +29,11 @@ type Metrics struct {
 	ReportMisses    atomic.Int64
 	PeerFillHits    atomic.Int64
 	PeerFillMisses  atomic.Int64
+	Replans         atomic.Int64
+
+	// feedbackStats, when set, aggregates the plan-feedback cache counters
+	// across the pool's resident systems for the feedback_cache_* series.
+	feedbackStats func() reopt.Stats
 
 	// admission, when set, contributes the report admission-control gauges
 	// (waiting, units in use, total admitted).
@@ -113,6 +120,15 @@ func (m *Metrics) Render() string {
 	gauge("report_cache_misses_total", "Experiment reports that had to be computed.", m.ReportMisses.Load())
 	gauge("peer_fill_hits_total", "Report misses satisfied by the owning replica's cache.", m.PeerFillHits.Load())
 	gauge("peer_fill_misses_total", "Peer-fill peeks that found the owner cold or unreachable.", m.PeerFillMisses.Load())
+	gauge("replans_total", "Mid-execution re-optimizations triggered by adaptive requests.", m.Replans.Load())
+	if m.feedbackStats != nil {
+		fs := m.feedbackStats()
+		gauge("feedback_cache_hits_total", "Plan-feedback cache lookups that found observations.", fs.Hits)
+		gauge("feedback_cache_misses_total", "Plan-feedback cache lookups that found nothing.", fs.Misses)
+		gauge("feedback_cache_evictions_total", "Plan-feedback entries evicted under the byte budget.", fs.Evictions)
+		gauge("feedback_cache_entries", "Resident plan-feedback entries across the system pool.", fs.Entries)
+		gauge("feedback_cache_bytes", "Accounted bytes held by the plan-feedback caches.", fs.Bytes)
+	}
 	if m.replicaID != "" {
 		fmt.Fprintf(&b, "# HELP jobench_replica_info Identity of this replica (constant 1).\n# TYPE jobench_replica_info gauge\njobench_replica_info{replica=%q} 1\n", m.replicaID)
 	}

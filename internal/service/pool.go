@@ -6,6 +6,7 @@ import (
 	"jobench"
 	"jobench/internal/experiments"
 	"jobench/internal/parallel"
+	"jobench/internal/reopt"
 )
 
 // Key identifies one resident world in the pool: everything that determines
@@ -73,6 +74,7 @@ func NewPool(cfg Config, metrics *Metrics) *Pool {
 			return jobench.Open(jobench.Options{
 				Scale: k.Scale, Seed: k.Seed, Parallel: cfg.Parallel,
 				CacheDir: k.CacheDir, Logf: cfg.logf(),
+				FeedbackBytes: cfg.FeedbackBytes,
 			})
 		},
 		openLab: func(k Key) (*experiments.Lab, error) {
@@ -149,3 +151,18 @@ func (p *Pool) Lab(key Key) (*experiments.Lab, error) {
 
 // Len reports the number of resident instances.
 func (p *Pool) Len() int { return p.entries.len() }
+
+// FeedbackStats sums the plan-feedback cache counters across every resident
+// System — the /metrics feedback_cache_* series.
+func (p *Pool) FeedbackStats() reopt.Stats {
+	var total reopt.Stats
+	for _, sys := range p.entries.systems() {
+		st := sys.FeedbackStats()
+		total.Hits += st.Hits
+		total.Misses += st.Misses
+		total.Entries += st.Entries
+		total.Bytes += st.Bytes
+		total.Evictions += st.Evictions
+	}
+	return total
+}

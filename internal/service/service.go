@@ -71,6 +71,10 @@ type Config struct {
 	// PeerTimeout bounds one peer-fill peek before falling back to local
 	// computation (default 10s).
 	PeerTimeout time.Duration
+	// FeedbackBytes bounds each resident instance's plan-feedback cache in
+	// accounted bytes (observed cardinalities for adaptive requests);
+	// non-positive selects the reopt default of 1 MiB.
+	FeedbackBytes int64
 	// Logf receives serve-loop and snapshot diagnostics (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -129,6 +133,7 @@ func New(cfg Config) *Server {
 	}
 	m.admission = s.admit
 	m.replicaID = cfg.ReplicaID
+	m.feedbackStats = s.pool.FeedbackStats
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/optimize", s.handleOptimize)
@@ -311,6 +316,17 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) (int, er
 	if err != nil {
 		return statusOf(err), err
 	}
+	if req.Adaptive {
+		ap, err := sys.OptimizeAdaptiveContext(r.Context(), req.Query, opts)
+		if err != nil {
+			return statusOf(err), err
+		}
+		writeJSON(w, http.StatusOK, OptimizeResponse{
+			Query: req.Query, Plan: ap.Plan, Cost: ap.Cost,
+			FeedbackHit: &ap.FeedbackHit, Pinned: &ap.Pinned,
+		})
+		return http.StatusOK, nil
+	}
 	// The request context flows into the facade so a disconnect or
 	// shutdown aborts an on-demand truth computation (estimator "true").
 	plan, cost, err := sys.OptimizeContext(r.Context(), req.Query, opts)
@@ -337,6 +353,23 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) (int, err
 	sys, err := s.pool.System(s.key(req.Seed, req.Scale))
 	if err != nil {
 		return statusOf(err), err
+	}
+	if req.Adaptive {
+		res, err := sys.ExecuteAdaptiveContext(r.Context(), req.Query, jobench.AdaptiveOptions{
+			RunOptions:    jobench.RunOptions{PlanOptions: opts, Rehash: rehash, WorkLimit: req.WorkLimit},
+			QErrThreshold: req.QErrThreshold,
+			MaxReplans:    req.MaxReplans,
+		})
+		if err != nil {
+			return statusOf(err), err
+		}
+		s.metrics.Replans.Add(int64(res.Replans))
+		writeJSON(w, http.StatusOK, ExecuteResponse{
+			Query: req.Query, Rows: res.Rows, Work: res.Work,
+			TimedOut: res.TimedOut, Plan: res.Plan,
+			Replans: &res.Replans, FeedbackHit: &res.FeedbackHit, Pinned: &res.Pinned,
+		})
+		return http.StatusOK, nil
 	}
 	res, err := sys.ExecuteContext(r.Context(), req.Query, jobench.RunOptions{
 		PlanOptions: opts, Rehash: rehash, WorkLimit: req.WorkLimit,

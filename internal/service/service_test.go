@@ -365,3 +365,95 @@ func TestServeGracefulShutdown(t *testing.T) {
 		t.Fatal("server still accepting connections after shutdown")
 	}
 }
+
+// TestAdaptiveFeedbackRoundTrip is the acceptance test for the adaptive
+// surface: an adaptive execution records observed cardinalities, so the
+// repeat /v1/optimize for the same query is a feedback-cache hit that skips
+// the misestimate — and the /metrics exposition reflects all of it.
+func TestAdaptiveFeedbackRoundTrip(t *testing.T) {
+	_, ts := testServer(t)
+	const qid = "16b" // not touched adaptively by any other test
+
+	// Cold adaptive optimize: nothing observed yet.
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", PlanRequest{Query: qid, Adaptive: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold optimize status %d: %s", resp.StatusCode, body)
+	}
+	var cold OptimizeResponse
+	if err := json.Unmarshal(body, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.FeedbackHit == nil || cold.Pinned == nil {
+		t.Fatal("adaptive optimize omitted feedback fields")
+	}
+	if *cold.FeedbackHit || *cold.Pinned != 0 {
+		t.Fatalf("cold optimize reported a feedback hit: %s", body)
+	}
+
+	// Adaptive execution observes intermediates and fills the cache.
+	resp, body = postJSON(t, ts.URL+"/v1/execute", ExecuteRequest{PlanRequest: PlanRequest{Query: qid, Adaptive: true}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive execute status %d: %s", resp.StatusCode, body)
+	}
+	var ex ExecuteResponse
+	if err := json.Unmarshal(body, &ex); err != nil {
+		t.Fatal(err)
+	}
+	if ex.Replans == nil || ex.FeedbackHit == nil || ex.Pinned == nil {
+		t.Fatalf("adaptive execute omitted adaptive fields: %s", body)
+	}
+	if ex.Rows <= 0 {
+		t.Fatalf("adaptive execute returned %d rows", ex.Rows)
+	}
+
+	// Adaptive and plain execution must agree on the result.
+	resp, body = postJSON(t, ts.URL+"/v1/execute", ExecuteRequest{PlanRequest: PlanRequest{Query: qid}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain execute status %d: %s", resp.StatusCode, body)
+	}
+	var plain ExecuteResponse
+	if err := json.Unmarshal(body, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Rows != ex.Rows {
+		t.Errorf("adaptive execute %d rows, plain %d", ex.Rows, plain.Rows)
+	}
+	if plain.Replans != nil || plain.FeedbackHit != nil {
+		t.Errorf("non-adaptive execute leaked adaptive fields: %s", body)
+	}
+
+	// Warm adaptive optimize: the cache now holds this fingerprint.
+	resp, body = postJSON(t, ts.URL+"/v1/optimize", PlanRequest{Query: qid, Adaptive: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm optimize status %d: %s", resp.StatusCode, body)
+	}
+	var warm OptimizeResponse
+	if err := json.Unmarshal(body, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.FeedbackHit == nil || !*warm.FeedbackHit {
+		t.Fatalf("repeat adaptive optimize missed the feedback cache: %s", body)
+	}
+	if warm.Pinned == nil || *warm.Pinned == 0 {
+		t.Fatalf("warm optimize pinned nothing: %s", body)
+	}
+
+	// The exposition carries the feedback-cache and replan counters.
+	resp, body = getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, name := range []string{
+		"feedback_cache_hits_total", "feedback_cache_misses_total",
+		"feedback_cache_evictions_total", "feedback_cache_entries",
+		"feedback_cache_bytes", "replans_total",
+	} {
+		if !strings.Contains(text, "jobench_"+name) {
+			t.Errorf("metrics exposition missing jobench_%s", name)
+		}
+	}
+	if !strings.Contains(text, "jobench_feedback_cache_hits_total 1") {
+		t.Errorf("feedback hit not counted:\n%s", text)
+	}
+}

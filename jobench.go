@@ -30,6 +30,7 @@ import (
 	"jobench/internal/parallel"
 	"jobench/internal/plan"
 	"jobench/internal/query"
+	"jobench/internal/reopt"
 	"jobench/internal/snapshot"
 	"jobench/internal/stats"
 	"jobench/internal/storage"
@@ -62,6 +63,11 @@ type Options struct {
 	// Logf receives cache diagnostics (snapshot load/save warnings).
 	// Nil means the standard library's log.Printf.
 	Logf func(format string, args ...any)
+	// FeedbackBytes bounds the adaptive plan-feedback cache in accounted
+	// bytes (observed cardinalities keyed by query fingerprint, consulted
+	// by OptimizeAdaptive/ExecuteAdaptive). Non-positive selects
+	// reopt.DefaultBudgetBytes.
+	FeedbackBytes int64
 }
 
 // generateDB, computeTruth and buildIndexes are indirection points so the
@@ -213,6 +219,8 @@ type System struct {
 	truthFlight parallel.Flight[string, *truecard.Store]
 
 	estimators map[string]cardest.Estimator
+
+	feedback *reopt.FeedbackCache
 }
 
 // Open generates the data set, computes statistics and indexes, and loads
@@ -304,6 +312,7 @@ func Open(opts Options) (*System, error) {
 		queries:  make(map[string]*query.Query),
 		graphs:   make(map[string]*query.Graph),
 		truth:    make(map[string]*truecard.Store),
+		feedback: reopt.NewFeedbackCache(opts.FeedbackBytes),
 		estimators: map[string]cardest.Estimator{
 			EstPostgres: cardest.NewPostgres(db, sdb),
 			EstDBMSA:    cardest.NewDBMSA(db, sdb),

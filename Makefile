@@ -16,12 +16,13 @@ SERVE_ADDR ?= :8080
 
 # bench-service knobs: how long the mixed load runs, how many concurrent
 # workers fire it, which scale the replica fleet serves, and which worlds
-# (generator seeds) the load spreads across — distinct seeds are what make
-# the consistent-hash router involve every replica.
+# (workloads and generator seeds) the load spreads across — distinct worlds
+# are what make the consistent-hash router involve every replica.
 LOAD_DURATION ?= 10s
 LOAD_CONCURRENCY ?= 8
 BENCH_SERVICE_SCALE ?= 0.1
 BENCH_SERVICE_SEEDS ?= 42,43,44
+BENCH_SERVICE_WORKLOADS ?= imdb,tpch
 
 # Where bench-json drops its perf-trajectory artifacts.
 BENCH_DIR ?= bench
@@ -99,9 +100,11 @@ smoke-serve:
 	done; \
 	test $$ok -eq 1 || { echo "smoke-serve: server never became healthy"; exit 1; }; \
 	curl -fsS "http://127.0.0.1:$$port/healthz" | .smoke/jsoncheck status=ok; \
-	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"13d"}' | .smoke/jsoncheck query=13d; \
-	curl -fsS -X POST "http://127.0.0.1:$$port/v1/execute" -d '{"query":"13d","adaptive":true}' | .smoke/jsoncheck query=13d replans; \
-	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"13d","adaptive":true}' | .smoke/jsoncheck query=13d feedback_hit=true; \
+	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"13d"}' | .smoke/jsoncheck workload=imdb query=13d; \
+	curl -fsS -X POST "http://127.0.0.1:$$port/v1/execute" -d '{"query":"13d","adaptive":true}' | .smoke/jsoncheck workload=imdb query=13d replans; \
+	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"13d","adaptive":true}' | .smoke/jsoncheck workload=imdb query=13d feedback_hit=true; \
+	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"tpch5","workload":"tpch","scale":0.05}' | .smoke/jsoncheck workload=tpch query=tpch5; \
+	curl -fsS "http://127.0.0.1:$$port/v1/experiment/fig3?workload=tpch&scale=0.05&format=json" | .smoke/jsoncheck workload=tpch experiment=fig3 report; \
 	kill -TERM $$server; \
 	wait $$server; \
 	echo "smoke-serve: OK"
@@ -140,6 +143,7 @@ bench-service:
 	test $$ok -eq 1 || { echo "bench-service: router never became healthy"; exit 1; }; \
 	.smoke/jobench loadgen -target "http://127.0.0.1:$$rport" \
 		-duration $(LOAD_DURATION) -concurrency $(LOAD_CONCURRENCY) \
+		-workload $(BENCH_SERVICE_WORKLOADS) \
 		-scale $(BENCH_SERVICE_SCALE) -world-seeds $(BENCH_SERVICE_SEEDS) \
 		-mix optimize=4,execute=2,estimate=3,experiment=1,reopt=2 \
 		-out $(BENCH_DIR)/BENCH_service.json; \
@@ -173,7 +177,8 @@ vet:
 # go/ast — no external linter needed).
 docs-check:
 	$(GO) run ./cmd/docscheck ./internal/hashtab ./internal/service ./internal/engine \
-		./internal/parallel ./internal/router ./internal/loadgen ./internal/reopt
+		./internal/parallel ./internal/router ./internal/loadgen ./internal/reopt \
+		./internal/workload ./internal/index
 
 # Everything the CI checks job runs, in order.
 ci: fmt-check vet docs-check build test bench-smoke

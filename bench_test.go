@@ -284,6 +284,30 @@ func BenchmarkEstimatorPostgresFullWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineExecuteTPCH measures the execution engine on the tpch
+// workload end to end (the smoke-bench counterpart of the IMDB paths
+// above): plan and run one of the ten SPJ families against the uniform,
+// independent world.
+func BenchmarkEngineExecuteTPCH(b *testing.B) {
+	sys, err := jobench.Open(jobench.Options{Workload: "tpch", Scale: 0.1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sys.Execute("tpch5", jobench.RunOptions{
+			PlanOptions: jobench.PlanOptions{DisableNestedLoops: true},
+			Rehash:      true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Rows == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
 // BenchmarkPublicAPI measures the facade end to end on a small instance.
 func BenchmarkPublicAPI(b *testing.B) {
 	sys, err := jobench.Open(jobench.Options{Scale: 0.05, Seed: 1})

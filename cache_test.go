@@ -17,11 +17,11 @@ import (
 	"sync/atomic"
 	"testing"
 
-	"jobench/internal/imdb"
 	"jobench/internal/index"
 	"jobench/internal/query"
 	"jobench/internal/storage"
 	"jobench/internal/truecard"
+	"jobench/internal/workload"
 )
 
 // countHooks wraps generation, truth computation, and index construction in
@@ -35,17 +35,17 @@ func countAllHooks(t *testing.T) (gens, computes, idxBuilds *atomic.Int64) {
 	t.Helper()
 	gens, computes, idxBuilds = new(atomic.Int64), new(atomic.Int64), new(atomic.Int64)
 	origGen, origCompute, origBuild := generateDB, computeTruth, buildIndexes
-	generateDB = func(cfg imdb.Config) *storage.Database {
+	generateDB = func(w workload.Workload, cfg workload.Config) *storage.Database {
 		gens.Add(1)
-		return origGen(cfg)
+		return origGen(w, cfg)
 	}
 	computeTruth = func(ctx context.Context, db *storage.Database, g *query.Graph, opts truecard.Options) (*truecard.Store, error) {
 		computes.Add(1)
 		return origCompute(ctx, db, g, opts)
 	}
-	buildIndexes = func(db *storage.Database, cfg imdb.IndexConfig) (*index.Set, error) {
+	buildIndexes = func(w workload.Workload, db *storage.Database, cfg IndexConfig) (*index.Set, error) {
 		idxBuilds.Add(1)
-		return origBuild(db, cfg)
+		return origBuild(w, db, cfg)
 	}
 	t.Cleanup(func() { generateDB, computeTruth, buildIndexes = origGen, origCompute, origBuild })
 	return gens, computes, idxBuilds

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	jobench gen        [-scale 1.0] [-seed 42]
+//	jobench gen        [-workload imdb] [-scale 1.0] [-seed 42]
 //	jobench sql        -q 13d
 //	jobench graph      -q 13d
 //	jobench explain    -q 13d [-est postgres] [-model simple] [-idx pkfk] [-scale 0.3]
@@ -13,8 +13,9 @@
 //	                   [-reopt] [-qerr 2] [-max-replans 4]
 //	jobench experiment -name table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|all
 //	                   [-scale 0.3] [-samples 10000] [-max-queries 0] [-parallel N]
-//	jobench snapshot   build|inspect|clear [-cache-dir .jobench-cache] [-scale 0.3] [-seed 42]
-//	jobench serve      [-addr :8080] [-pool 2] [-scale 0.3] [-seed 42] [-cache-dir DIR]
+//	jobench snapshot   build|inspect|clear [-workload imdb] [-cache-dir .jobench-cache]
+//	                   [-scale 0.3] [-seed 42]
+//	jobench serve      [-addr :8080] [-pool 2] [-workload imdb] [-scale 0.3] [-seed 42] [-cache-dir DIR]
 //	                   [-feedback-bytes N] [-replica-id ID] [-peers URL,URL,...] [-self URL]
 //	jobench router     -replicas URL,URL,... [-addr :8070] [-inflight 32]
 //	jobench loadgen    [-target http://localhost:8070] [-duration 10s] [-concurrency 8]
@@ -36,7 +37,7 @@
 // bounds each resident instance's feedback cache.
 //
 // "jobench router" fronts N serve replicas with consistent hashing on
-// (seed, scale) so each replica's system pool stays hot; it health-checks
+// (workload, seed, scale) so each replica's system pool stays hot; it health-checks
 // replicas, marks them down on consecutive failures, fails transport
 // errors over to the next live candidate, and serves its own /healthz and
 // /metrics. "jobench loadgen" replays a mixed optimize/execute/estimate/
@@ -53,6 +54,9 @@
 // -cache-dir DIR to load the generated database, statistics, and true
 // cardinalities from the persistent snapshot store (and persist whatever
 // this run computes); "jobench snapshot build" fills that store up front.
+// -workload selects the benchmark world (imdb, the default JOB
+// reproduction; tpch, a TPC-H-derived SPJ workload; imdb-skew, the IMDB
+// generator with amplified skew and correlation).
 package main
 
 import (
@@ -62,6 +66,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -131,7 +136,7 @@ Commands:
   experiment  reproduce the paper's tables and figures (%s|all)
   snapshot    manage the persistent snapshot store (build|inspect|clear)
   serve       run the benchmark HTTP service (system pool + report cache)
-  router      front N serve replicas with consistent hashing on (seed, scale)
+  router      front N serve replicas with consistent hashing on (workload, seed, scale)
   loadgen     replay mixed traffic, write latency histograms + throughput JSON
   help        print this synopsis
 
@@ -141,17 +146,18 @@ Examples:
   jobench loadgen -target http://127.0.0.1:8070 -duration 10s -out BENCH_service.json
 
 Run "jobench <command> -h" for command flags. Every command accepts
--parallel N (worker-pool size; 0 = all cores) and -cache-dir DIR (the
-persistent snapshot store).
+-workload NAME (imdb|tpch|imdb-skew), -parallel N (worker-pool size;
+0 = all cores) and -cache-dir DIR (the persistent snapshot store).
 `, strings.Join(experiments.Names(), "|"))
 }
 
-func openFlags(fs *flag.FlagSet) (*float64, *int64, *int, *string) {
+func openFlags(fs *flag.FlagSet) (*string, *float64, *int64, *int, *string) {
+	wl := fs.String("workload", "", "benchmark workload: imdb|tpch|imdb-skew (empty = imdb)")
 	scale := fs.Float64("scale", 0.3, "data scale factor (1.0 ~ 450k rows)")
 	seed := fs.Int64("seed", 42, "generator seed")
 	parallel := fs.Int("parallel", 0, "worker-pool size for experiment sweeps and the truecard DP (0 = all cores, 1 = serial)")
 	cacheDir := fs.String("cache-dir", "", "snapshot cache directory (empty = no caching)")
-	return scale, seed, parallel, cacheDir
+	return wl, scale, seed, parallel, cacheDir
 }
 
 func planFlags(fs *flag.FlagSet) (est, model, idx *string, noNLJ *bool, shape, algo *string) {
@@ -172,22 +178,32 @@ func parsePlanOptions(est, model, idx string, noNLJ bool, shape, algo string) (j
 
 func cmdGen(args []string) error {
 	fs := flag.NewFlagSet("gen", flag.ExitOnError)
-	scale, seed, par, cacheDir := openFlags(fs)
+	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
+	sys, err := jobench.Open(jobench.Options{Workload: *wl, Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
 	total := 0
 	rows := sys.TableRows()
-	fmt.Printf("%-18s %10s\n", "table", "rows")
-	for _, name := range []string{
+	// The IMDB-shaped workloads print in the schema's conventional order;
+	// any other workload lists its tables alphabetically.
+	names := []string{
 		"kind_type", "info_type", "company_type", "role_type", "link_type",
 		"comp_cast_type", "title", "company_name", "keyword", "name",
 		"char_name", "movie_companies", "movie_info", "movie_info_idx",
 		"movie_keyword", "cast_info", "aka_name", "aka_title", "movie_link",
 		"person_info", "complete_cast",
-	} {
+	}
+	if _, ok := rows["title"]; !ok {
+		names = names[:0]
+		for name := range rows {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	fmt.Printf("%-18s %10s\n", "table", "rows")
+	for _, name := range names {
 		fmt.Printf("%-18s %10d\n", name, rows[name])
 		total += rows[name]
 	}
@@ -199,9 +215,9 @@ func cmdGen(args []string) error {
 func cmdSQL(args []string) error {
 	fs := flag.NewFlagSet("sql", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
-	scale, seed, par, cacheDir := openFlags(fs)
+	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
+	sys, err := jobench.Open(jobench.Options{Workload: *wl, Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -216,9 +232,9 @@ func cmdSQL(args []string) error {
 func cmdGraph(args []string) error {
 	fs := flag.NewFlagSet("graph", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
-	scale, seed, par, cacheDir := openFlags(fs)
+	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
+	sys, err := jobench.Open(jobench.Options{Workload: *wl, Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -234,9 +250,9 @@ func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
 	est, model, idx, noNLJ, shape, algo := planFlags(fs)
-	scale, seed, par, cacheDir := openFlags(fs)
+	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
+	sys, err := jobench.Open(jobench.Options{Workload: *wl, Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -262,9 +278,9 @@ func cmdRun(args []string) error {
 	adaptive := fs.Bool("reopt", false, "execute adaptively: probe intermediates, replan on misestimates, record feedback")
 	qerr := fs.Float64("qerr", 0, "q-error threshold that triggers a replan (0 = default 2); needs -reopt")
 	maxReplans := fs.Int("max-replans", 0, "re-optimizations per query (0 = default 4); needs -reopt")
-	scale, seed, par, cacheDir := openFlags(fs)
+	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
-	sys, err := jobench.Open(jobench.Options{Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
+	sys, err := jobench.Open(jobench.Options{Workload: *wl, Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir})
 	if err != nil {
 		return err
 	}
@@ -314,11 +330,11 @@ func cmdExperiment(args []string) error {
 	name := fs.String("name", "all", "experiment: table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|ablation-damping|ablation-rehash|hedging|all")
 	samples := fs.Int("samples", 10000, "random plans per query for fig9")
 	maxQ := fs.Int("max-queries", 0, "limit workload size (0 = all 113)")
-	scale, seed, par, cacheDir := openFlags(fs)
+	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
 
 	lab, err := experiments.NewLab(experiments.Config{
-		Scale: *scale, Seed: *seed, MaxQueries: *maxQ, Parallel: *par, CacheDir: *cacheDir,
+		Workload: *wl, Scale: *scale, Seed: *seed, MaxQueries: *maxQ, Parallel: *par, CacheDir: *cacheDir,
 	})
 	if err != nil {
 		return err
@@ -361,7 +377,7 @@ func cmdServe(args []string) error {
 	replicaID := fs.String("replica-id", "", "identity label exported at /metrics (jobench_replica_info)")
 	peers := fs.String("peers", "", "comma-separated base URLs of every fleet replica (including this one); enables report-cache peer-fill")
 	self := fs.String("self", "", "this replica's own entry in -peers (required with -peers)")
-	scale, seed, par, cacheDir := openFlags(fs)
+	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
 
 	if (*peers == "") != (*self == "") {
@@ -373,16 +389,17 @@ func cmdServe(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	srv := service.New(service.Config{
-		Addr:          *addr,
-		DefaultSeed:   *seed,
-		DefaultScale:  *scale,
-		Parallel:      *par,
-		CacheDir:      *cacheDir,
-		PoolSize:      *pool,
-		FeedbackBytes: *feedbackBytes,
-		ReplicaID:     *replicaID,
-		Peers:         splitList(*peers),
-		SelfURL:       *self,
+		Addr:            *addr,
+		DefaultWorkload: *wl,
+		DefaultSeed:     *seed,
+		DefaultScale:    *scale,
+		Parallel:        *par,
+		CacheDir:        *cacheDir,
+		PoolSize:        *pool,
+		FeedbackBytes:   *feedbackBytes,
+		ReplicaID:       *replicaID,
+		Peers:           splitList(*peers),
+		SelfURL:         *self,
 	})
 	return srv.ListenAndServe(ctx)
 }
@@ -423,7 +440,7 @@ func cmdLoadgen(args []string) error {
 	queries := fs.String("queries", "", "comma-separated workload ids (default: fetch from target)")
 	expNames := fs.String("experiments", "fig3", "comma-separated experiment names for the experiment class")
 	worldSeeds := fs.String("world-seeds", "", "comma-separated generator seeds to spread the load across (overrides -seed; the experiment class always uses the first)")
-	scale, seed, _, _ := openFlags(fs)
+	wl, scale, seed, _, _ := openFlags(fs)
 	fs.Parse(args)
 
 	mix, err := parseMix(*mixSpec)
@@ -446,6 +463,7 @@ func cmdLoadgen(args []string) error {
 		Concurrency: *concurrency,
 		Mix:         mix,
 		Seed:        *loadSeed,
+		Workloads:   splitList(*wl),
 		WorldSeed:   *seed,
 		WorldSeeds:  seeds,
 		Scale:       *scale,
@@ -517,7 +535,7 @@ func cmdSnapshot(args []string) error {
 	}
 	sub, args := args[0], args[1:]
 	fs := flag.NewFlagSet("snapshot "+sub, flag.ExitOnError)
-	scale, seed, par, cacheDir := openFlags(fs)
+	wl, scale, seed, par, cacheDir := openFlags(fs)
 	// The snapshot command exists to manage the cache, so unlike the other
 	// commands its -cache-dir defaults to a real directory.
 	fs.Lookup("cache-dir").DefValue = ".jobench-cache"
@@ -528,7 +546,7 @@ func cmdSnapshot(args []string) error {
 	case "build":
 		start := time.Now()
 		sys, err := jobench.Open(jobench.Options{
-			Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir,
+			Workload: *wl, Scale: *scale, Seed: *seed, Parallel: *par, CacheDir: *cacheDir,
 		})
 		if err != nil {
 			return err
@@ -543,9 +561,15 @@ func cmdSnapshot(args []string) error {
 	case "inspect":
 		return printSnapshotInfo(*cacheDir)
 	case "clear":
-		removed, err := snapshot.Clear(*cacheDir)
+		// -workload filters the clear to one workload's artifacts; the flag's
+		// empty default clears the whole store (the historical behavior).
+		removed, err := snapshot.Clear(*cacheDir, *wl)
 		if err != nil {
 			return err
+		}
+		if *wl != "" {
+			fmt.Printf("removed %d %s snapshot(s) from %s\n", removed, *wl, *cacheDir)
+			return nil
 		}
 		fmt.Printf("removed %d snapshot(s) from %s\n", removed, *cacheDir)
 		return nil

@@ -248,7 +248,7 @@ func (l *Lab) Figure4Context(ctx context.Context) (*Figure4Result, error) {
 	tdb := tpch.Generate(tpch.Config{Scale: l.Cfg.Scale, Seed: l.Cfg.Seed})
 	tstats := stats.AnalyzeDatabase(tdb, stats.Options{SampleSize: 30000, Seed: l.Cfg.Seed})
 	tpg := cardest.NewPostgres(tdb, tstats)
-	tpchPanels, err := RunCells(ctx, l.Cfg.Parallel, tpch.Queries(),
+	tpchPanels, err := RunCells(ctx, l.Cfg.Parallel, tpch.Fig4Queries(),
 		func(ctx context.Context, q *query.Query) (Figure4Panel, error) {
 			g := query.MustBuildGraph(q)
 			st, err := truecard.ComputeContext(ctx, tdb, g, truecard.Options{Parallel: l.Cfg.Parallel})

@@ -13,22 +13,24 @@ import (
 	"sync"
 
 	"jobench/internal/cardest"
-	"jobench/internal/imdb"
 	"jobench/internal/index"
-	"jobench/internal/job"
 	"jobench/internal/parallel"
 	"jobench/internal/query"
 	"jobench/internal/snapshot"
 	"jobench/internal/stats"
 	"jobench/internal/storage"
 	"jobench/internal/truecard"
+	"jobench/internal/workload"
 )
 
 // Config controls the experimental setup.
 type Config struct {
-	// Scale is the IMDB data scale (1.0 ~ 10k titles, ~450k rows).
+	// Workload names the benchmark world ("imdb", "tpch", "imdb-skew");
+	// empty selects the default IMDB/JOB world. See internal/workload.
+	Workload string
+	// Scale is the data scale (for IMDB, 1.0 ~ 10k titles, ~450k rows).
 	Scale float64
-	// Seed drives all generation and sampling.
+	// Seed drives all generation and sampling. Zero defaults to 42.
 	Seed int64
 	// MaxQueries truncates the workload for quick runs (0 = all 113).
 	MaxQueries int
@@ -93,20 +95,28 @@ func NewLab(cfg Config) (*Lab, error) {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1
 	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = log.Printf
 	}
-	qs := job.Workload()
+	wl, err := workload.Get(cfg.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	cfg.Workload = wl.Name()
+	world := workload.NewKey(wl.Name(), cfg.Seed, cfg.Scale)
+	qs := wl.Queries()
 	var snap *snapshot.Store
 	if cfg.CacheDir != "" {
 		// The cache key hashes the full workload even when MaxQueries
 		// truncates this run: truth files are per-query, so runs at
 		// different MaxQueries share one fingerprint directory.
 		snap = snapshot.New(cfg.CacheDir, snapshot.Key{
-			Seed:     cfg.Seed,
-			Scale:    cfg.Scale,
-			Workload: snapshot.WorkloadHash(qs),
+			World:     world,
+			QueryHash: snapshot.WorkloadHash(qs),
 		}, cfg.Parallel)
 	}
 	if cfg.MaxQueries > 0 && cfg.MaxQueries < len(qs) {
@@ -118,7 +128,7 @@ func NewLab(cfg Config) (*Lab, error) {
 		db, _ = snapshot.Load(logf, "experiments: snapshot database", snap.LoadDatabase)
 	}
 	if db == nil {
-		db = imdb.Generate(imdb.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+		db = wl.Generate(world.Config())
 		if snap != nil {
 			snapshot.Save(logf, "experiments: snapshot save database", func() error {
 				return snap.SaveDatabase(db)
@@ -154,16 +164,16 @@ func NewLab(cfg Config) (*Lab, error) {
 		}
 	}
 	sdbCached, sdbTDCached := sdb != nil, sdbTD != nil
-	loadOrBuild := func(dst **index.Set, cfg imdb.IndexConfig) func() error {
+	loadOrBuild := func(dst **index.Set, icfg index.Config) func() error {
 		return func() (err error) {
-			*dst, err = snapshot.LoadOrBuildIndexes(snap, logf, "experiments", db, cfg, imdb.BuildIndexes)
+			*dst, err = snapshot.LoadOrBuildIndexes(snap, logf, "experiments", db, icfg, wl.BuildIndexes)
 			return err
 		}
 	}
 	tasks := []func() error{
-		loadOrBuild(&idxNone, imdb.NoIndexes),
-		loadOrBuild(&idxPK, imdb.PKOnly),
-		loadOrBuild(&idxPKFK, imdb.PKFK),
+		loadOrBuild(&idxNone, index.NoIndexes),
+		loadOrBuild(&idxPK, index.PKOnly),
+		loadOrBuild(&idxPKFK, index.PKFK),
 	}
 	if !sdbCached {
 		tasks = append(tasks, func() error { sdb = stats.AnalyzeDatabase(db, sopts); return nil })

@@ -17,6 +17,18 @@ type Config struct {
 	Scale float64
 	// Seed makes generation fully deterministic.
 	Seed int64
+	// Skew multiplies the Zipf-style exponent of the per-title popularity
+	// weight that drives every FK fan-out. 0 (or 1.0) is the baseline —
+	// byte-identical to the generator before the knob existed; >1 makes the
+	// heavy tail heavier, <1 flattens it toward uniformity.
+	Skew float64
+	// Correlation scales the join-crossing correlations: the probability
+	// that a movie_companies row draws its company from the title's
+	// country-local pool (baseline 0.70) and that a cast_info row draws its
+	// person locally (baseline 0.65). 0 (or 1.0) is the baseline; >1
+	// tightens the correlation (probabilities are clamped below 0.99), <1
+	// loosens it toward the independence that estimators assume.
+	Correlation float64
 }
 
 // DefaultConfig is the scale used by the experiment harness.
@@ -27,6 +39,13 @@ func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 42} }
 type gen struct {
 	rng *rand.Rand
 	cfg Config
+
+	// Effective knob values (Config.Skew/Correlation applied to the
+	// baseline constants). At the default knobs these equal the historical
+	// constants bit-for-bit, so default generation is byte-identical.
+	skewExp      float64 // popularity-weight exponent (baseline 1.05)
+	companyLocal float64 // P(company from title's country pool), baseline 0.70
+	personLocal  float64 // P(person from title's country pool), baseline 0.65
 
 	nTitle, nCompany, nKeyword, nPerson, nChar int
 
@@ -85,9 +104,20 @@ func Generate(cfg Config) *storage.Database {
 	if cfg.Scale <= 0 {
 		cfg.Scale = 1.0
 	}
+	skew := cfg.Skew
+	if skew <= 0 {
+		skew = 1.0
+	}
+	corr := cfg.Correlation
+	if corr <= 0 {
+		corr = 1.0
+	}
 	g := &gen{
-		rng: rand.New(rand.NewSource(cfg.Seed)),
-		cfg: cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		cfg:          cfg,
+		skewExp:      1.05 * skew,
+		companyLocal: math.Min(0.70*corr, 0.99),
+		personLocal:  math.Min(0.65*corr, 0.99),
 	}
 	g.nTitle = max(300, int(10000*cfg.Scale))
 	g.nCompany = max(60, g.nTitle/10)
@@ -115,19 +145,13 @@ func Generate(cfg Config) *storage.Database {
 	return db
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // popWeight draws a heavy-tailed (Pareto-like) popularity weight >= 1.
 // The same weight multiplies the fan-out of *every* satellite table of a
 // title, which is exactly the positive correlation that makes independence-
-// based join estimates systematically too low (paper §3.2).
+// based join estimates systematically too low (paper §3.2). The exponent is
+// the Skew knob (baseline 1.05).
 func (g *gen) popWeight() float64 {
-	w := math.Exp(g.rng.ExpFloat64() * 1.05)
+	w := math.Exp(g.rng.ExpFloat64() * g.skewExp)
 	if w > 120 {
 		w = 120
 	}
@@ -509,7 +533,7 @@ func (g *gen) movieCompanies(db *storage.Database) {
 			// latent country: this is the join-crossing correlation behind
 			// predicates like cn.country_code='[de]' AND mi.info='German'.
 			pool := g.companyPool[g.titleCountry[t]]
-			if pool == nil || g.rng.Float64() > 0.70 {
+			if pool == nil || g.rng.Float64() > g.companyLocal {
 				pool = global
 			}
 			cid := pool.sample(g.rng)
@@ -798,7 +822,7 @@ func (g *gen) castInfo(db *storage.Database) {
 			// with high probability (the paper's §4.4 example of a
 			// join-crossing correlation).
 			pool := g.personPool[g.titleCountry[t]]
-			if pool == nil || g.rng.Float64() > 0.65 {
+			if pool == nil || g.rng.Float64() > g.personLocal {
 				pool = global
 			}
 			pid := pool.sample(g.rng)

@@ -7,8 +7,6 @@
 package imdb
 
 import (
-	"fmt"
-
 	"jobench/internal/index"
 	"jobench/internal/storage"
 )
@@ -68,44 +66,19 @@ func TableNames() []string {
 }
 
 // IndexConfig selects one of the paper's three physical designs (§4, §6.1).
-type IndexConfig int
+// The enum itself lives in internal/index so every workload shares it; the
+// alias (and the re-exported constants below) keep this package's historical
+// surface intact.
+type IndexConfig = index.Config
 
 const (
 	// NoIndexes has no indexes at all.
-	NoIndexes IndexConfig = iota
+	NoIndexes = index.NoIndexes
 	// PKOnly indexes the primary key (id) of every table.
-	PKOnly
+	PKOnly = index.PKOnly
 	// PKFK additionally indexes every foreign-key column.
-	PKFK
+	PKFK = index.PKFK
 )
-
-// Label returns the short filename-safe name of the configuration, used by
-// the snapshot store and the CLI/service flag surface.
-func (c IndexConfig) Label() string {
-	switch c {
-	case NoIndexes:
-		return "none"
-	case PKOnly:
-		return "pk"
-	case PKFK:
-		return "pkfk"
-	default:
-		return fmt.Sprintf("cfg%d", int(c))
-	}
-}
-
-func (c IndexConfig) String() string {
-	switch c {
-	case NoIndexes:
-		return "no indexes"
-	case PKOnly:
-		return "PK indexes"
-	case PKFK:
-		return "PK + FK indexes"
-	default:
-		return fmt.Sprintf("IndexConfig(%d)", int(c))
-	}
-}
 
 // BuildIndexes constructs the index set for the chosen physical design.
 func BuildIndexes(db *storage.Database, cfg IndexConfig) (*index.Set, error) {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"sync"
@@ -51,6 +52,12 @@ type Config struct {
 	// Seed drives every random choice (class and query selection), so a
 	// run is reproducible given the same config (default 1).
 	Seed int64
+	// Workloads are the workload names the requests ask for; empty means
+	// one workload, the target's default. With more than one, each request
+	// draws a workload uniformly — mixed-workload traffic that exercises a
+	// fleet's per-workload pools — except the experiment class, which pins
+	// to the first name (its sweeps want the primed snapshots).
+	Workloads []string
 	// WorldSeed and Scale select the (seed, scale) world the requests ask
 	// for; they ride in every request body, so the router's affinity key
 	// is the same for the whole run. Zero values let the server defaults
@@ -64,9 +71,10 @@ type Config struct {
 	// experiment class always uses WorldSeeds[0] (or WorldSeed), so the
 	// paper-grade sweeps stay on the world whose snapshots are primed.
 	WorldSeeds []int64
-	// Queries are the workload ids optimize/execute/estimate pick from.
-	// Empty means fetch the list from Target's /v1/queries before the
-	// clock starts (which also warms the target's system pool).
+	// Queries are the query ids optimize/execute/estimate pick from, used
+	// for every configured workload. Empty means fetch each workload's own
+	// list from Target's /v1/queries before the clock starts (which also
+	// warms the target's system pool).
 	Queries []string
 	// Experiments are the names the experiment class picks from (default
 	// fig3, the cheapest estimation sweep).
@@ -112,6 +120,7 @@ type Result struct {
 	DurationSeconds float64                `json:"duration_seconds"`
 	Concurrency     int                    `json:"concurrency"`
 	Mix             map[string]int         `json:"mix"`
+	Workloads       []string               `json:"workloads"`
 	WorldSeeds      []int64                `json:"world_seeds"`
 	Scale           float64                `json:"scale"`
 	Total           ClassResult            `json:"total"`
@@ -152,6 +161,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.WorldSeeds) == 0 {
 		cfg.WorldSeeds = []int64{cfg.WorldSeed}
 	}
+	if len(cfg.Workloads) == 0 {
+		cfg.Workloads = []string{""}
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -167,13 +179,22 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			needQueries = true
 		}
 	}
+	// Query ids are workload-specific ("13d" vs "tpch5"), so the picker
+	// keys its lists by workload name; an explicit Queries list applies to
+	// every configured workload.
+	queries := make(map[string][]string, len(cfg.Workloads))
+	for _, w := range cfg.Workloads {
+		queries[w] = cfg.Queries
+	}
 	if needQueries && len(cfg.Queries) == 0 {
-		qs, err := fetchQueries(ctx, cfg)
+		var err error
+		queries, err = fetchQueries(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("loadgen: fetching workload from %s: %w", cfg.Target, err)
 		}
-		cfg.Queries = qs
-		logf("loadgen: fetched %d workload queries from %s", len(qs), cfg.Target)
+		for _, w := range cfg.Workloads {
+			logf("loadgen: fetched %d queries for workload %q from %s", len(queries[w]), w, cfg.Target)
+		}
 	}
 
 	type workerState struct {
@@ -204,7 +225,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			st := &states[w]
 			for runCtx.Err() == nil {
 				class := pickClass(rng, classes, weights, totalWeight)
-				req, err := buildRequest(runCtx, cfg, rng, class)
+				req, err := buildRequest(runCtx, cfg, queries, rng, class)
 				if err != nil {
 					return // only fails on a broken config; don't spin
 				}
@@ -239,6 +260,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		DurationSeconds: elapsed.Seconds(),
 		Concurrency:     cfg.Concurrency,
 		Mix:             cfg.Mix,
+		Workloads:       cfg.Workloads,
 		WorldSeeds:      cfg.WorldSeeds,
 		Scale:           cfg.Scale,
 		Classes:         make(map[string]ClassResult, len(classes)),
@@ -306,16 +328,25 @@ func pickClass(rng *rand.Rand, classes []string, weights []int, total int) strin
 }
 
 // buildRequest constructs one request of the given class against the
-// target, with the world's (seed, scale) in the body or query string so
-// the router's affinity hashing sees it.
-func buildRequest(ctx context.Context, cfg Config, rng *rand.Rand, class string) (*http.Request, error) {
+// target, with the world's (workload, seed, scale) in the body or query
+// string so the router's affinity hashing sees it.
+func buildRequest(ctx context.Context, cfg Config, queries map[string][]string, rng *rand.Rand, class string) (*http.Request, error) {
 	// The experiment class pins to the first world (its sweeps want the
 	// primed snapshots); everything else spreads uniformly.
+	wl := cfg.Workloads[0]
 	seed := cfg.WorldSeeds[0]
-	if class != ClassExperiment && len(cfg.WorldSeeds) > 1 {
-		seed = cfg.WorldSeeds[rng.Intn(len(cfg.WorldSeeds))]
+	if class != ClassExperiment {
+		if len(cfg.Workloads) > 1 {
+			wl = cfg.Workloads[rng.Intn(len(cfg.Workloads))]
+		}
+		if len(cfg.WorldSeeds) > 1 {
+			seed = cfg.WorldSeeds[rng.Intn(len(cfg.WorldSeeds))]
+		}
 	}
 	world := func(m map[string]any) map[string]any {
+		if wl != "" {
+			m["workload"] = wl
+		}
 		if seed != 0 {
 			m["seed"] = seed
 		}
@@ -337,10 +368,11 @@ func buildRequest(ctx context.Context, cfg Config, rng *rand.Rand, class string)
 		return req, nil
 	}
 	pickQuery := func() (string, error) {
-		if len(cfg.Queries) == 0 {
-			return "", fmt.Errorf("loadgen: class %q needs a workload query list", class)
+		qs := queries[wl]
+		if len(qs) == 0 {
+			return "", fmt.Errorf("loadgen: class %q needs a query list for workload %q", class, wl)
 		}
-		return cfg.Queries[rng.Intn(len(cfg.Queries))], nil
+		return qs[rng.Intn(len(qs))], nil
 	}
 	switch class {
 	case ClassOptimize:
@@ -369,15 +401,18 @@ func buildRequest(ctx context.Context, cfg Config, rng *rand.Rand, class string)
 		return post("/v1/estimate", world(map[string]any{"query": q}))
 	case ClassExperiment:
 		name := cfg.Experiments[rng.Intn(len(cfg.Experiments))]
-		url := cfg.Target + "/v1/experiment/" + name + worldQuery(seed, cfg.Scale)
+		url := cfg.Target + "/v1/experiment/" + name + worldQuery(wl, seed, cfg.Scale)
 		return http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	default:
 		return nil, fmt.Errorf("loadgen: unknown class %q", class)
 	}
 }
 
-func worldQuery(seed int64, scale float64) string {
+func worldQuery(wl string, seed int64, scale float64) string {
 	var parts []string
+	if wl != "" {
+		parts = append(parts, "workload="+url.QueryEscape(wl))
+	}
 	if seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", seed))
 	}
@@ -390,24 +425,34 @@ func worldQuery(seed int64, scale float64) string {
 	return "?" + strings.Join(parts, "&")
 }
 
-// fetchQueries asks the target for its workload ids (GET /v1/queries),
-// once per configured world, concurrently — this happens before the
-// measured window opens, so it doubles as a warmup of every world's
-// system pool (each on its owning replica when a router is the target).
-// The workload is the same in every world; the first world's list is the
-// one returned.
-func fetchQueries(ctx context.Context, cfg Config) ([]string, error) {
+// fetchQueries asks the target for each workload's query ids (GET
+// /v1/queries), once per configured (workload, world) pair, concurrently —
+// this happens before the measured window opens, so it doubles as a warmup
+// of every world's system pool (each on its owning replica when a router
+// is the target). The query list depends only on the workload, not the
+// seed; each workload's first world supplies its list.
+func fetchQueries(ctx context.Context, cfg Config) (map[string][]string, error) {
 	fctx, cancel := context.WithTimeout(ctx, 5*time.Minute)
 	defer cancel()
-	results := make([][]string, len(cfg.WorldSeeds))
-	errs := make([]error, len(cfg.WorldSeeds))
+	type pair struct {
+		wl   string
+		seed int64
+	}
+	var pairs []pair
+	for _, w := range cfg.Workloads {
+		for _, seed := range cfg.WorldSeeds {
+			pairs = append(pairs, pair{w, seed})
+		}
+	}
+	results := make([][]string, len(pairs))
+	errs := make([]error, len(pairs))
 	var wg sync.WaitGroup
-	for i, seed := range cfg.WorldSeeds {
+	for i, pr := range pairs {
 		wg.Add(1)
-		go func(i int, seed int64) {
+		go func(i int, pr pair) {
 			defer wg.Done()
-			results[i], errs[i] = fetchQueriesWorld(fctx, cfg, seed)
-		}(i, seed)
+			results[i], errs[i] = fetchQueriesWorld(fctx, cfg, pr.wl, pr.seed)
+		}(i, pr)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -415,11 +460,17 @@ func fetchQueries(ctx context.Context, cfg Config) ([]string, error) {
 			return nil, err
 		}
 	}
-	return results[0], nil
+	out := make(map[string][]string, len(cfg.Workloads))
+	for i, pr := range pairs {
+		if _, ok := out[pr.wl]; !ok {
+			out[pr.wl] = results[i]
+		}
+	}
+	return out, nil
 }
 
-func fetchQueriesWorld(ctx context.Context, cfg Config, seed int64) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/v1/queries"+worldQuery(seed, cfg.Scale), nil)
+func fetchQueriesWorld(ctx context.Context, cfg Config, wl string, seed int64) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, cfg.Target+"/v1/queries"+worldQuery(wl, seed, cfg.Scale), nil)
 	if err != nil {
 		return nil, err
 	}

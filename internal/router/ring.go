@@ -13,15 +13,18 @@ import (
 // membership changes toward the ideal 1/N.
 const vnodes = 64
 
-// AffinityKey canonicalizes a request's (seed, scale) into the string the
-// ring hashes. The router and every replica's peer-fill MUST derive owners
-// from this same encoding, or affinity silently breaks: 'g' formatting is
-// the same rendering service.Key uses, so 0.1 and 0.10 collapse to one
-// key. Requests that omit seed/scale hash as (0, 0) — the router does not
-// know the replicas' defaults, but all default-world requests still agree
-// on one owner, which is all affinity needs.
-func AffinityKey(seed int64, scale float64) string {
-	return strconv.FormatInt(seed, 10) + "/" + strconv.FormatFloat(scale, 'g', -1, 64)
+// AffinityKey canonicalizes a request's (workload, seed, scale) into the
+// string the ring hashes. The router and every replica's peer-fill MUST
+// derive owners from this same encoding, or affinity silently breaks: 'g'
+// formatting is the same rendering service.Key uses, so 0.1 and 0.10
+// collapse to one key. Requests that omit workload/seed/scale hash as
+// ("", 0, 0) — the router does not know the replicas' defaults, but all
+// default-world requests still agree on one owner, which is all affinity
+// needs. The workload name is a plain string here on purpose: the router
+// stays ignorant of the workload registry and routes names it has never
+// heard of.
+func AffinityKey(workload string, seed int64, scale float64) string {
+	return workload + "/" + strconv.FormatInt(seed, 10) + "/" + strconv.FormatFloat(scale, 'g', -1, 64)
 }
 
 // Ring is a consistent-hash ring over replica base URLs. Each replica is

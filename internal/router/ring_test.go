@@ -10,7 +10,7 @@ import (
 func testKeys(n int) []string {
 	keys := make([]string, 0, n)
 	for i := 0; i < n; i++ {
-		keys = append(keys, AffinityKey(int64(i%97), float64(i)/8))
+		keys = append(keys, AffinityKey("imdb", int64(i%97), float64(i)/8))
 	}
 	return keys
 }
@@ -141,13 +141,16 @@ func TestRingBalance(t *testing.T) {
 }
 
 func TestAffinityKeyCanonical(t *testing.T) {
-	if AffinityKey(42, 0.1) != AffinityKey(42, 0.10) {
+	if AffinityKey("imdb", 42, 0.1) != AffinityKey("imdb", 42, 0.10) {
 		t.Fatal("equal scales must canonicalize to one key")
 	}
-	if AffinityKey(42, 0.1) == AffinityKey(42, 0.3) {
+	if AffinityKey("imdb", 42, 0.1) == AffinityKey("imdb", 42, 0.3) {
 		t.Fatal("distinct scales must not collide")
 	}
-	if got, want := AffinityKey(42, 0.1), "42/0.1"; got != want {
-		t.Fatalf("AffinityKey(42, 0.1) = %q, want %q", got, want)
+	if AffinityKey("imdb", 42, 0.1) == AffinityKey("tpch", 42, 0.1) {
+		t.Fatal("different workloads must hash to different affinity keys")
+	}
+	if got, want := AffinityKey("imdb", 42, 0.1), "imdb/42/0.1"; got != want {
+		t.Fatalf(`AffinityKey("imdb", 42, 0.1) = %q, want %q`, got, want)
 	}
 }

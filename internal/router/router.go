@@ -271,11 +271,12 @@ func (s *Server) isLive(url string) bool {
 // JSON documents, so anything past this is abusive, not legitimate.
 const maxBodyBytes = 1 << 20
 
-// seedScale is the partial body decode used only for affinity: every field
-// except seed/scale is opaque to the router.
-type seedScale struct {
-	Seed  int64   `json:"seed"`
-	Scale float64 `json:"scale"`
+// worldFields is the partial body decode used only for affinity: every
+// field except workload/seed/scale is opaque to the router.
+type worldFields struct {
+	Workload string  `json:"workload"`
+	Seed     int64   `json:"seed"`
+	Scale    float64 `json:"scale"`
 }
 
 func (s *Server) handleForward(w http.ResponseWriter, r *http.Request) {
@@ -289,7 +290,7 @@ func (s *Server) handleForward(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var ss seedScale
+	var ss worldFields
 	if len(body) > 0 {
 		// Affinity only: an undecodable body still forwards (the replica
 		// owns the real validation and its error message), hashed as the
@@ -297,10 +298,11 @@ func (s *Server) handleForward(w http.ResponseWriter, r *http.Request) {
 		_ = json.Unmarshal(body, &ss)
 	} else {
 		q := r.URL.Query()
+		ss.Workload = q.Get("workload")
 		ss.Seed, _ = strconv.ParseInt(q.Get("seed"), 10, 64)
 		ss.Scale, _ = strconv.ParseFloat(q.Get("scale"), 64)
 	}
-	key := AffinityKey(ss.Seed, ss.Scale)
+	key := AffinityKey(ss.Workload, ss.Seed, ss.Scale)
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ForwardTimeout)
 	defer cancel()

@@ -41,8 +41,9 @@ func newTestRouter(t *testing.T, cfg Config) *Server {
 	return s
 }
 
-// TestForwardAffinity: requests for one (seed, scale) world always land on
-// the ring owner, across both POST bodies and GET query params.
+// TestForwardAffinity: requests for one (workload, seed, scale) world
+// always land on the ring owner, across both POST bodies and GET query
+// params.
 func TestForwardAffinity(t *testing.T) {
 	a, _ := echoBackend(t, "a")
 	b, _ := echoBackend(t, "b")
@@ -54,10 +55,10 @@ func TestForwardAffinity(t *testing.T) {
 
 	ring := NewRingFromConfig(urls)
 	for seed := int64(1); seed <= 20; seed++ {
-		key := AffinityKey(seed, 0.1)
+		key := AffinityKey("imdb", seed, 0.1)
 		wantURL := ring.Owner(key)
 
-		body := fmt.Sprintf(`{"query":"13d","seed":%d,"scale":0.1}`, seed)
+		body := fmt.Sprintf(`{"query":"13d","workload":"imdb","seed":%d,"scale":0.1}`, seed)
 		resp, err := http.Post(front.URL+"/v1/optimize", "application/json", strings.NewReader(body))
 		if err != nil {
 			t.Fatal(err)
@@ -67,7 +68,7 @@ func TestForwardAffinity(t *testing.T) {
 		}
 		resp.Body.Close()
 
-		resp, err = http.Get(fmt.Sprintf("%s/v1/queries?seed=%d&scale=0.1", front.URL, seed))
+		resp, err = http.Get(fmt.Sprintf("%s/v1/queries?workload=imdb&seed=%d&scale=0.1", front.URL, seed))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func TestFailoverAndMarkDown(t *testing.T) {
 	ring := NewRingFromConfig(urls)
 	seed := int64(-1)
 	for i := int64(0); i < 1000; i++ {
-		if ring.Owner(AffinityKey(i, 0.1)) == strings.TrimRight(deadURL, "/") {
+		if ring.Owner(AffinityKey("imdb", i, 0.1)) == strings.TrimRight(deadURL, "/") {
 			seed = i
 			break
 		}
@@ -110,7 +111,7 @@ func TestFailoverAndMarkDown(t *testing.T) {
 
 	for i := 0; i < 3; i++ {
 		resp, err := http.Post(front.URL+"/v1/optimize", "application/json",
-			strings.NewReader(fmt.Sprintf(`{"seed":%d,"scale":0.1}`, seed)))
+			strings.NewReader(fmt.Sprintf(`{"workload":"imdb","seed":%d,"scale":0.1}`, seed)))
 		if err != nil {
 			t.Fatal(err)
 		}

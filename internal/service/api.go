@@ -5,14 +5,18 @@ package service
 // flags accept ("postgres", "pkfk", "bushy", "dp", ...) are valid here, and
 // zero values select the same defaults the CLI uses.
 
-// PlanRequest selects a world (seed, scale → pool key) and one
-// optimization's knobs. Omitted seed/scale fall back to the server's
-// defaults.
+// PlanRequest selects a world (workload, seed, scale → pool key) and one
+// optimization's knobs. Omitted workload/seed/scale fall back to the
+// server's defaults.
 type PlanRequest struct {
-	Seed  int64   `json:"seed,omitempty"`
-	Scale float64 `json:"scale,omitempty"`
+	// Workload names the benchmark world ("imdb", "tpch", "imdb-skew");
+	// omitted falls back to the server's default workload.
+	Workload string  `json:"workload,omitempty"`
+	Seed     int64   `json:"seed,omitempty"`
+	Scale    float64 `json:"scale,omitempty"`
 
-	// Query is a workload query id ("1a".."33c").
+	// Query is a workload query id ("1a".."33c" for imdb, "tpch3".."tpch19"
+	// for tpch).
 	Query string `json:"query"`
 	// Estimator: postgres|dbms-a|dbms-b|dbms-c|hyper|true (default postgres).
 	Estimator string `json:"estimator,omitempty"`
@@ -39,9 +43,11 @@ type PlanRequest struct {
 // OptimizeResponse is one planned query. FeedbackHit and Pinned are present
 // exactly when the request was adaptive.
 type OptimizeResponse struct {
-	Query string  `json:"query"`
-	Plan  string  `json:"plan"`
-	Cost  float64 `json:"cost"`
+	// Workload echoes the resolved workload the plan was built against.
+	Workload string  `json:"workload"`
+	Query    string  `json:"query"`
+	Plan     string  `json:"plan"`
+	Cost     float64 `json:"cost"`
 	// FeedbackHit reports whether the plan-feedback cache held observations
 	// for this query.
 	FeedbackHit *bool `json:"feedback_hit,omitempty"`
@@ -69,6 +75,8 @@ type ExecuteRequest struct {
 // ExecuteResponse is one executed query. Replans, FeedbackHit and Pinned
 // are present exactly when the request was adaptive.
 type ExecuteResponse struct {
+	// Workload echoes the resolved workload the query ran against.
+	Workload string `json:"workload"`
 	Query    string `json:"query"`
 	Rows     int64  `json:"rows"`
 	Work     int64  `json:"work"`
@@ -86,6 +94,9 @@ type ExecuteResponse struct {
 
 // EstimateRequest asks one estimator for a query's result size.
 type EstimateRequest struct {
+	// Workload names the benchmark world; omitted falls back to the
+	// server's default workload.
+	Workload  string  `json:"workload,omitempty"`
 	Seed      int64   `json:"seed,omitempty"`
 	Scale     float64 `json:"scale,omitempty"`
 	Query     string  `json:"query"`
@@ -94,15 +105,30 @@ type EstimateRequest struct {
 
 // EstimateResponse is the predicted result cardinality.
 type EstimateResponse struct {
+	// Workload echoes the resolved workload.
+	Workload    string  `json:"workload"`
 	Query       string  `json:"query"`
 	Estimator   string  `json:"estimator"`
 	Cardinality float64 `json:"cardinality"`
 }
 
-// QueriesResponse lists the workload.
+// QueriesResponse lists one workload's query set.
 type QueriesResponse struct {
-	Count   int      `json:"count"`
-	Queries []string `json:"queries"`
+	// Workload echoes the resolved workload the queries belong to.
+	Workload string   `json:"workload"`
+	Count    int      `json:"count"`
+	Queries  []string `json:"queries"`
+}
+
+// ExperimentResponse wraps one experiment report with its resolved world
+// (format=json on /v1/experiment/{name}); the default rendering stays the
+// raw text report, byte-identical to the CLI's.
+type ExperimentResponse struct {
+	Experiment string  `json:"experiment"`
+	Workload   string  `json:"workload"`
+	Seed       int64   `json:"seed"`
+	Scale      float64 `json:"scale"`
+	Report     string  `json:"report"`
 }
 
 // ErrorResponse is every endpoint's failure body.

@@ -18,8 +18,9 @@ import (
 // hits/misses/evictions, in-flight warmups, report-cache hits — fit in a
 // mutex-guarded map plus a few atomics.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[routeCode]*routeStats
+	mu        sync.Mutex
+	requests  map[routeCode]*routeStats
+	workloads map[string]*workloadStats
 
 	PoolHits        atomic.Int64
 	PoolMisses      atomic.Int64
@@ -54,9 +55,65 @@ type routeStats struct {
 	seconds float64
 }
 
+// workloadStats counts pool and report-cache traffic for one workload, the
+// jobench_pool_requests_total / jobench_report_cache_requests_total label
+// sets.
+type workloadStats struct {
+	poolHits, poolMisses     int64
+	reportHits, reportMisses int64
+}
+
 // NewMetrics returns an empty metrics registry.
 func NewMetrics() *Metrics {
-	return &Metrics{requests: make(map[routeCode]*routeStats)}
+	return &Metrics{
+		requests:  make(map[routeCode]*routeStats),
+		workloads: make(map[string]*workloadStats),
+	}
+}
+
+func (m *Metrics) wstats(workload string) *workloadStats {
+	ws := m.workloads[workload]
+	if ws == nil {
+		ws = &workloadStats{}
+		m.workloads[workload] = ws
+	}
+	return ws
+}
+
+// PoolObserve records one pool lookup for a workload: the unlabeled
+// totals plus the per-workload series.
+func (m *Metrics) PoolObserve(workload string, hit bool) {
+	if hit {
+		m.PoolHits.Add(1)
+	} else {
+		m.PoolMisses.Add(1)
+	}
+	m.mu.Lock()
+	ws := m.wstats(workload)
+	if hit {
+		ws.poolHits++
+	} else {
+		ws.poolMisses++
+	}
+	m.mu.Unlock()
+}
+
+// ReportObserve records one report-cache lookup for a workload: the
+// unlabeled totals plus the per-workload series.
+func (m *Metrics) ReportObserve(workload string, hit bool) {
+	if hit {
+		m.ReportHits.Add(1)
+	} else {
+		m.ReportMisses.Add(1)
+	}
+	m.mu.Lock()
+	ws := m.wstats(workload)
+	if hit {
+		ws.reportHits++
+	} else {
+		ws.reportMisses++
+	}
+	m.mu.Unlock()
 }
 
 // Observe records one completed request.
@@ -95,6 +152,19 @@ func (m *Metrics) Render() string {
 	for i, k := range keys {
 		rows[i] = row{k, *m.requests[k]}
 	}
+	wnames := make([]string, 0, len(m.workloads))
+	for w := range m.workloads {
+		wnames = append(wnames, w)
+	}
+	sort.Strings(wnames)
+	type wrow struct {
+		name string
+		st   workloadStats
+	}
+	wrows := make([]wrow, len(wnames))
+	for i, w := range wnames {
+		wrows[i] = wrow{w, *m.workloads[w]}
+	}
 	m.mu.Unlock()
 
 	var b strings.Builder
@@ -111,6 +181,20 @@ func (m *Metrics) Render() string {
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\njobench_%s %d\n",
 			"jobench_"+name, help, "jobench_"+name, kindOf(name), name, v)
+	}
+	if len(wrows) > 0 {
+		b.WriteString("# HELP jobench_pool_requests_total Pool lookups by workload and outcome.\n")
+		b.WriteString("# TYPE jobench_pool_requests_total counter\n")
+		for _, r := range wrows {
+			fmt.Fprintf(&b, "jobench_pool_requests_total{workload=%q,outcome=\"hit\"} %d\n", r.name, r.st.poolHits)
+			fmt.Fprintf(&b, "jobench_pool_requests_total{workload=%q,outcome=\"miss\"} %d\n", r.name, r.st.poolMisses)
+		}
+		b.WriteString("# HELP jobench_report_cache_requests_total Report-cache lookups by workload and outcome.\n")
+		b.WriteString("# TYPE jobench_report_cache_requests_total counter\n")
+		for _, r := range wrows {
+			fmt.Fprintf(&b, "jobench_report_cache_requests_total{workload=%q,outcome=\"hit\"} %d\n", r.name, r.st.reportHits)
+			fmt.Fprintf(&b, "jobench_report_cache_requests_total{workload=%q,outcome=\"miss\"} %d\n", r.name, r.st.reportMisses)
+		}
 	}
 	gauge("pool_hits_total", "System pool lookups served by a resident instance.", m.PoolHits.Load())
 	gauge("pool_misses_total", "System pool lookups that required construction.", m.PoolMisses.Load())

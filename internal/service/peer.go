@@ -60,7 +60,7 @@ func canonicalURL(u string) string {
 // owner returns the ring owner for a report's world, or "" when the owner
 // is this replica itself (nothing to ask).
 func (p *peerSet) owner(k reportKey) string {
-	o := p.ring.Owner(router.AffinityKey(k.key.Seed, k.key.Scale))
+	o := p.ring.Owner(router.AffinityKey(k.key.World.Workload, k.key.World.Seed, k.key.World.Scale))
 	if o == p.self {
 		return ""
 	}
@@ -81,9 +81,9 @@ func (s *Server) peerFill(k reportKey) (text string, ok bool) {
 	}
 	ctx, cancel := context.WithTimeout(s.serverCtx(), p.timeout)
 	defer cancel()
-	u := fmt.Sprintf("%s/v1/report-cache/%s?seed=%d&scale=%s&samples=%d",
-		owner, url.PathEscape(k.name), k.key.Seed,
-		strconv.FormatFloat(k.key.Scale, 'g', -1, 64), k.samples)
+	u := fmt.Sprintf("%s/v1/report-cache/%s?workload=%s&seed=%d&scale=%s&samples=%d",
+		owner, url.PathEscape(k.name), url.QueryEscape(k.key.World.Workload), k.key.World.Seed,
+		strconv.FormatFloat(k.key.World.Scale, 'g', -1, 64), k.samples)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		s.metrics.PeerFillMisses.Add(1)
@@ -116,7 +116,7 @@ func (s *Server) peerFill(k reportKey) (text string, ok bool) {
 // stay cheap no matter how cold this replica is, or fills would cascade.
 func (s *Server) handleReportPeek(w http.ResponseWriter, r *http.Request) (int, error) {
 	name := r.PathValue("name")
-	seed, scale, err := querySeedScale(r)
+	wl, seed, scale, err := queryWorld(r)
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
@@ -127,7 +127,7 @@ func (s *Server) handleReportPeek(w http.ResponseWriter, r *http.Request) (int, 
 			return http.StatusBadRequest, fmt.Errorf("invalid samples %q", v)
 		}
 	}
-	k := reportKey{key: s.key(seed, scale), name: name, samples: normalizeSamples(name, samples)}
+	k := reportKey{key: s.key(wl, seed, scale), name: name, samples: normalizeSamples(name, samples)}
 	text, ok := s.reports.get(k)
 	if !ok {
 		return http.StatusNotFound, fmt.Errorf("report %q not cached here", name)

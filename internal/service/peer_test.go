@@ -35,7 +35,7 @@ func seedOwnedBy(t *testing.T, peers []string, owner string, scale float64) int6
 	t.Helper()
 	ring := router.NewRingFromConfig(peers)
 	for seed := int64(1); seed < 2000; seed++ {
-		if ring.Owner(router.AffinityKey(seed, scale)) == owner {
+		if ring.Owner(router.AffinityKey("imdb", seed, scale)) == owner {
 			return seed
 		}
 	}
@@ -57,7 +57,7 @@ func TestPeerFill(t *testing.T) {
 
 	seed := seedOwnedBy(t, peers, aHTTP.URL, scale)
 	const reportText = "=== table1 ===\nthe canonical rendering\n"
-	k := reportKey{key: a.key(seed, scale), name: "table1"}
+	k := reportKey{key: a.key("", seed, scale), name: "table1"}
 	a.reports.put(k, reportText)
 
 	resp, err := http.Get(fmt.Sprintf("%s/v1/experiment/table1?seed=%d&scale=%g", bHTTP.URL, seed, scale))
@@ -141,7 +141,7 @@ func TestReportPeekEndpoint(t *testing.T) {
 
 	// fig9's samples default (0 → 10000) must normalize identically on
 	// both surfaces, or a fill could never match a computed key.
-	k := reportKey{key: s.key(3, 0.25), name: "fig9", samples: 10000}
+	k := reportKey{key: s.key("", 3, 0.25), name: "fig9", samples: 10000}
 	s.reports.put(k, "fig9 text")
 	resp, err = http.Get(h.URL + "/v1/report-cache/fig9?seed=3&scale=0.25&samples=0")
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"jobench/internal/experiments"
 	"jobench/internal/parallel"
 	"jobench/internal/reopt"
+	"jobench/internal/workload"
 )
 
 // Key identifies one resident world in the pool: everything that determines
@@ -14,16 +15,18 @@ import (
 // The cache dir participates so two servers sharing one process but
 // pointing at different snapshot stores can never alias.
 type Key struct {
-	Seed     int64
-	Scale    float64
+	// World is the (workload, seed, scale) triple.
+	World workload.Key
+	// CacheDir is the snapshot store the instance loads from.
 	CacheDir string
 }
 
 // String renders the key for logs and metrics labels (the cache dir is
 // deliberately omitted — it is server-wide in practice and noisy in logs).
 func (k Key) String() string {
-	return "seed=" + strconv.FormatInt(k.Seed, 10) +
-		",scale=" + strconv.FormatFloat(k.Scale, 'g', -1, 64)
+	return "workload=" + k.World.Workload +
+		",seed=" + strconv.FormatInt(k.World.Seed, 10) +
+		",scale=" + strconv.FormatFloat(k.World.Scale, 'g', -1, 64)
 }
 
 // entry is one resident instance: the facade System and the experiments
@@ -72,14 +75,16 @@ func NewPool(cfg Config, metrics *Metrics) *Pool {
 		metrics: metrics,
 		openSystem: func(k Key) (*jobench.System, error) {
 			return jobench.Open(jobench.Options{
-				Scale: k.Scale, Seed: k.Seed, Parallel: cfg.Parallel,
+				Workload: k.World.Workload,
+				Scale:    k.World.Scale, Seed: k.World.Seed, Parallel: cfg.Parallel,
 				CacheDir: k.CacheDir, Logf: cfg.logf(),
 				FeedbackBytes: cfg.FeedbackBytes,
 			})
 		},
 		openLab: func(k Key) (*experiments.Lab, error) {
 			return experiments.NewLab(experiments.Config{
-				Scale: k.Scale, Seed: k.Seed, Parallel: cfg.Parallel,
+				Workload: k.World.Workload,
+				Scale:    k.World.Scale, Seed: k.World.Seed, Parallel: cfg.Parallel,
 				CacheDir: k.CacheDir, Logf: cfg.logf(),
 			})
 		},
@@ -91,20 +96,20 @@ func NewPool(cfg Config, metrics *Metrics) *Pool {
 // once under concurrency) on a miss.
 func (p *Pool) System(key Key) (*jobench.System, error) {
 	if e := p.entries.get(key); e != nil && e.sys != nil {
-		p.metrics.PoolHits.Add(1)
+		p.metrics.PoolObserve(key.World.Workload, true)
 		return e.sys, nil
 	}
 	sys, err, shared := p.sysFlight.Do(key, func() (*jobench.System, error) {
 		// A flight that completed between our miss and entering Do already
 		// populated the entry; don't rebuild.
 		if e := p.entries.get(key); e != nil && e.sys != nil {
-			p.metrics.PoolHits.Add(1)
+			p.metrics.PoolObserve(key.World.Workload, true)
 			return e.sys, nil
 		}
 		// Counted here, not in the caller, so a thundering herd records one
 		// miss per construction — the metric's contract — rather than one
 		// per piled-up request.
-		p.metrics.PoolMisses.Add(1)
+		p.metrics.PoolObserve(key.World.Workload, false)
 		p.metrics.WarmupsInFlight.Add(1)
 		defer p.metrics.WarmupsInFlight.Add(-1)
 		sys, err := p.openSystem(key)
@@ -116,7 +121,7 @@ func (p *Pool) System(key Key) (*jobench.System, error) {
 	})
 	if shared && err == nil {
 		// Joined another request's in-flight construction: served warm.
-		p.metrics.PoolHits.Add(1)
+		p.metrics.PoolObserve(key.World.Workload, true)
 	}
 	return sys, err
 }
@@ -125,15 +130,15 @@ func (p *Pool) System(key Key) (*jobench.System, error) {
 // (exactly once under concurrency) on a miss.
 func (p *Pool) Lab(key Key) (*experiments.Lab, error) {
 	if e := p.entries.get(key); e != nil && e.lab != nil {
-		p.metrics.PoolHits.Add(1)
+		p.metrics.PoolObserve(key.World.Workload, true)
 		return e.lab, nil
 	}
 	lab, err, shared := p.labFlight.Do(key, func() (*experiments.Lab, error) {
 		if e := p.entries.get(key); e != nil && e.lab != nil {
-			p.metrics.PoolHits.Add(1)
+			p.metrics.PoolObserve(key.World.Workload, true)
 			return e.lab, nil
 		}
-		p.metrics.PoolMisses.Add(1)
+		p.metrics.PoolObserve(key.World.Workload, false)
 		p.metrics.WarmupsInFlight.Add(1)
 		defer p.metrics.WarmupsInFlight.Add(-1)
 		lab, err := p.openLab(key)
@@ -144,7 +149,7 @@ func (p *Pool) Lab(key Key) (*experiments.Lab, error) {
 		return lab, nil
 	})
 	if shared && err == nil {
-		p.metrics.PoolHits.Add(1)
+		p.metrics.PoolObserve(key.World.Workload, true)
 	}
 	return lab, err
 }

@@ -8,6 +8,7 @@ import (
 
 	"jobench"
 	"jobench/internal/experiments"
+	"jobench/internal/workload"
 )
 
 // sharedSystem is one real (tiny) System reused by every fake opener: pool
@@ -54,7 +55,7 @@ func countingPool(t *testing.T, capacity int, delay time.Duration) (*Pool, *atom
 // concurrent cold requests for one key perform exactly one Open.
 func TestPoolSingleFlight(t *testing.T) {
 	p, opens := countingPool(t, 2, 100*time.Millisecond)
-	key := Key{Seed: 7, Scale: 0.02}
+	key := Key{World: workload.Key{Workload: "imdb", Seed: 7, Scale: 0.02}}
 
 	const callers = 8
 	var wg sync.WaitGroup
@@ -95,9 +96,9 @@ func TestPoolSingleFlight(t *testing.T) {
 // the least recently *used* key is the victim.
 func TestPoolLRUEviction(t *testing.T) {
 	p, opens := countingPool(t, 2, 0)
-	a := Key{Seed: 1, Scale: 0.02}
-	b := Key{Seed: 2, Scale: 0.02}
-	c := Key{Seed: 3, Scale: 0.02}
+	a := Key{World: workload.Key{Workload: "imdb", Seed: 1, Scale: 0.02}}
+	b := Key{World: workload.Key{Workload: "imdb", Seed: 2, Scale: 0.02}}
+	c := Key{World: workload.Key{Workload: "imdb", Seed: 3, Scale: 0.02}}
 
 	for _, k := range []Key{a, b} {
 		if _, err := p.System(k); err != nil {
@@ -137,7 +138,7 @@ func TestPoolLRUEviction(t *testing.T) {
 // key.
 func TestPoolErrorNotCached(t *testing.T) {
 	p, opens := countingPool(t, 2, 0)
-	key := Key{Seed: 9, Scale: 0.02}
+	key := Key{World: workload.Key{Workload: "imdb", Seed: 9, Scale: 0.02}}
 	failures := 0
 	realOpen := p.openSystem
 	p.openSystem = func(k Key) (*jobench.System, error) {

@@ -28,16 +28,18 @@ import (
 	"jobench"
 	"jobench/internal/experiments"
 	"jobench/internal/parallel"
+	"jobench/internal/workload"
 )
 
 // Config configures a Server.
 type Config struct {
 	// Addr is the listen address for ListenAndServe (":8080").
 	Addr string
-	// DefaultSeed and DefaultScale apply when a request omits them,
-	// mirroring the CLI's -seed/-scale defaults.
-	DefaultSeed  int64
-	DefaultScale float64
+	// DefaultWorkload, DefaultSeed and DefaultScale apply when a request
+	// omits them, mirroring the CLI's -workload/-seed/-scale defaults.
+	DefaultWorkload string
+	DefaultSeed     int64
+	DefaultScale    float64
 	// Parallel sizes the worker pools of every resident instance
 	// (0 = GOMAXPROCS).
 	Parallel int
@@ -114,6 +116,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.DefaultSeed == 0 {
 		cfg.DefaultSeed = 42
+	}
+	if cfg.DefaultWorkload == "" {
+		cfg.DefaultWorkload = workload.DefaultName
 	}
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = 5 * time.Second
@@ -222,17 +227,20 @@ func (s *Server) serverCtx() context.Context {
 	return context.Background()
 }
 
-func (s *Server) key(seed int64, scale float64) Key {
+func (s *Server) key(wl string, seed int64, scale float64) Key {
+	if wl == "" {
+		wl = s.cfg.DefaultWorkload
+	}
 	if seed == 0 {
 		seed = s.cfg.DefaultSeed
 	}
-	// The NaN guard backs up querySeedScale for any path that builds a key
+	// The NaN guard backs up queryWorld for any path that builds a key
 	// from a float it did not parse itself (JSON cannot encode NaN, but
 	// the key must be safe regardless of who calls this).
 	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
 		scale = s.cfg.DefaultScale
 	}
-	return Key{Seed: seed, Scale: scale, CacheDir: s.cfg.CacheDir}
+	return Key{World: workload.NewKey(wl, seed, scale), CacheDir: s.cfg.CacheDir}
 }
 
 func decodeJSON(r *http.Request, dst any) error {
@@ -312,7 +320,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) (int, er
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	sys, err := s.pool.System(s.key(req.Seed, req.Scale))
+	sys, err := s.pool.System(s.key(req.Workload, req.Seed, req.Scale))
 	if err != nil {
 		return statusOf(err), err
 	}
@@ -322,7 +330,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) (int, er
 			return statusOf(err), err
 		}
 		writeJSON(w, http.StatusOK, OptimizeResponse{
-			Query: req.Query, Plan: ap.Plan, Cost: ap.Cost,
+			Workload: sys.Workload(), Query: req.Query, Plan: ap.Plan, Cost: ap.Cost,
 			FeedbackHit: &ap.FeedbackHit, Pinned: &ap.Pinned,
 		})
 		return http.StatusOK, nil
@@ -333,7 +341,9 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) (int, er
 	if err != nil {
 		return statusOf(err), err
 	}
-	writeJSON(w, http.StatusOK, OptimizeResponse{Query: req.Query, Plan: plan, Cost: cost})
+	writeJSON(w, http.StatusOK, OptimizeResponse{
+		Workload: sys.Workload(), Query: req.Query, Plan: plan, Cost: cost,
+	})
 	return http.StatusOK, nil
 }
 
@@ -350,7 +360,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) (int, err
 	if req.Rehash != nil {
 		rehash = *req.Rehash
 	}
-	sys, err := s.pool.System(s.key(req.Seed, req.Scale))
+	sys, err := s.pool.System(s.key(req.Workload, req.Seed, req.Scale))
 	if err != nil {
 		return statusOf(err), err
 	}
@@ -365,7 +375,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) (int, err
 		}
 		s.metrics.Replans.Add(int64(res.Replans))
 		writeJSON(w, http.StatusOK, ExecuteResponse{
-			Query: req.Query, Rows: res.Rows, Work: res.Work,
+			Workload: sys.Workload(), Query: req.Query, Rows: res.Rows, Work: res.Work,
 			TimedOut: res.TimedOut, Plan: res.Plan,
 			Replans: &res.Replans, FeedbackHit: &res.FeedbackHit, Pinned: &res.Pinned,
 		})
@@ -378,7 +388,7 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) (int, err
 		return statusOf(err), err
 	}
 	writeJSON(w, http.StatusOK, ExecuteResponse{
-		Query: req.Query, Rows: res.Rows, Work: res.Work,
+		Workload: sys.Workload(), Query: req.Query, Rows: res.Rows, Work: res.Work,
 		TimedOut: res.TimedOut, Plan: res.Plan,
 	})
 	return http.StatusOK, nil
@@ -389,7 +399,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) (int, er
 	if err := decodeJSON(r, &req); err != nil {
 		return http.StatusBadRequest, err
 	}
-	sys, err := s.pool.System(s.key(req.Seed, req.Scale))
+	sys, err := s.pool.System(s.key(req.Workload, req.Seed, req.Scale))
 	if err != nil {
 		return statusOf(err), err
 	}
@@ -402,22 +412,24 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) (int, er
 		return statusOf(err), err
 	}
 	writeJSON(w, http.StatusOK, EstimateResponse{
-		Query: req.Query, Estimator: estimator, Cardinality: card,
+		Workload: sys.Workload(), Query: req.Query, Estimator: estimator, Cardinality: card,
 	})
 	return http.StatusOK, nil
 }
 
 func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) (int, error) {
-	seed, scale, err := querySeedScale(r)
+	wl, seed, scale, err := queryWorld(r)
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	sys, err := s.pool.System(s.key(seed, scale))
+	sys, err := s.pool.System(s.key(wl, seed, scale))
 	if err != nil {
 		return statusOf(err), err
 	}
 	ids := sys.QueryIDs()
-	writeJSON(w, http.StatusOK, QueriesResponse{Count: len(ids), Queries: ids})
+	writeJSON(w, http.StatusOK, QueriesResponse{
+		Workload: sys.Workload(), Count: len(ids), Queries: ids,
+	})
 	return http.StatusOK, nil
 }
 
@@ -429,7 +441,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) (int, 
 		return http.StatusNotFound, fmt.Errorf("unknown experiment %q (%s)",
 			name, strings.Join(experiments.Names(), "|"))
 	}
-	seed, scale, err := querySeedScale(r)
+	wl, seed, scale, err := queryWorld(r)
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
@@ -440,9 +452,23 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) (int, 
 			return http.StatusBadRequest, fmt.Errorf("invalid samples %q", v)
 		}
 	}
-	text, err := s.report(reportKey{key: s.key(seed, scale), name: name, samples: normalizeSamples(name, samples)})
+	key := s.key(wl, seed, scale)
+	text, err := s.report(reportKey{key: key, name: name, samples: normalizeSamples(name, samples)})
 	if err != nil {
 		return statusOf(err), err
+	}
+	// format=json wraps the report with the resolved world so clients (and
+	// the smoke tests) can assert which workload produced it; the default
+	// stays the raw text rendering, byte-identical to the CLI.
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, ExperimentResponse{
+			Experiment: name,
+			Workload:   key.World.Workload,
+			Seed:       key.World.Seed,
+			Scale:      key.World.Scale,
+			Report:     text,
+		})
+		return http.StatusOK, nil
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_, _ = w.Write([]byte(text))
@@ -465,12 +491,13 @@ func normalizeSamples(name string, samples int) int {
 	return samples
 }
 
-func querySeedScale(r *http.Request) (seed int64, scale float64, err error) {
+func queryWorld(r *http.Request) (wl string, seed int64, scale float64, err error) {
 	q := r.URL.Query()
+	wl = q.Get("workload")
 	if v := q.Get("seed"); v != "" {
 		seed, err = strconv.ParseInt(v, 10, 64)
 		if err != nil {
-			return 0, 0, fmt.Errorf("invalid seed %q", v)
+			return "", 0, 0, fmt.Errorf("invalid seed %q", v)
 		}
 	}
 	if v := q.Get("scale"); v != "" {
@@ -479,10 +506,10 @@ func querySeedScale(r *http.Request) (seed int64, scale float64, err error) {
 		// pool key: NaN != NaN makes such a key undeletable from every map
 		// it enters (the flight group, the LRU), a permanent leak.
 		if err != nil || math.IsNaN(scale) || math.IsInf(scale, 0) {
-			return 0, 0, fmt.Errorf("invalid scale %q", v)
+			return "", 0, 0, fmt.Errorf("invalid scale %q", v)
 		}
 	}
-	return seed, scale, nil
+	return wl, seed, scale, nil
 }
 
 // --- report cache -----------------------------------------------------------
@@ -544,10 +571,10 @@ func (c *reportCache) put(k reportKey, text string) {
 // poisons the cache.
 func (s *Server) report(k reportKey) (string, error) {
 	if text, ok := s.reports.get(k); ok {
-		s.metrics.ReportHits.Add(1)
+		s.metrics.ReportObserve(k.key.World.Workload, true)
 		return text, nil
 	}
-	s.metrics.ReportMisses.Add(1)
+	s.metrics.ReportObserve(k.key.World.Workload, false)
 	text, err, _ := s.reportFlight.Do(k, func() (string, error) {
 		if text, ok := s.reports.get(k); ok {
 			return text, nil

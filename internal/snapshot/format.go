@@ -34,7 +34,10 @@ import (
 // or to the data generator, ANALYZE, or truecard semantics, since a
 // snapshot is only valid if regeneration would reproduce it. Files written
 // under any other version are rejected at decode time and regenerated.
-const FormatVersion = 1
+//
+// v2: cache keys and manifests carry the workload name (internal/workload)
+// alongside seed/scale; v1 snapshots regenerate with a logged warning.
+const FormatVersion = 2
 
 const magic = "JBSN"
 

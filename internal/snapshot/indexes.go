@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"jobench/internal/imdb"
 	"jobench/internal/index"
 	"jobench/internal/parallel"
 	"jobench/internal/storage"
@@ -25,8 +24,8 @@ import (
 // route their three index sets through here; build is a parameter so the
 // facade's test indirection (counting constructions) keeps working.
 func LoadOrBuildIndexes(s *Store, logf func(format string, args ...any), what string,
-	db *storage.Database, cfg imdb.IndexConfig,
-	build func(*storage.Database, imdb.IndexConfig) (*index.Set, error)) (*index.Set, error) {
+	db *storage.Database, cfg index.Config,
+	build func(*storage.Database, index.Config) (*index.Set, error)) (*index.Set, error) {
 	label := cfg.Label()
 	if s != nil {
 		set, ok := Load(logf, what+": snapshot indexes "+label,

@@ -12,6 +12,7 @@ import (
 	"jobench/internal/stats"
 	"jobench/internal/storage"
 	"jobench/internal/truecard"
+	"jobench/internal/workload"
 )
 
 // ---- equality helpers -------------------------------------------------
@@ -389,7 +390,7 @@ func TestBitmapCountOverflowRejected(t *testing.T) {
 // their regenerate-or-warn decision on.
 func TestStoreMissVsCorruption(t *testing.T) {
 	dir := t.TempDir()
-	s := New(dir, Key{Seed: 1, Scale: 0.01, Workload: "w"}, 1)
+	s := New(dir, Key{World: workload.Key{Workload: "w", Seed: 1, Scale: 0.01}}, 1)
 
 	if _, err := s.LoadDatabase(); !IsMiss(err) {
 		t.Fatalf("empty cache: want miss, got %v", err)
@@ -406,7 +407,7 @@ func TestStoreMissVsCorruption(t *testing.T) {
 	}
 
 	// A store with a different key must not see the snapshot.
-	other := New(dir, Key{Seed: 2, Scale: 0.01, Workload: "w"}, 1)
+	other := New(dir, Key{World: workload.Key{Workload: "w", Seed: 2, Scale: 0.01}}, 1)
 	if _, err := other.LoadDatabase(); !IsMiss(err) {
 		t.Fatalf("different key: want miss, got %v", err)
 	}
@@ -419,7 +420,7 @@ func TestStoreMissVsCorruption(t *testing.T) {
 		t.Fatalf("inspect content wrong: %+v", infos[0])
 	}
 
-	removed, err := Clear(dir)
+	removed, err := Clear(dir, "")
 	if err != nil || removed != 1 {
 		t.Fatalf("clear: %v, removed %d", err, removed)
 	}

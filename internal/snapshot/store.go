@@ -19,18 +19,19 @@ import (
 	"jobench/internal/stats"
 	"jobench/internal/storage"
 	"jobench/internal/truecard"
+	"jobench/internal/workload"
 )
 
 // Key identifies one cacheable world: everything that determines the
-// generated database and the workload run against it. Two opens with equal
-// keys (and equal FormatVersion) may share snapshots; anything else lands
-// in a different fingerprint directory and never collides.
+// generated database and the query set run against it. Two opens with
+// equal keys (and equal FormatVersion) may share snapshots; anything else
+// lands in a different fingerprint directory and never collides.
 type Key struct {
-	// Seed and Scale are the generator inputs.
-	Seed  int64
-	Scale float64
-	// Workload is a content hash of the query workload (WorkloadHash).
-	Workload string
+	// World names the workload and carries the generator inputs.
+	World workload.Key
+	// QueryHash is a content hash of the query set (WorkloadHash), so
+	// editing any query invalidates cached truth.
+	QueryHash string
 }
 
 // WorkloadHash fingerprints a workload by the id and SQL text of every
@@ -51,8 +52,9 @@ func WorkloadHash(qs []*query.Query) string {
 // the format version alongside the key fields, so a version bump retires
 // every old directory wholesale.
 func (k Key) Fingerprint() string {
-	s := fmt.Sprintf("jobench-snapshot|v%d|seed=%d|scale=%s|workload=%s",
-		FormatVersion, k.Seed, strconv.FormatFloat(k.Scale, 'g', -1, 64), k.Workload)
+	s := fmt.Sprintf("jobench-snapshot|v%d|workload=%s|seed=%d|scale=%s|queries=%s",
+		FormatVersion, k.World.Workload, k.World.Seed,
+		strconv.FormatFloat(k.World.Scale, 'g', -1, 64), k.QueryHash)
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])[:16]
 }
@@ -127,9 +129,10 @@ const (
 // snapshots; `jobench snapshot inspect` renders it.
 type Manifest struct {
 	FormatVersion int     `json:"format_version"`
+	Workload      string  `json:"workload"`
 	Seed          int64   `json:"seed"`
 	Scale         float64 `json:"scale"`
-	Workload      string  `json:"workload"`
+	QueryHash     string  `json:"query_hash"`
 }
 
 func (s *Store) read(name string) ([]byte, error) {
@@ -173,9 +176,10 @@ func (s *Store) writeManifest() error {
 	}
 	m := Manifest{
 		FormatVersion: FormatVersion,
-		Seed:          s.key.Seed,
-		Scale:         s.key.Scale,
-		Workload:      s.key.Workload,
+		Workload:      s.key.World.Workload,
+		Seed:          s.key.World.Seed,
+		Scale:         s.key.World.Scale,
+		QueryHash:     s.key.QueryHash,
 	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -353,11 +357,12 @@ func Inspect(cacheDir string) ([]Info, error) {
 	return out, nil
 }
 
-// Clear removes every fingerprint directory under cacheDir and reports how
-// many it removed. It deliberately touches only directories that look like
-// fingerprints, so pointing it at the wrong directory cannot destroy
-// unrelated files.
-func Clear(cacheDir string) (int, error) {
+// Clear removes fingerprint directories under cacheDir and reports how
+// many it removed. An empty workloadName removes every snapshot; a
+// non-empty one removes only snapshots whose manifest names that workload.
+// It deliberately touches only directories that look like fingerprints, so
+// pointing it at the wrong directory cannot destroy unrelated files.
+func Clear(cacheDir, workloadName string) (int, error) {
 	entries, err := os.ReadDir(cacheDir)
 	if errors.Is(err, fs.ErrNotExist) {
 		return 0, nil
@@ -369,6 +374,13 @@ func Clear(cacheDir string) (int, error) {
 	for _, ent := range entries {
 		if !ent.IsDir() || !looksLikeFingerprint(ent.Name()) {
 			continue
+		}
+		if workloadName != "" {
+			var m Manifest
+			data, err := os.ReadFile(filepath.Join(cacheDir, ent.Name(), manifestFile))
+			if err != nil || json.Unmarshal(data, &m) != nil || m.Workload != workloadName {
+				continue
+			}
 		}
 		if err := os.RemoveAll(filepath.Join(cacheDir, ent.Name())); err != nil {
 			return removed, err

@@ -3,6 +3,8 @@ package tpch
 import (
 	"math"
 	"testing"
+
+	"jobench/internal/query"
 )
 
 func TestGenerateShape(t *testing.T) {
@@ -91,18 +93,37 @@ func TestUniformityAndIndependence(t *testing.T) {
 func TestQueriesValidate(t *testing.T) {
 	db := Generate(Config{Scale: 0.1, Seed: 1})
 	qs := Queries()
-	if len(qs) != 3 {
-		t.Fatalf("want 3 TPC-H queries, got %d", len(qs))
+	if len(qs) != 10 {
+		t.Fatalf("want 10 TPC-H query families, got %d", len(qs))
 	}
+	seen := make(map[string]bool, len(qs))
 	for _, q := range qs {
+		if seen[q.ID] {
+			t.Errorf("duplicate query id %s", q.ID)
+		}
+		seen[q.ID] = true
 		if err := q.Validate(db); err != nil {
 			t.Errorf("%s: %v", q.ID, err)
 		}
 	}
-	// Q5 must include the customer-supplier nation cycle.
-	if qs[0].NumJoins() != 6 {
-		t.Errorf("tpch5 has %d joins, want 6", qs[0].NumJoins())
+	// Fig4Queries is the original 3-query subset the figure-4 report is
+	// rendered from, in its historical order.
+	fig4 := Fig4Queries()
+	if len(fig4) != 3 || fig4[0].ID != "tpch5" || fig4[1].ID != "tpch8" || fig4[2].ID != "tpch10" {
+		t.Fatalf("Fig4Queries = %v, want [tpch5 tpch8 tpch10]", ids(fig4))
 	}
+	// Q5 must include the customer-supplier nation cycle.
+	if fig4[0].NumJoins() != 6 {
+		t.Errorf("tpch5 has %d joins, want 6", fig4[0].NumJoins())
+	}
+}
+
+func ids(qs []*query.Query) []string {
+	out := make([]string, len(qs))
+	for i, q := range qs {
+		out[i] = q.ID
+	}
+	return out
 }
 
 func TestDeterminism(t *testing.T) {

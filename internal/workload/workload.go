@@ -1,0 +1,227 @@
+// Package workload makes the benchmark world a first-class dimension of
+// the system. A Workload bundles a deterministic data generator, a query
+// set, and the index-building recipe for one benchmark (IMDB/JOB, mini
+// TPC-H, skewed IMDB); a small fixed registry maps names to
+// implementations. Every layer that used to hardwire the IMDB world — the
+// jobench facade, the snapshot store, the service pool, the router's
+// affinity hashing, the load generator — now keys on Key, the
+// (workload, seed, scale) triple.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"jobench/internal/imdb"
+	"jobench/internal/index"
+	"jobench/internal/job"
+	"jobench/internal/query"
+	"jobench/internal/storage"
+	"jobench/internal/tpch"
+)
+
+// DefaultName is the workload every layer falls back to when none is
+// named: the paper's IMDB/JOB world.
+const DefaultName = "imdb"
+
+// Config carries the generator inputs shared by every workload. Zero
+// values default like the facade: Scale 0 means 1.0, Seed 0 means 42.
+type Config struct {
+	// Scale multiplies every table's row count.
+	Scale float64
+	// Seed makes generation fully deterministic.
+	Seed int64
+}
+
+// Normalize applies the shared defaulting (Scale <= 0 → 1.0, Seed 0 → 42).
+func (c Config) Normalize() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1.0
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// Workload is one benchmark world: a named deterministic generator plus
+// the queries and physical designs that run against it.
+type Workload interface {
+	// Name is the registry name ("imdb", "tpch", "imdb-skew").
+	Name() string
+	// Generate deterministically builds the database for the config.
+	Generate(cfg Config) *storage.Database
+	// Queries returns the workload's query set in stable order.
+	Queries() []*query.Query
+	// BuildIndexes constructs the index set for one physical design.
+	BuildIndexes(db *storage.Database, cfg index.Config) (*index.Set, error)
+	// IndexConfigs lists the physical designs the workload supports, in
+	// the order the facade builds them.
+	IndexConfigs() []index.Config
+}
+
+// Key identifies one generated world: which workload, which seed, which
+// scale. It is the unit of affinity across the system — snapshot
+// fingerprints, service pool entries, and router ring placement all derive
+// from it.
+type Key struct {
+	// Workload is the registry name; empty means DefaultName.
+	Workload string
+	// Seed is the generator seed (0 means 42).
+	Seed int64
+	// Scale is the generator scale (0 means 1.0).
+	Scale float64
+}
+
+// NewKey builds a normalized Key: empty workload becomes DefaultName and
+// the config defaulting is applied.
+func NewKey(workload string, seed int64, scale float64) Key {
+	if workload == "" {
+		workload = DefaultName
+	}
+	cfg := Config{Scale: scale, Seed: seed}.Normalize()
+	return Key{Workload: workload, Seed: cfg.Seed, Scale: cfg.Scale}
+}
+
+// Config returns the generator inputs of the key.
+func (k Key) Config() Config { return Config{Scale: k.Scale, Seed: k.Seed} }
+
+// String renders the key canonically ("imdb/seed=42/scale=0.1"); equal
+// keys render equally, so the string is usable as a map or affinity key.
+func (k Key) String() string {
+	w := k.Workload
+	if w == "" {
+		w = DefaultName
+	}
+	return w + "/seed=" + strconv.FormatInt(k.Seed, 10) +
+		"/scale=" + strconv.FormatFloat(k.Scale, 'g', -1, 64)
+}
+
+// registry is fixed at init time; no mutation after that, so reads are
+// safe without locking.
+var registry = map[string]Workload{}
+
+func register(w Workload) { registry[w.Name()] = w }
+
+// Get looks a workload up by name; empty selects DefaultName. The error
+// lists the known names so CLI and service surfaces can echo it verbatim.
+func Get(name string) (Workload, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (known: %s)", name, nameList())
+	}
+	return w, nil
+}
+
+// Names returns the registered workload names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func nameList() string {
+	s := ""
+	for i, n := range Names() {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}
+
+func init() {
+	register(imdbWorkload{})
+	register(tpchWorkload{})
+	register(imdbSkewWorkload{})
+}
+
+// imdbWorkload is the default world: the synthetic IMDB database and the
+// 113-query Join Order Benchmark. It is byte-identical to what the facade
+// generated before workloads existed.
+type imdbWorkload struct{}
+
+func (imdbWorkload) Name() string { return "imdb" }
+
+func (imdbWorkload) Generate(cfg Config) *storage.Database {
+	cfg = cfg.Normalize()
+	return imdb.Generate(imdb.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+}
+
+func (imdbWorkload) Queries() []*query.Query { return job.Workload() }
+
+func (imdbWorkload) BuildIndexes(db *storage.Database, cfg index.Config) (*index.Set, error) {
+	return imdb.BuildIndexes(db, cfg)
+}
+
+func (imdbWorkload) IndexConfigs() []index.Config {
+	return []index.Config{index.NoIndexes, index.PKOnly, index.PKFK}
+}
+
+// SkewZipf and SkewCorrelation are the knob settings of the "imdb-skew"
+// workload: a substantially heavier popularity tail and join-crossing
+// correlations pushed near their ceiling, so the estimator-breaking
+// properties of the IMDB data become a dial rather than a fixed dataset.
+const (
+	// SkewZipf multiplies the Zipf-style fan-out exponent (baseline 1.05).
+	SkewZipf = 1.6
+	// SkewCorrelation multiplies the country-local sampling probabilities
+	// (baselines 0.70 and 0.65, clamped below 0.99).
+	SkewCorrelation = 1.35
+)
+
+// imdbSkewWorkload is the IMDB generator with the skew and correlation
+// knobs turned up; it shares the JOB query set and index recipe with the
+// default workload — only the data distribution changes.
+type imdbSkewWorkload struct{}
+
+func (imdbSkewWorkload) Name() string { return "imdb-skew" }
+
+func (imdbSkewWorkload) Generate(cfg Config) *storage.Database {
+	cfg = cfg.Normalize()
+	return imdb.Generate(imdb.Config{
+		Scale:       cfg.Scale,
+		Seed:        cfg.Seed,
+		Skew:        SkewZipf,
+		Correlation: SkewCorrelation,
+	})
+}
+
+func (imdbSkewWorkload) Queries() []*query.Query { return job.Workload() }
+
+func (imdbSkewWorkload) BuildIndexes(db *storage.Database, cfg index.Config) (*index.Set, error) {
+	return imdb.BuildIndexes(db, cfg)
+}
+
+func (imdbSkewWorkload) IndexConfigs() []index.Config {
+	return []index.Config{index.NoIndexes, index.PKOnly, index.PKFK}
+}
+
+// tpchWorkload is the mini TPC-H world: uniform, independent data over 7
+// tables and ten SPJ query families.
+type tpchWorkload struct{}
+
+func (tpchWorkload) Name() string { return "tpch" }
+
+func (tpchWorkload) Generate(cfg Config) *storage.Database {
+	cfg = cfg.Normalize()
+	return tpch.Generate(tpch.Config{Scale: cfg.Scale, Seed: cfg.Seed})
+}
+
+func (tpchWorkload) Queries() []*query.Query { return tpch.Queries() }
+
+func (tpchWorkload) BuildIndexes(db *storage.Database, cfg index.Config) (*index.Set, error) {
+	return tpch.BuildIndexes(db, cfg)
+}
+
+func (tpchWorkload) IndexConfigs() []index.Config {
+	return []index.Config{index.NoIndexes, index.PKOnly, index.PKFK}
+}

@@ -25,7 +25,6 @@ import (
 	"jobench/internal/engine"
 	"jobench/internal/imdb"
 	"jobench/internal/index"
-	"jobench/internal/job"
 	"jobench/internal/optimizer"
 	"jobench/internal/parallel"
 	"jobench/internal/plan"
@@ -35,10 +34,16 @@ import (
 	"jobench/internal/stats"
 	"jobench/internal/storage"
 	"jobench/internal/truecard"
+	"jobench/internal/workload"
 )
 
 // Options configure Open.
 type Options struct {
+	// Workload names the benchmark world to open: "imdb" (the default —
+	// the 21-table IMDB data set and the 113-query JOB workload), "tpch"
+	// (the mini TPC-H world), or "imdb-skew" (IMDB with the skew and
+	// correlation knobs turned up). See internal/workload.
+	Workload string
 	// Scale sizes the data set; 1.0 generates ~10,000 movies and ~450,000
 	// rows across the 21 IMDB tables. Zero defaults to 1.0.
 	Scale float64
@@ -72,11 +77,17 @@ type Options struct {
 
 // generateDB, computeTruth and buildIndexes are indirection points so the
 // cache tests can prove a warm Open performs zero database generation, zero
-// true-cardinality computation, and zero index construction.
+// true-cardinality computation, and zero index construction. They
+// dispatch through the workload so every registered world shares the
+// cache-or-regenerate machinery.
 var (
-	generateDB   = imdb.Generate
+	generateDB = func(w workload.Workload, cfg workload.Config) *storage.Database {
+		return w.Generate(cfg)
+	}
 	computeTruth = truecard.ComputeContext
-	buildIndexes = imdb.BuildIndexes
+	buildIndexes = func(w workload.Workload, db *storage.Database, cfg IndexConfig) (*index.Set, error) {
+		return w.BuildIndexes(db, cfg)
+	}
 )
 
 // IndexConfig selects a physical design (§4 of the paper).
@@ -201,6 +212,7 @@ type Result struct {
 //     and each store is computed through a single-flight group: concurrent
 //     requests for one uncached query run exactly one DP and share it.
 type System struct {
+	world    workload.Key
 	db       *storage.Database
 	stats    *stats.DB
 	idx      map[IndexConfig]*index.Set
@@ -224,9 +236,9 @@ type System struct {
 }
 
 // Open generates the data set, computes statistics and indexes, and loads
-// the JOB workload. With Options.CacheDir set, the database, statistics,
-// index sets, and all previously computed true cardinalities load from
-// the snapshot store instead of being regenerated.
+// the workload's query set. With Options.CacheDir set, the database,
+// statistics, index sets, and all previously computed true cardinalities
+// load from the snapshot store instead of being regenerated.
 func Open(opts Options) (*System, error) {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
@@ -238,14 +250,18 @@ func Open(opts Options) (*System, error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	workload := job.Workload()
+	wl, err := workload.Get(opts.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("jobench: %w", err)
+	}
+	world := workload.NewKey(wl.Name(), opts.Seed, opts.Scale)
+	queries := wl.Queries()
 
 	var snap *snapshot.Store
 	if opts.CacheDir != "" {
 		snap = snapshot.New(opts.CacheDir, snapshot.Key{
-			Seed:     opts.Seed,
-			Scale:    opts.Scale,
-			Workload: snapshot.WorkloadHash(workload),
+			World:     world,
+			QueryHash: snapshot.WorkloadHash(queries),
 		}, opts.Parallel)
 	}
 
@@ -258,7 +274,7 @@ func Open(opts Options) (*System, error) {
 		db, _ = snapshot.Load(logf, "jobench: snapshot database", snap.LoadDatabase)
 	}
 	if db == nil {
-		db = generateDB(imdb.Config{Scale: opts.Scale, Seed: opts.Seed})
+		db = generateDB(wl, world.Config())
 		if snap != nil {
 			snapshot.Save(logf, "jobench: snapshot save database", func() error {
 				return snap.SaveDatabase(db)
@@ -266,12 +282,13 @@ func Open(opts Options) (*System, error) {
 		}
 	}
 
-	// Statistics and the three index sets only read the generated data, so
+	// Statistics and the index sets only read the generated data, so
 	// they build concurrently; each task writes its own destination.
 	sopts := stats.Options{SampleSize: 30000, MCVTarget: 100, HistBuckets: 100, Seed: opts.Seed}
+	configs := wl.IndexConfigs()
 	var (
 		sdb  *stats.DB
-		sets [3]*index.Set
+		sets = make([]*index.Set, len(configs))
 	)
 	if snap != nil {
 		sdb, _ = snapshot.Load(logf, "jobench: snapshot stats", func() (*stats.DB, error) {
@@ -279,7 +296,6 @@ func Open(opts Options) (*System, error) {
 		})
 	}
 	statsCached := sdb != nil
-	configs := []IndexConfig{NoIndexes, PKOnly, PKFK}
 	var tasks []func() error
 	if !statsCached {
 		tasks = append(tasks, func() error {
@@ -289,7 +305,10 @@ func Open(opts Options) (*System, error) {
 	}
 	for i, cfg := range configs {
 		tasks = append(tasks, func() (err error) {
-			sets[i], err = snapshot.LoadOrBuildIndexes(snap, logf, "jobench", db, cfg, buildIndexes)
+			sets[i], err = snapshot.LoadOrBuildIndexes(snap, logf, "jobench", db, cfg,
+				func(db *storage.Database, cfg index.Config) (*index.Set, error) {
+					return buildIndexes(wl, db, cfg)
+				})
 			return err
 		})
 	}
@@ -303,9 +322,10 @@ func Open(opts Options) (*System, error) {
 	}
 
 	s := &System{
+		world:    world,
 		db:       db,
 		stats:    sdb,
-		idx:      make(map[IndexConfig]*index.Set, 3),
+		idx:      make(map[IndexConfig]*index.Set, len(configs)),
 		parallel: opts.Parallel,
 		snap:     snap,
 		logf:     logf,
@@ -324,7 +344,7 @@ func Open(opts Options) (*System, error) {
 	for i, cfg := range configs {
 		s.idx[cfg] = sets[i]
 	}
-	for _, q := range workload {
+	for _, q := range queries {
 		if err := q.Validate(db); err != nil {
 			return nil, fmt.Errorf("jobench: workload query %s: %w", q.ID, err)
 		}
@@ -334,6 +354,12 @@ func Open(opts Options) (*System, error) {
 	}
 	return s, nil
 }
+
+// Workload returns the name of the workload this system was opened with.
+func (s *System) Workload() string { return s.world.Workload }
+
+// World returns the (workload, seed, scale) key of this system.
+func (s *System) World() workload.Key { return s.world }
 
 // AddQuery registers a user-defined query from SQL text (the JOB dialect:
 // SELECT ... FROM tbl alias, ... WHERE <conjunction of predicates and

@@ -105,6 +105,8 @@ smoke-serve:
 	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"13d","adaptive":true}' | .smoke/jsoncheck workload=imdb query=13d feedback_hit=true; \
 	curl -fsS -X POST "http://127.0.0.1:$$port/v1/optimize" -d '{"query":"tpch5","workload":"tpch","scale":0.05}' | .smoke/jsoncheck workload=tpch query=tpch5; \
 	curl -fsS "http://127.0.0.1:$$port/v1/experiment/fig3?workload=tpch&scale=0.05&format=json" | .smoke/jsoncheck workload=tpch experiment=fig3 report; \
+	curl -fsS -X POST -H 'X-Jobench-Trace: 00000000abcdef12' "http://127.0.0.1:$$port/v1/explain" -d '{"query":"13d"}' | .smoke/jsoncheck workload=imdb query=13d nodes.0.actual_rows text; \
+	curl -fsS "http://127.0.0.1:$$port/v1/traces" | .smoke/jsoncheck traces.0.trace_id=00000000abcdef12 traces.0.route=/v1/explain traces.0.spans.0.name count; \
 	kill -TERM $$server; \
 	wait $$server; \
 	echo "smoke-serve: OK"
@@ -178,7 +180,7 @@ vet:
 docs-check:
 	$(GO) run ./cmd/docscheck ./internal/hashtab ./internal/service ./internal/engine \
 		./internal/parallel ./internal/router ./internal/loadgen ./internal/reopt \
-		./internal/workload ./internal/index
+		./internal/workload ./internal/index ./internal/trace
 
 # Everything the CI checks job runs, in order.
 ci: fmt-check vet docs-check build test bench-smoke

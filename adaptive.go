@@ -7,6 +7,7 @@ import (
 	"jobench/internal/plan"
 	"jobench/internal/query"
 	"jobench/internal/reopt"
+	"jobench/internal/trace"
 )
 
 // AdaptiveOptions control one adaptive execution: the usual run knobs plus
@@ -91,7 +92,10 @@ func (s *System) OptimizeAdaptiveContext(ctx context.Context, queryID string, op
 		Algorithm:  opts.Algorithm,
 		Seed:       opts.Seed,
 	}
+	osp := trace.StartSpan(ctx, "optimize")
 	root, err := o.Optimize(g, planProv)
+	osp.End(trace.String("query", queryID), trace.Bool("feedback_hit", cached != nil),
+		trace.Int64("pinned", int64(len(pinned))))
 	if err != nil {
 		return AdaptivePlan{}, err
 	}
@@ -134,7 +138,8 @@ func (s *System) ExecuteAdaptiveContext(ctx context.Context, queryID string, opt
 	canon := reopt.Canonical(g)
 	cached := s.feedback.Get(canon.FP)
 	pinned := canon.MapFromCanon(cached)
-	rres, err := reopt.Run(g, prov, pinned, reopt.Config{
+	sp := trace.StartSpan(ctx, "execute.adaptive")
+	rres, err := reopt.Run(ctx, g, prov, pinned, reopt.Config{
 		DB:            s.db,
 		Indexes:       s.idx[idxCfg],
 		Model:         model,
@@ -147,6 +152,8 @@ func (s *System) ExecuteAdaptiveContext(ctx context.Context, queryID string, opt
 		QErrThreshold: opts.QErrThreshold,
 		MaxReplans:    opts.MaxReplans,
 	})
+	sp.End(trace.String("query", queryID), trace.Int64("replans", int64(rres.Replans)),
+		trace.Int64("probes", int64(len(rres.Steps))), trace.Int64("work", rres.Work))
 	if err != nil {
 		return AdaptiveResult{}, err
 	}

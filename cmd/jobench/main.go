@@ -8,7 +8,7 @@
 //	jobench gen        [-workload imdb] [-scale 1.0] [-seed 42]
 //	jobench sql        -q 13d
 //	jobench graph      -q 13d
-//	jobench explain    -q 13d [-est postgres] [-model simple] [-idx pkfk] [-scale 0.3]
+//	jobench explain    -q 13d [-analyze] [-est postgres] [-model simple] [-idx pkfk] [-scale 0.3]
 //	jobench run        -q 13d [-est postgres] [-model simple] [-idx pkfk] [-rehash] [-no-nlj]
 //	                   [-reopt] [-qerr 2] [-max-replans 4]
 //	jobench experiment -name table1|fig3|fig4|fig5|sec41|fig6|fig7|fig8|fig9|table2|table3|all
@@ -17,14 +17,18 @@
 //	                   [-scale 0.3] [-seed 42]
 //	jobench serve      [-addr :8080] [-pool 2] [-workload imdb] [-scale 0.3] [-seed 42] [-cache-dir DIR]
 //	                   [-feedback-bytes N] [-replica-id ID] [-peers URL,URL,...] [-self URL]
+//	                   [-slow-query-ms N] [-log-level info] [-pprof 127.0.0.1:6060]
 //	jobench router     -replicas URL,URL,... [-addr :8070] [-inflight 32]
+//	                   [-slow-query-ms N] [-log-level info] [-pprof 127.0.0.1:6070]
 //	jobench loadgen    [-target http://localhost:8070] [-duration 10s] [-concurrency 8]
 //	                   [-mix optimize=4,execute=2,estimate=3,experiment=1] [-out BENCH_service.json]
 //
 // "jobench serve" runs the benchmark-as-a-service layer: warm System
 // instances stay resident in an LRU pool and answer /v1/optimize,
-// /v1/execute, /v1/estimate, /v1/queries and /v1/experiment/{name}
-// concurrently, with /healthz and /metrics as the ops surface. It shuts
+// /v1/execute, /v1/explain, /v1/estimate, /v1/queries and
+// /v1/experiment/{name} concurrently, with /healthz, /metrics and
+// /v1/traces (recent request traces, propagated end-to-end via the
+// X-Jobench-Trace header) as the ops surface. It shuts
 // down gracefully on SIGINT/SIGTERM, cancelling in-flight work. Given
 // -peers and -self it also joins a replica fleet: report-cache misses
 // peek at the consistent-hash owner before computing.
@@ -64,6 +68,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -131,7 +138,8 @@ Commands:
   gen         generate the data set and print table sizes
   sql         print a workload query as SQL
   graph       print a query's join graph (Graphviz dot)
-  explain     optimize a query and print the plan
+  explain     optimize a query and print the plan (-analyze executes it
+              and prints estimated vs measured rows per operator)
   run         optimize and execute a query (-reopt for adaptive re-optimization)
   experiment  reproduce the paper's tables and figures (%s|all)
   snapshot    manage the persistent snapshot store (build|inspect|clear)
@@ -249,6 +257,8 @@ func cmdGraph(args []string) error {
 func cmdExplain(args []string) error {
 	fs := flag.NewFlagSet("explain", flag.ExitOnError)
 	q := fs.String("q", "13d", "query id")
+	analyze := fs.Bool("analyze", false, "execute the plan and print measured per-operator cardinalities (EXPLAIN ANALYZE)")
+	limit := fs.Int64("work-limit", 0, "abort an -analyze execution after this many work units")
 	est, model, idx, noNLJ, shape, algo := planFlags(fs)
 	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
@@ -259,6 +269,16 @@ func cmdExplain(args []string) error {
 	opts, err := parsePlanOptions(*est, *model, *idx, *noNLJ, *shape, *algo)
 	if err != nil {
 		return err
+	}
+	if *analyze {
+		text, err := sys.ExplainAnalyze(*q, jobench.RunOptions{
+			PlanOptions: opts, Rehash: true, WorkLimit: *limit,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
 	}
 	text, cost, err := sys.Optimize(*q, opts)
 	if err != nil {
@@ -377,12 +397,20 @@ func cmdServe(args []string) error {
 	replicaID := fs.String("replica-id", "", "identity label exported at /metrics (jobench_replica_info)")
 	peers := fs.String("peers", "", "comma-separated base URLs of every fleet replica (including this one); enables report-cache peer-fill")
 	self := fs.String("self", "", "this replica's own entry in -peers (required with -peers)")
+	slowMS := fs.Float64("slow-query-ms", 0, "log a span summary for requests at least this slow (0 disables)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); never on the public listener")
+	logLevel := logFlags(fs)
 	wl, scale, seed, par, cacheDir := openFlags(fs)
 	fs.Parse(args)
 
 	if (*peers == "") != (*self == "") {
 		return fmt.Errorf("serve: -peers and -self must be set together")
 	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	startPprof(*pprofAddr, logger)
 	// SIGINT/SIGTERM cancel the context; the server stops listening,
 	// cancellation propagates into in-flight truecard/experiment work, and
 	// handlers get a grace period to flush.
@@ -400,6 +428,8 @@ func cmdServe(args []string) error {
 		ReplicaID:       *replicaID,
 		Peers:           splitList(*peers),
 		SelfURL:         *self,
+		SlowQuery:       time.Duration(*slowMS * float64(time.Millisecond)),
+		Logger:          logger,
 	})
 	return srv.ListenAndServe(ctx)
 }
@@ -411,14 +441,24 @@ func cmdRouter(args []string) error {
 	inflight := fs.Int("inflight", 32, "max in-flight forwards per replica; excess requests queue")
 	healthEvery := fs.Duration("health-interval", 2*time.Second, "period of the per-replica /healthz probe")
 	markDown := fs.Int("mark-down-after", 2, "consecutive failures that mark a replica down")
+	slowMS := fs.Float64("slow-query-ms", 0, "log a span summary for forwarded requests at least this slow (0 disables)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6070); never on the public listener")
+	logLevel := logFlags(fs)
 	fs.Parse(args)
 
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	startPprof(*pprofAddr, logger)
 	srv, err := router.New(router.Config{
 		Addr:               *addr,
 		Replicas:           splitList(*replicas),
 		InFlightPerReplica: *inflight,
 		HealthInterval:     *healthEvery,
 		MarkDownAfter:      *markDown,
+		SlowQuery:          time.Duration(*slowMS * float64(time.Millisecond)),
+		Logger:             logger,
 	})
 	if err != nil {
 		return err
@@ -440,12 +480,17 @@ func cmdLoadgen(args []string) error {
 	queries := fs.String("queries", "", "comma-separated workload ids (default: fetch from target)")
 	expNames := fs.String("experiments", "fig3", "comma-separated experiment names for the experiment class")
 	worldSeeds := fs.String("world-seeds", "", "comma-separated generator seeds to spread the load across (overrides -seed; the experiment class always uses the first)")
+	logLevel := logFlags(fs)
 	wl, scale, seed, _, _ := openFlags(fs)
 	fs.Parse(args)
 
 	mix, err := parseMix(*mixSpec)
 	if err != nil {
 		return err
+	}
+	logger, err := buildLogger(*logLevel)
+	if err != nil {
+		return fmt.Errorf("loadgen: %w", err)
 	}
 	var seeds []int64
 	for _, s := range splitList(*worldSeeds) {
@@ -469,9 +514,7 @@ func cmdLoadgen(args []string) error {
 		Scale:       *scale,
 		Queries:     splitList(*queries),
 		Experiments: splitList(*expNames),
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", a...)
-		},
+		Logger:      logger,
 	})
 	if err != nil {
 		return err
@@ -527,6 +570,51 @@ func parseMix(spec string) (map[string]int, error) {
 		mix[name] = w
 	}
 	return mix, nil
+}
+
+// logFlags adds the structured-logging flags shared by the service
+// commands (serve, router, loadgen).
+func logFlags(fs *flag.FlagSet) *string {
+	return fs.String("log-level", "info", "log verbosity: debug|info|warn|error")
+}
+
+// buildLogger constructs the slog text logger the service commands hand
+// to their Config.Logger fields.
+func buildLogger(level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (debug|info|warn|error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// startPprof serves net/http/pprof on its own mux and listener — never on
+// the public address — when addr is non-empty.
+func startPprof(addr string, logger *slog.Logger) {
+	if addr == "" {
+		return
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		logger.Info("pprof listening", "addr", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			logger.Warn("pprof server stopped", "err", err)
+		}
+	}()
 }
 
 func cmdSnapshot(args []string) error {

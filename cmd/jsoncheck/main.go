@@ -6,12 +6,14 @@
 // Each argument is either key=value (the key must be present and its
 // value, rendered with fmt.Sprint, must equal the string) or a bare key
 // (the key must merely be present). Keys may be dotted paths traversing
-// nested objects.
+// nested objects; an all-digit path part indexes a JSON array
+// ("nodes.0.actual_rows" is the first node's actual_rows).
 //
 // Usage:
 //
 //	curl -fsS http://localhost:8080/healthz | jsoncheck status=ok
 //	jsoncheck schema=jobench-loadgen/v1 total.requests classes.optimize.latency_ms.p50 < BENCH_service.json
+//	curl -fsS -d '{"query":"1a"}' http://localhost:8080/v1/explain | jsoncheck nodes.0.actual_rows
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 )
 
@@ -43,18 +46,30 @@ func main() {
 	}
 }
 
-// lookup resolves a dotted path through nested JSON objects.
+// lookup resolves a dotted path through nested JSON objects and arrays:
+// an all-digit part indexes an array, anything else keys an object.
 func lookup(obj map[string]any, path string) (any, error) {
 	parts := strings.Split(path, ".")
 	var cur any = obj
 	for i, part := range parts {
-		m, ok := cur.(map[string]any)
-		if !ok {
-			return nil, fmt.Errorf("key %q: %q is not an object", path, strings.Join(parts[:i], "."))
-		}
-		cur, ok = m[part]
-		if !ok {
-			return nil, fmt.Errorf("key %q missing (at %q)", path, part)
+		switch v := cur.(type) {
+		case map[string]any:
+			var ok bool
+			cur, ok = v[part]
+			if !ok {
+				return nil, fmt.Errorf("key %q missing (at %q)", path, part)
+			}
+		case []any:
+			idx, err := strconv.Atoi(part)
+			if err != nil || idx < 0 {
+				return nil, fmt.Errorf("key %q: %q is an array, %q is not an index", path, strings.Join(parts[:i], "."), part)
+			}
+			if idx >= len(v) {
+				return nil, fmt.Errorf("key %q: index %d out of range (array has %d elements)", path, idx, len(v))
+			}
+			cur = v[idx]
+		default:
+			return nil, fmt.Errorf("key %q: %q is not an object or array", path, strings.Join(parts[:i], "."))
 		}
 	}
 	return cur, nil

@@ -75,17 +75,37 @@ func benchSetup(b *testing.B) *benchEnv {
 
 // BenchmarkEngineExecuteJOB executes the optimizer's plan for every JOB
 // query (scale 0.1, PK+FK indexes, rehash on) per iteration — the engine's
-// end-to-end throughput number behind every runtime experiment.
+// end-to-end throughput number behind every runtime experiment. The
+// stats=off/stats=on pair bounds the cost of per-operator actuals
+// collection (EXPLAIN ANALYZE): off is the default request path and must
+// not regress; on adds block-boundary counter updates plus a wall-clock
+// read per executed block.
 func BenchmarkEngineExecuteJOB(b *testing.B) {
 	env := benchSetup(b)
-	runner := NewRunner() // the sweep pattern: scratch reused across plans
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for _, id := range env.order {
-			if _, err := runner.Run(env.db, env.pkfk, env.graph[id], env.plans[id], Config{Rehash: true}); err != nil {
-				b.Fatalf("%s: %v", id, err)
-			}
+	stats := make(map[string][]plan.NodeStats, len(env.order))
+	for _, id := range env.order {
+		stats[id] = make([]plan.NodeStats, plan.NumNodes(env.plans[id]))
+	}
+	for _, on := range []bool{false, true} {
+		name := "stats=off"
+		if on {
+			name = "stats=on"
 		}
+		b.Run(name, func(b *testing.B) {
+			runner := NewRunner() // the sweep pattern: scratch reused across plans
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range env.order {
+					cfg := Config{Rehash: true}
+					if on {
+						cfg.Stats = stats[id]
+					}
+					if _, err := runner.Run(env.db, env.pkfk, env.graph[id], env.plans[id], cfg); err != nil {
+						b.Fatalf("%s: %v", id, err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -19,17 +19,17 @@ import (
 // traversal costs real work. With rehash enabled the table doubles once
 // the load factor exceeds 3 (the PostgreSQL 9.5 behaviour), paying the
 // reinsertion work instead.
-func (ex *executor) hashJoin(n *plan.Node, live query.BitSet) (*batch, error) {
+func (ex *executor) hashJoin(n *plan.Node, live query.BitSet, id int) (*batch, error) {
 	jc, err := ex.condition(n)
 	if err != nil {
 		return nil, err
 	}
 	leftLive, rightLive := childLive(jc, live)
-	left, err := ex.exec(n.Left, leftLive)
+	left, err := ex.exec(n.Left, leftLive, plan.LeftChildID(id))
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.exec(n.Right, rightLive)
+	right, err := ex.exec(n.Right, rightLive, n.RightChildID(id))
 	if err != nil {
 		return nil, err
 	}
@@ -51,7 +51,7 @@ func (ex *executor) hashJoin(n *plan.Node, live query.BitSet) (*batch, error) {
 			}
 			w += HashBuildFactor + ht.Insert(bCol.Ints[row], int32(i), ex.cfg.Rehash)
 		}
-		if err := ex.charge(w); err != nil {
+		if err := ex.charge(id, w); err != nil {
 			return nil, err
 		}
 	}
@@ -87,7 +87,7 @@ func (ex *executor) hashJoin(n *plan.Node, live query.BitSet) (*batch, error) {
 			}
 		}
 		em.emitBlock(left, right, lIdx, rIdx)
-		if err := ex.charge(w); err != nil {
+		if err := ex.charge(id, w); err != nil {
 			return nil, err
 		}
 	}
@@ -100,7 +100,7 @@ func (ex *executor) hashJoin(n *plan.Node, live query.BitSet) (*batch, error) {
 // indexJoin looks up each left tuple in the index on the right base
 // relation; the right relation's selection applies only *after* the fetch
 // (§2.4), which is also why its cost uses the unfiltered intermediate.
-func (ex *executor) indexJoin(n *plan.Node, live query.BitSet) (*batch, error) {
+func (ex *executor) indexJoin(n *plan.Node, live query.BitSet, id int) (*batch, error) {
 	if !n.Right.IsLeaf() {
 		return nil, fmt.Errorf("engine: IndexNLJoin with non-leaf inner")
 	}
@@ -125,7 +125,7 @@ func (ex *executor) indexJoin(n *plan.Node, live query.BitSet) (*batch, error) {
 		return nil, fmt.Errorf("engine: index join condition inverted")
 	}
 	leftLive, _ := childLive(jc, live)
-	left, err := ex.exec(n.Left, leftLive)
+	left, err := ex.exec(n.Left, leftLive, plan.LeftChildID(id))
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +162,7 @@ func (ex *executor) indexJoin(n *plan.Node, live query.BitSet) (*batch, error) {
 			}
 		}
 		em.emitIndexBlock(left, lIdx, rRows)
-		if err := ex.charge(w); err != nil {
+		if err := ex.charge(id, w); err != nil {
 			return nil, err
 		}
 	}
@@ -176,17 +176,17 @@ func (ex *executor) indexJoin(n *plan.Node, live query.BitSet) (*batch, error) {
 // vectors, so the quadratic pair loop compares registers instead of
 // chasing row ids through the column — the metered work (every pair is
 // compared: this loop is the risk of §4.1) is unchanged.
-func (ex *executor) nestedLoop(n *plan.Node, live query.BitSet) (*batch, error) {
+func (ex *executor) nestedLoop(n *plan.Node, live query.BitSet, id int) (*batch, error) {
 	jc, err := ex.condition(n)
 	if err != nil {
 		return nil, err
 	}
 	leftLive, rightLive := childLive(jc, live)
-	left, err := ex.exec(n.Left, leftLive)
+	left, err := ex.exec(n.Left, leftLive, plan.LeftChildID(id))
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.exec(n.Right, rightLive)
+	right, err := ex.exec(n.Right, rightLive, n.RightChildID(id))
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +231,7 @@ func (ex *executor) nestedLoop(n *plan.Node, live query.BitSet) (*batch, error) 
 			}
 		}
 		em.emitBlock(left, right, lIdx, rIdx)
-		if err := ex.charge(w); err != nil {
+		if err := ex.charge(id, w); err != nil {
 			return nil, err
 		}
 	}
@@ -243,17 +243,17 @@ func (ex *executor) nestedLoop(n *plan.Node, live query.BitSet) (*batch, error) 
 }
 
 // sortMerge sorts both inputs on the key and merges.
-func (ex *executor) sortMerge(n *plan.Node, live query.BitSet) (*batch, error) {
+func (ex *executor) sortMerge(n *plan.Node, live query.BitSet, id int) (*batch, error) {
 	jc, err := ex.condition(n)
 	if err != nil {
 		return nil, err
 	}
 	leftLive, rightLive := childLive(jc, live)
-	left, err := ex.exec(n.Left, leftLive)
+	left, err := ex.exec(n.Left, leftLive, plan.LeftChildID(id))
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.exec(n.Right, rightLive)
+	right, err := ex.exec(n.Right, rightLive, n.RightChildID(id))
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +269,7 @@ func (ex *executor) sortMerge(n *plan.Node, live query.BitSet) (*batch, error) {
 		}
 		n := len(ks)
 		if n > 1 {
-			if err := ex.charge(int64(float64(n) * math.Log2(float64(n)))); err != nil {
+			if err := ex.charge(id, int64(float64(n)*math.Log2(float64(n)))); err != nil {
 				return nil, err
 			}
 		}
@@ -284,7 +284,7 @@ func (ex *executor) sortMerge(n *plan.Node, live query.BitSet) (*batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := ex.charge(int64(len(lk) + len(rk))); err != nil {
+	if err := ex.charge(id, int64(len(lk)+len(rk))); err != nil {
 		return nil, err
 	}
 
@@ -295,7 +295,7 @@ func (ex *executor) sortMerge(n *plan.Node, live query.BitSet) (*batch, error) {
 	flush := func() error {
 		em.emitBlock(left, right, lIdx, rIdx)
 		lIdx, rIdx = lIdx[:0], rIdx[:0]
-		err := ex.charge(w)
+		err := ex.charge(id, w)
 		w = 0
 		return err
 	}

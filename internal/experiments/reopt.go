@@ -124,7 +124,7 @@ func (l *Lab) ReoptContext(ctx context.Context) (*ReoptResult, error) {
 		// work accounting (final plan + non-reused probes) maps onto the
 		// same timeout rule: past the limit it counts exactly like a static
 		// timeout.
-		rres, err := reopt.Run(g, prov, nil, reopt.Config{
+		rres, err := reopt.Run(ctx, g, prov, nil, reopt.Config{
 			DB: l.DB, Indexes: idx, Model: model,
 			DisableNLJ: rules.DisableNLJ, Rehash: rules.Rehash,
 			WorkLimit: limit, Runner: runner,

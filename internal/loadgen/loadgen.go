@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/url"
@@ -21,6 +22,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"jobench/internal/trace"
 )
 
 // Class names accepted in a Mix.
@@ -82,8 +85,8 @@ type Config struct {
 	// Client is the HTTP client used for every request (default: one
 	// client with sensible connection reuse).
 	Client *http.Client
-	// Logf receives progress diagnostics (default: discard).
-	Logf func(format string, args ...any)
+	// Logger receives progress diagnostics (default: discard).
+	Logger *slog.Logger
 }
 
 // DefaultMix is the standing traffic shape: mostly plan-only requests,
@@ -101,6 +104,35 @@ type ClassResult struct {
 	Errors        int64     `json:"errors"`
 	ThroughputRPS float64   `json:"throughput_rps"`
 	Latency       LatencyMS `json:"latency_ms"`
+	// SlowTraces are the class's slowest requests with the trace IDs the
+	// generator stamped on them (X-Jobench-Trace) — p99 exemplars to look
+	// up in the target's /v1/traces.
+	SlowTraces []TraceExemplar `json:"slow_traces,omitempty"`
+}
+
+// TraceExemplar pairs one request's trace ID with its measured latency.
+type TraceExemplar struct {
+	TraceID   string  `json:"trace_id"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// exemplarsPerClass bounds the slow-trace exemplars kept per class.
+const exemplarsPerClass = 4
+
+// recordExemplar keeps the top exemplarsPerClass slowest entries, sorted
+// slowest first.
+func recordExemplar(list []TraceExemplar, e TraceExemplar) []TraceExemplar {
+	i := sort.Search(len(list), func(i int) bool { return list[i].LatencyMS < e.LatencyMS })
+	if i >= exemplarsPerClass {
+		return list
+	}
+	list = append(list, TraceExemplar{})
+	copy(list[i+1:], list[i:])
+	list[i] = e
+	if len(list) > exemplarsPerClass {
+		list = list[:exemplarsPerClass]
+	}
+	return list
 }
 
 // LatencyMS is a latency summary in milliseconds.
@@ -164,9 +196,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if len(cfg.Workloads) == 0 {
 		cfg.Workloads = []string{""}
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	logf := func(format string, args ...any) {
+		logger.Info(fmt.Sprintf(format, args...))
 	}
 
 	classes, weights, totalWeight := normalizeMix(cfg.Mix)
@@ -198,13 +233,15 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	type workerState struct {
-		hists  map[string]*Histogram
-		errors map[string]int64
+		hists     map[string]*Histogram
+		errors    map[string]int64
+		exemplars map[string][]TraceExemplar
 	}
 	states := make([]workerState, cfg.Concurrency)
 	for i := range states {
 		states[i].hists = make(map[string]*Histogram, len(classes))
 		states[i].errors = make(map[string]int64, len(classes))
+		states[i].exemplars = make(map[string][]TraceExemplar, len(classes))
 		for _, c := range classes {
 			states[i].hists[c] = &Histogram{}
 		}
@@ -229,6 +266,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				if err != nil {
 					return // only fails on a broken config; don't spin
 				}
+				// Stamp a trace ID on every request so slow outliers can be
+				// looked up in the target's /v1/traces afterwards.
+				tid := trace.NewID()
+				req.Header.Set(trace.Header, tid.String())
 				t0 := time.Now()
 				resp, err := cfg.Client.Do(req)
 				elapsed := time.Since(t0)
@@ -246,6 +287,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 					st.errors[class]++
 				}
 				st.hists[class].Record(elapsed)
+				st.exemplars[class] = recordExemplar(st.exemplars[class], TraceExemplar{
+					TraceID:   tid.String(),
+					LatencyMS: float64(elapsed.Microseconds()) / 1000,
+				})
 			}
 		}(i)
 	}
@@ -270,11 +315,17 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for _, c := range classes {
 		h := &Histogram{}
 		var errs int64
+		var slow []TraceExemplar
 		for i := range states {
 			h.Merge(states[i].hists[c])
 			errs += states[i].errors[c]
+			for _, e := range states[i].exemplars[c] {
+				slow = recordExemplar(slow, e)
+			}
 		}
-		res.Classes[c] = classResult(h, errs, elapsed)
+		cr := classResult(h, errs, elapsed)
+		cr.SlowTraces = slow
+		res.Classes[c] = cr
 		total.Merge(h)
 		totalErrs += errs
 	}

@@ -4,13 +4,28 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"jobench/internal/trace"
 )
+
+// testLogger routes loadgen diagnostics into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, nil))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
 
 // fakeService mimics the /v1 surface well enough to load-test: it lists a
 // workload, answers every class, and counts requests per path.
@@ -54,7 +69,7 @@ func TestRunMixedLoad(t *testing.T) {
 		Mix: map[string]int{
 			ClassOptimize: 3, ClassExecute: 1, ClassEstimate: 2, ClassExperiment: 1,
 		},
-		Logf: t.Logf,
+		Logger: testLogger(t),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +90,19 @@ func TestRunMixedLoad(t *testing.T) {
 		}
 		if cr.Latency.P50 <= 0 || cr.Latency.P99 < cr.Latency.P50 {
 			t.Errorf("class %s: implausible latencies %+v", class, cr.Latency)
+		}
+		// Every class with traffic carries slow-trace exemplars: valid
+		// trace IDs, slowest first.
+		if len(cr.SlowTraces) == 0 || len(cr.SlowTraces) > exemplarsPerClass {
+			t.Errorf("class %s: %d slow-trace exemplars", class, len(cr.SlowTraces))
+		}
+		for i, e := range cr.SlowTraces {
+			if _, ok := trace.ParseID(e.TraceID); !ok {
+				t.Errorf("class %s: exemplar %d has invalid trace id %q", class, i, e.TraceID)
+			}
+			if i > 0 && e.LatencyMS > cr.SlowTraces[i-1].LatencyMS {
+				t.Errorf("class %s: exemplars not sorted slowest-first: %+v", class, cr.SlowTraces)
+			}
 		}
 		sum += cr.Requests
 	}
@@ -200,8 +228,12 @@ func TestReoptClass(t *testing.T) {
 		t.Fatalf("backend saw %d adaptive / %d plain executes; both classes must fire",
 			adaptive.Load(), plain.Load())
 	}
+	// A request in flight at the deadline is counted by the backend but
+	// dropped by its worker, so the backend may be ahead by up to one
+	// request per worker.
 	cr, ok := res.Classes[ClassReopt]
-	if !ok || cr.Requests != adaptive.Load() {
+	if !ok || cr.Requests == 0 || adaptive.Load() < cr.Requests ||
+		adaptive.Load()-cr.Requests > 2 {
 		t.Fatalf("reopt class result %+v, backend counted %d", cr, adaptive.Load())
 	}
 	if cr.Latency.P50 <= 0 {

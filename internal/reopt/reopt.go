@@ -1,6 +1,7 @@
 package reopt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -14,6 +15,7 @@ import (
 	"jobench/internal/plan"
 	"jobench/internal/query"
 	"jobench/internal/storage"
+	"jobench/internal/trace"
 )
 
 // DefaultQErrThreshold is the q-error above which an observed intermediate
@@ -155,8 +157,11 @@ type Result struct {
 // whenever an observed intermediate's q-error exceeds the threshold,
 // re-enter plan enumeration over the whole query with the observation
 // pinned. Pinned carries prior knowledge (e.g. a feedback-cache hit) and
-// may be nil; it is not mutated.
-func Run(g *query.Graph, prov cardest.Provider, pinned map[query.BitSet]float64, cfg Config) (Result, error) {
+// may be nil; it is not mutated. ctx carries an optional trace: each
+// probe and each replan decision records a span, so /v1/traces shows
+// *why* an adaptive execution replanned. ctx is observability-only —
+// cancellation is governed by the work limit as before.
+func Run(ctx context.Context, g *query.Graph, prov cardest.Provider, pinned map[query.BitSet]float64, cfg Config) (Result, error) {
 	threshold := cfg.QErrThreshold
 	if threshold <= 0 {
 		threshold = DefaultQErrThreshold
@@ -249,7 +254,11 @@ func Run(g *query.Graph, prov cardest.Provider, pinned map[query.BitSet]float64,
 		if pcfg.WorkLimit == 0 || budget < pcfg.WorkLimit {
 			pcfg.WorkLimit = budget
 		}
+		probeSpan := trace.StartSpan(ctx, "reopt.probe")
 		pr, perr := runner.RunSubtree(cfg.DB, cfg.Indexes, g, node, pcfg)
+		probeSpan.End(trace.Int64("rels", int64(node.S.Count())),
+			trace.Int64("work", pr.Work), trace.Int64("rows", pr.Rows),
+			trace.Bool("aborted", perr != nil))
 		res.ProbeWork += pr.Work
 		incr := pr.Work
 		for _, child := range []*plan.Node{node.Left, node.Right} {
@@ -306,6 +315,7 @@ func Run(g *query.Graph, prov cardest.Provider, pinned map[query.BitSet]float64,
 		// loop does not retry it, but is never reused or refunded.
 		probes[node.S] = probeRec{work: pr.Work, incr: incr, sig: signature(node), aborted: aborted}
 		if q > threshold && res.Replans < maxReplans {
+			replanSpan := trace.StartSpan(ctx, "reopt.replan")
 			inj := NewPropagator(prov, overrides)
 			cand, err := opt.Optimize(g, inj)
 			if err != nil {
@@ -322,6 +332,8 @@ func Run(g *query.Graph, prov cardest.Provider, pinned map[query.BitSet]float64,
 				step.Replanned = true
 				cur = cand
 			}
+			replanSpan.End(trace.Int64("qerr", int64(q)),
+				trace.Bool("replanned", step.Replanned))
 		}
 		res.Steps = append(res.Steps, step)
 	}

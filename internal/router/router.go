@@ -15,7 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"jobench/internal/trace"
 )
 
 // Config configures a router Server.
@@ -50,15 +52,31 @@ type Config struct {
 	// ShutdownGrace bounds how long a cancelled router waits for in-flight
 	// forwards to flush (default 5s).
 	ShutdownGrace time.Duration
-	// Logf receives router diagnostics (default log.Printf).
-	Logf func(format string, args ...any)
+	// TraceCapacity bounds the ring buffer of recently finished request
+	// traces served by the router's own /v1/traces (non-positive selects
+	// trace.DefaultStoreCapacity).
+	TraceCapacity int
+	// SlowQuery logs a span summary for every forwarded request at least
+	// this slow (0 disables outlier logging).
+	SlowQuery time.Duration
+	// Logger receives router diagnostics (default slog.Default()).
+	// Request-scoped lines carry trace_id and route attrs.
+	Logger *slog.Logger
 }
 
-func (c Config) logf() func(format string, args ...any) {
-	if c.Logf != nil {
-		return c.Logf
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
 	}
-	return log.Printf
+	return slog.Default()
+}
+
+// logf adapts the structured logger for the router's non-request lines.
+func (c Config) logf() func(format string, args ...any) {
+	lg := c.logger()
+	return func(format string, args ...any) {
+		lg.Info(fmt.Sprintf(format, args...))
+	}
 }
 
 // replica is one backend and its router-side state.
@@ -84,6 +102,7 @@ type Server struct {
 	replicas map[string]*replica
 	mux      *http.ServeMux
 	client   *http.Client
+	traces   *trace.Store
 
 	noReplica atomic.Int64 // requests refused because no replica was live
 }
@@ -118,6 +137,7 @@ func New(cfg Config) (*Server, error) {
 		replicas: make(map[string]*replica, len(ring.Replicas())),
 		mux:      http.NewServeMux(),
 		client:   &http.Client{}, // per-attempt timeouts come from request contexts
+		traces:   trace.NewStore(cfg.TraceCapacity),
 	}
 	for _, u := range ring.Replicas() {
 		rep := &replica{
@@ -134,9 +154,16 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// More specific than the forward catch-all: the router answers
+	// /v1/traces itself (its view of recent forwards); each replica still
+	// serves its own ring directly.
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	s.mux.HandleFunc("/v1/", s.handleForward)
 	return s, nil
 }
+
+// Traces exposes the router's trace ring (for tests and embedding).
+func (s *Server) Traces() *trace.Store { return s.traces }
 
 // NewRingFromConfig builds the ring the router uses; exported so replicas
 // (service peer-fill) and tests derive owners from the identical ring.
@@ -280,6 +307,27 @@ type worldFields struct {
 }
 
 func (s *Server) handleForward(w http.ResponseWriter, r *http.Request) {
+	// The router is the usual origin of a request's trace: mint an ID
+	// (or continue a caller-supplied one), stamp it on the response and
+	// on every forward attempt, and keep the trace in the router's ring.
+	id, ok := trace.ParseID(r.Header.Get(trace.Header))
+	if !ok {
+		id = trace.NewID()
+	}
+	tr := trace.New(id, r.URL.Path)
+	r = r.WithContext(trace.NewContext(r.Context(), tr))
+	w.Header().Set(trace.Header, id.String())
+	defer func() {
+		d := tr.Finish()
+		s.traces.Add(tr)
+		if s.cfg.SlowQuery > 0 && d >= s.cfg.SlowQuery {
+			s.cfg.logger().Warn("slow request",
+				"trace_id", id.String(),
+				"route", r.URL.Path,
+				"duration_ms", float64(d)/float64(time.Millisecond))
+		}
+	}()
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
@@ -333,7 +381,9 @@ func (s *Server) handleForward(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusGatewayTimeout, ctx.Err())
 			return
 		}
-		s.cfg.logf()("jobench router: forward to %s failed (%v), trying next replica", url, err)
+		s.cfg.logger().Warn("forward failed, trying next replica",
+			"replica", url, "err", err,
+			"trace_id", tr.ID().String(), "route", r.URL.Path)
 	}
 	s.noReplica.Add(1)
 	httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no live replica for key %s", key))
@@ -362,11 +412,18 @@ func (s *Server) forwardOnce(ctx context.Context, rep *replica, r *http.Request,
 	if accept := r.Header.Get("Accept"); accept != "" {
 		req.Header.Set("Accept", accept)
 	}
+	// Propagate the trace ID so the replica's spans land under the same
+	// trace the router records.
+	if id := trace.IDFromContext(ctx); id != 0 {
+		req.Header.Set(trace.Header, id.String())
+	}
 
+	sp := trace.StartSpan(ctx, "forward")
 	start := time.Now()
 	resp, err := s.client.Do(req)
 	elapsed := time.Since(start).Seconds()
 	if err != nil {
+		sp.End(trace.String("replica", rep.url), trace.String("err", err.Error()))
 		rep.mu.Lock()
 		rep.requests[0]++
 		rep.seconds += elapsed
@@ -374,6 +431,7 @@ func (s *Server) forwardOnce(ctx context.Context, rep *replica, r *http.Request,
 		return false, err
 	}
 	defer resp.Body.Close()
+	sp.End(trace.String("replica", rep.url), trace.Int64("status", int64(resp.StatusCode)))
 
 	rep.mu.Lock()
 	rep.requests[resp.StatusCode]++
@@ -396,6 +454,28 @@ func httpError(w http.ResponseWriter, status int, err error) {
 }
 
 // --- ops surface ------------------------------------------------------------
+
+// handleTraces serves the router's ring of recently forwarded request
+// traces, newest first; ?min_ms=N and ?route=/v1/execute filter like the
+// replica endpoint.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var minDur time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("invalid min_ms %q", v))
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	recs := s.traces.Snapshot(minDur, q.Get("route"))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{"count": len(recs), "traces": recs})
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	live := 0

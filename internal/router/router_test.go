@@ -5,13 +5,28 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"jobench/internal/trace"
 )
+
+// testLogger routes router diagnostics into the test log.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testWriter{t}, nil))
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
 
 // echoBackend answers every /v1/* request with its own id plus the body it
 // saw, and /healthz with 200.
@@ -91,7 +106,7 @@ func TestFailoverAndMarkDown(t *testing.T) {
 	urls := []string{a.URL, deadURL}
 	s := newTestRouter(t, Config{
 		Addr: ":0", Replicas: urls, MarkDownAfter: 2,
-		Logf: t.Logf,
+		Logger: testLogger(t),
 	})
 	front := httptest.NewServer(s.Handler())
 	defer front.Close()
@@ -156,7 +171,7 @@ func TestHealthLoopRecovery(t *testing.T) {
 	s := newTestRouter(t, Config{
 		Addr: ":0", Replicas: []string{backend.URL},
 		HealthInterval: 10 * time.Millisecond, HealthTimeout: time.Second,
-		MarkDownAfter: 2, Logf: t.Logf,
+		MarkDownAfter: 2, Logger: testLogger(t),
 	})
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -174,7 +189,7 @@ func TestNoLiveReplica(t *testing.T) {
 	deadURL := dead.URL
 	dead.Close()
 
-	s := newTestRouter(t, Config{Addr: ":0", Replicas: []string{deadURL}, MarkDownAfter: 1, Logf: t.Logf})
+	s := newTestRouter(t, Config{Addr: ":0", Replicas: []string{deadURL}, MarkDownAfter: 1, Logger: testLogger(t)})
 	front := httptest.NewServer(s.Handler())
 	defer front.Close()
 
@@ -217,4 +232,68 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestForwardPropagatesTraceID: the router mints a trace ID, stamps it on
+// the response and the forwarded request (so router and replica record
+// spans under the same trace), honors a caller-supplied ID, and keeps the
+// finished trace in its /v1/traces ring.
+func TestForwardPropagatesTraceID(t *testing.T) {
+	var seen atomic.Value // trace header the backend received
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		seen.Store(r.Header.Get(trace.Header))
+		fmt.Fprint(w, `{}`)
+	}))
+	defer backend.Close()
+
+	s := newTestRouter(t, Config{Addr: ":0", Replicas: []string{backend.URL}, Logger: testLogger(t)})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	// Router-minted ID: response header, backend header and the trace
+	// ring must all agree.
+	resp, err := http.Post(front.URL+"/v1/optimize", "application/json",
+		strings.NewReader(`{"query":"1a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get(trace.Header)
+	if _, ok := trace.ParseID(id); !ok {
+		t.Fatalf("response trace header %q is not a valid ID", id)
+	}
+	if got := seen.Load(); got != id {
+		t.Fatalf("backend saw trace %q, response says %q", got, id)
+	}
+	recs := s.Traces().Snapshot(0, "")
+	if len(recs) != 1 || recs[0].TraceID != id {
+		t.Fatalf("trace ring = %+v, want one record with id %s", recs, id)
+	}
+	if len(recs[0].Spans) == 0 || recs[0].Spans[0].Name != "forward" {
+		t.Fatalf("trace record lacks the forward span: %+v", recs[0].Spans)
+	}
+
+	// Caller-supplied ID: continued, not replaced.
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/v1/optimize",
+		strings.NewReader(`{"query":"1a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "00000000deadbeef"
+	req.Header.Set(trace.Header, want)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(trace.Header); got != want {
+		t.Fatalf("caller-supplied trace %q came back as %q", want, got)
+	}
+	if got := seen.Load(); got != want {
+		t.Fatalf("backend saw trace %q, want %q", got, want)
+	}
 }

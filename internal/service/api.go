@@ -1,5 +1,7 @@
 package service
 
+import "jobench/internal/trace"
+
 // The JSON bodies of the /v1 endpoints. Field vocabulary deliberately
 // mirrors jobench.Options and the CLI's plan flags — the same strings the
 // flags accept ("postgres", "pkfk", "bushy", "dp", ...) are valid here, and
@@ -70,6 +72,10 @@ type ExecuteRequest struct {
 	// MaxReplans bounds re-optimizations per adaptive execution (0 = the
 	// reopt default of 4). Ignored unless adaptive.
 	MaxReplans int `json:"max_replans,omitempty"`
+	// Explain selects an instrumented execution: "analyze" collects
+	// per-operator actuals and adds the analyze/nodes fields to the
+	// response. Incompatible with adaptive.
+	Explain string `json:"explain,omitempty"`
 }
 
 // ExecuteResponse is one executed query. Replans, FeedbackHit and Pinned
@@ -90,6 +96,53 @@ type ExecuteResponse struct {
 	// Pinned is the number of cached cardinalities injected before the
 	// first plan.
 	Pinned *int `json:"pinned,omitempty"`
+	// Analyze and Nodes are present exactly when the request asked for
+	// "explain": "analyze": the EXPLAIN ANALYZE rendering and the
+	// structured per-operator actuals behind it.
+	Analyze string        `json:"analyze,omitempty"`
+	Nodes   []ExplainNode `json:"nodes,omitempty"`
+}
+
+// ExplainNode is one operator of an instrumented execution: the
+// optimizer's estimate next to the engine's measured actuals.
+type ExplainNode struct {
+	// ID is the operator's preorder position; Depth its tree depth.
+	ID    int    `json:"id"`
+	Depth int    `json:"depth"`
+	Op    string `json:"op"`
+	// Cond renders the scan selection or join predicates.
+	Cond string `json:"cond,omitempty"`
+	// EstRows is the optimizer's cardinality estimate; ActualRows the
+	// measured output cardinality; QError max(est/actual, actual/est).
+	EstRows    float64 `json:"est_rows"`
+	ActualRows int64   `json:"actual_rows"`
+	QError     float64 `json:"q_error"`
+	// WorkUnits is the deterministic work charged at this operator;
+	// WallMS the inclusive wall-clock milliseconds of its subtree.
+	WorkUnits int64   `json:"work_units"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+// ExplainResponse is one EXPLAIN ANALYZE execution (POST /v1/explain).
+type ExplainResponse struct {
+	// Workload echoes the resolved workload the query ran against.
+	Workload string `json:"workload"`
+	Query    string `json:"query"`
+	// Text is the rendered tree with estimated vs actual rows and
+	// per-node q-error.
+	Text string `json:"text"`
+	// Nodes lists every operator in preorder.
+	Nodes    []ExplainNode `json:"nodes"`
+	Rows     int64         `json:"rows"`
+	Work     int64         `json:"work"`
+	TimedOut bool          `json:"timed_out"`
+}
+
+// TracesResponse lists recently finished request traces, newest first
+// (GET /v1/traces?min_ms=N&route=/v1/execute).
+type TracesResponse struct {
+	Count  int            `json:"count"`
+	Traces []trace.Record `json:"traces"`
 }
 
 // EstimateRequest asks one estimator for a query's result size.

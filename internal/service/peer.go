@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"jobench/internal/router"
+	"jobench/internal/trace"
 )
 
 // peerSet is the replica-topology view a server holds when it runs behind
@@ -70,7 +71,13 @@ func (p *peerSet) owner(k reportKey) string {
 // peerFill asks the owning replica for an already-rendered report. ok is
 // true only on a 200 with a body; every other outcome (no peers, we are
 // the owner, owner cold, owner down) falls through to local computation.
-func (s *Server) peerFill(k reportKey) (text string, ok bool) {
+//
+// reqCtx is observability-only: the peek itself runs under the server
+// lifetime context (flight waiters share the result), but it carries the
+// initiating request's trace ID in X-Jobench-Trace — so the owner's
+// /v1/traces shows the peek under the same trace the router started —
+// and records a "peer.fill" span on that trace.
+func (s *Server) peerFill(reqCtx context.Context, k reportKey) (text string, ok bool) {
 	p := s.peers
 	if p == nil {
 		return "", false
@@ -79,6 +86,8 @@ func (s *Server) peerFill(k reportKey) (text string, ok bool) {
 	if owner == "" {
 		return "", false
 	}
+	sp := trace.StartSpan(reqCtx, "peer.fill")
+	defer func() { sp.End(trace.String("owner", owner), trace.Bool("hit", ok)) }()
 	ctx, cancel := context.WithTimeout(s.serverCtx(), p.timeout)
 	defer cancel()
 	u := fmt.Sprintf("%s/v1/report-cache/%s?workload=%s&seed=%d&scale=%s&samples=%d",
@@ -89,10 +98,14 @@ func (s *Server) peerFill(k reportKey) (text string, ok bool) {
 		s.metrics.PeerFillMisses.Add(1)
 		return "", false
 	}
+	if id := trace.IDFromContext(reqCtx); id != 0 {
+		req.Header.Set(trace.Header, id.String())
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		s.metrics.PeerFillMisses.Add(1)
-		s.cfg.logf()("jobench serve: peer-fill from %s failed (%v), computing locally", owner, err)
+		s.cfg.logger().Warn("peer-fill failed, computing locally",
+			"owner", owner, "err", err, "trace_id", trace.IDFromContext(reqCtx).String())
 		return "", false
 	}
 	defer resp.Body.Close()

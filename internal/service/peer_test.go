@@ -11,6 +11,7 @@ import (
 
 	"jobench/internal/experiments"
 	"jobench/internal/router"
+	"jobench/internal/trace"
 )
 
 // newPeerTestServer builds a service whose Lab construction is stubbed to
@@ -18,7 +19,7 @@ import (
 // of a computation, and the cheapest proof is "openLab was never called".
 func newPeerTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *atomic.Int64) {
 	t.Helper()
-	cfg.Logf = func(string, ...any) {}
+	cfg.Logger = discardLogger()
 	s := New(cfg)
 	var labBuilds atomic.Int64
 	s.pool.openLab = func(Key) (*experiments.Lab, error) {
@@ -60,7 +61,16 @@ func TestPeerFill(t *testing.T) {
 	k := reportKey{key: a.key("", seed, scale), name: "table1"}
 	a.reports.put(k, reportText)
 
-	resp, err := http.Get(fmt.Sprintf("%s/v1/experiment/table1?seed=%d&scale=%g", bHTTP.URL, seed, scale))
+	// The request carries a trace ID so the fill's propagation is
+	// checkable below: B's peek at A must ride the same trace.
+	const traceID = "00000000cafef00d"
+	req, err := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/v1/experiment/table1?seed=%d&scale=%g", bHTTP.URL, seed, scale), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, traceID)
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,6 +87,41 @@ func TestPeerFill(t *testing.T) {
 	}
 	if b.metrics.PeerFillHits.Load() != 1 {
 		t.Fatalf("PeerFillHits = %d, want 1", b.metrics.PeerFillHits.Load())
+	}
+
+	// One trace ID end to end: B recorded the experiment request under the
+	// caller's ID (with a peer.fill span), and A's ring shows the peek B
+	// made under the SAME ID — the cross-process propagation contract.
+	var bRec *trace.Record
+	for _, r := range b.Traces().Snapshot(0, "") {
+		if r.TraceID == traceID {
+			bRec = &r
+			break
+		}
+	}
+	if bRec == nil {
+		t.Fatalf("trace %s missing from B's ring", traceID)
+	}
+	hasFill := false
+	for _, sp := range bRec.Spans {
+		if sp.Name == "peer.fill" {
+			hasFill = true
+		}
+	}
+	if !hasFill {
+		t.Fatalf("B's trace lacks the peer.fill span: %+v", bRec.Spans)
+	}
+	foundOnA := false
+	for _, r := range a.Traces().Snapshot(0, "") {
+		if r.TraceID == traceID {
+			foundOnA = true
+			if r.Route != "/v1/report-cache/{name}" {
+				t.Fatalf("A recorded trace %s under route %q", traceID, r.Route)
+			}
+		}
+	}
+	if !foundOnA {
+		t.Fatalf("peek did not carry trace %s to A's ring", traceID)
 	}
 
 	// The fill is cached locally: a second request is a plain cache hit,

@@ -1,12 +1,14 @@
 package service
 
 import (
+	"context"
 	"strconv"
 
 	"jobench"
 	"jobench/internal/experiments"
 	"jobench/internal/parallel"
 	"jobench/internal/reopt"
+	"jobench/internal/trace"
 	"jobench/internal/workload"
 )
 
@@ -93,8 +95,11 @@ func NewPool(cfg Config, metrics *Metrics) *Pool {
 }
 
 // System returns the resident System for key, constructing it (exactly
-// once under concurrency) on a miss.
-func (p *Pool) System(key Key) (*jobench.System, error) {
+// once under concurrency) on a miss. ctx is observability-only: the
+// request that actually initiates a cold construction records a
+// "system.open" span covering the Open (snapshot load or data
+// generation); joiners share the instance without recording it.
+func (p *Pool) System(ctx context.Context, key Key) (*jobench.System, error) {
 	if e := p.entries.get(key); e != nil && e.sys != nil {
 		p.metrics.PoolObserve(key.World.Workload, true)
 		return e.sys, nil
@@ -112,7 +117,9 @@ func (p *Pool) System(key Key) (*jobench.System, error) {
 		p.metrics.PoolObserve(key.World.Workload, false)
 		p.metrics.WarmupsInFlight.Add(1)
 		defer p.metrics.WarmupsInFlight.Add(-1)
+		sp := trace.StartSpan(ctx, "system.open")
 		sys, err := p.openSystem(key)
+		sp.End(trace.String("key", key.String()))
 		if err != nil {
 			return nil, err
 		}
@@ -127,8 +134,9 @@ func (p *Pool) System(key Key) (*jobench.System, error) {
 }
 
 // Lab returns the resident experiments Lab for key, constructing it
-// (exactly once under concurrency) on a miss.
-func (p *Pool) Lab(key Key) (*experiments.Lab, error) {
+// (exactly once under concurrency) on a miss; ctx is observability-only,
+// as in System.
+func (p *Pool) Lab(ctx context.Context, key Key) (*experiments.Lab, error) {
 	if e := p.entries.get(key); e != nil && e.lab != nil {
 		p.metrics.PoolObserve(key.World.Workload, true)
 		return e.lab, nil
@@ -141,7 +149,9 @@ func (p *Pool) Lab(key Key) (*experiments.Lab, error) {
 		p.metrics.PoolObserve(key.World.Workload, false)
 		p.metrics.WarmupsInFlight.Add(1)
 		defer p.metrics.WarmupsInFlight.Add(-1)
+		sp := trace.StartSpan(ctx, "lab.open")
 		lab, err := p.openLab(key)
+		sp.End(trace.String("key", key.String()))
 		if err != nil {
 			return nil, err
 		}

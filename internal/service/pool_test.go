@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -64,7 +65,7 @@ func TestPoolSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sys, err := p.System(key)
+			sys, err := p.System(context.Background(), key)
 			if err != nil {
 				t.Errorf("caller %d: %v", i, err)
 			}
@@ -81,7 +82,7 @@ func TestPoolSingleFlight(t *testing.T) {
 		}
 	}
 	// A warm lookup is a pool hit, not another Open.
-	if _, err := p.System(key); err != nil {
+	if _, err := p.System(context.Background(), key); err != nil {
 		t.Fatal(err)
 	}
 	if got := opens.Load(); got != 1 {
@@ -101,15 +102,15 @@ func TestPoolLRUEviction(t *testing.T) {
 	c := Key{World: workload.Key{Workload: "imdb", Seed: 3, Scale: 0.02}}
 
 	for _, k := range []Key{a, b} {
-		if _, err := p.System(k); err != nil {
+		if _, err := p.System(context.Background(), k); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// Touch a so b becomes the LRU victim, then insert c.
-	if _, err := p.System(a); err != nil {
+	if _, err := p.System(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.System(c); err != nil {
+	if _, err := p.System(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.Len(); got != 2 {
@@ -120,13 +121,13 @@ func TestPoolLRUEviction(t *testing.T) {
 	}
 	openedSoFar := opens.Load()
 	// a must still be resident (touched), b must have been evicted.
-	if _, err := p.System(a); err != nil {
+	if _, err := p.System(context.Background(), a); err != nil {
 		t.Fatal(err)
 	}
 	if got := opens.Load(); got != openedSoFar {
 		t.Fatal("a was evicted despite being recently used")
 	}
-	if _, err := p.System(b); err != nil {
+	if _, err := p.System(context.Background(), b); err != nil {
 		t.Fatal(err)
 	}
 	if got := opens.Load(); got != openedSoFar+1 {
@@ -148,10 +149,10 @@ func TestPoolErrorNotCached(t *testing.T) {
 		}
 		return realOpen(k)
 	}
-	if _, err := p.System(key); err == nil {
+	if _, err := p.System(context.Background(), key); err == nil {
 		t.Fatal("first open should fail")
 	}
-	sys, err := p.System(key)
+	sys, err := p.System(context.Background(), key)
 	if err != nil || sys == nil {
 		t.Fatalf("retry after failure: (%v, %v)", sys, err)
 	}

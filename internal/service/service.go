@@ -15,7 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -28,6 +28,8 @@ import (
 	"jobench"
 	"jobench/internal/experiments"
 	"jobench/internal/parallel"
+	"jobench/internal/plan"
+	"jobench/internal/trace"
 	"jobench/internal/workload"
 )
 
@@ -77,16 +79,33 @@ type Config struct {
 	// accounted bytes (observed cardinalities for adaptive requests);
 	// non-positive selects the reopt default of 1 MiB.
 	FeedbackBytes int64
-	// Logf receives serve-loop and snapshot diagnostics (default
-	// log.Printf).
-	Logf func(format string, args ...any)
+	// TraceCapacity bounds the ring buffer of recently finished request
+	// traces served by /v1/traces (non-positive selects
+	// trace.DefaultStoreCapacity).
+	TraceCapacity int
+	// SlowQuery logs a span summary for every request at least this slow
+	// (0 disables outlier logging).
+	SlowQuery time.Duration
+	// Logger receives serve-loop and snapshot diagnostics (default
+	// slog.Default()). Request-scoped lines carry trace_id, workload and
+	// route attrs.
+	Logger *slog.Logger
 }
 
-func (c Config) logf() func(format string, args ...any) {
-	if c.Logf != nil {
-		return c.Logf
+func (c Config) logger() *slog.Logger {
+	if c.Logger != nil {
+		return c.Logger
 	}
-	return log.Printf
+	return slog.Default()
+}
+
+// logf adapts the structured logger to the printf-style Logf funcs the
+// snapshot store and the facade take, so their signatures don't churn.
+func (c Config) logf() func(format string, args ...any) {
+	lg := c.logger()
+	return func(format string, args ...any) {
+		lg.Info(fmt.Sprintf(format, args...))
+	}
 }
 
 // Server is the benchmark service.
@@ -107,6 +126,7 @@ type Server struct {
 	reportFlight parallel.Flight[reportKey, string]
 	admit        *admission
 	peers        *peerSet
+	traces       *trace.Store
 }
 
 // New builds a Server (without binding a socket).
@@ -135,6 +155,7 @@ func New(cfg Config) *Server {
 		reports: newReportCache(),
 		admit:   newAdmission(int64(cfg.ReportCapacity)),
 		peers:   newPeerSet(cfg),
+		traces:  trace.NewStore(cfg.TraceCapacity),
 	}
 	m.admission = s.admit
 	m.replicaID = cfg.ReplicaID
@@ -143,11 +164,26 @@ func New(cfg Config) *Server {
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/optimize", s.handleOptimize)
 	s.route("POST /v1/execute", s.handleExecute)
+	s.route("POST /v1/explain", s.handleExplain)
 	s.route("POST /v1/estimate", s.handleEstimate)
 	s.route("GET /v1/queries", s.handleQueries)
 	s.route("GET /v1/experiment/{name}", s.handleExperiment)
 	s.route("GET /v1/report-cache/{name}", s.handleReportPeek)
+	s.route("GET /v1/traces", s.handleTraces)
 	return s
+}
+
+// Traces exposes the server's trace ring (for tests and embedding).
+func (s *Server) Traces() *trace.Store { return s.traces }
+
+// untraced lists the routes that never open a trace: the ops surface and
+// the trace endpoint itself would otherwise fill the ring with noise.
+func untraced(route string) bool {
+	switch route {
+	case "/healthz", "/metrics", "/v1/traces":
+		return true
+	}
+	return false
 }
 
 // Handler returns the service's HTTP handler (also useful under
@@ -157,9 +193,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics exposes the server's counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// route registers a handler wrapped in the metrics middleware. pattern is
-// a Go 1.22 mux pattern ("METHOD /path"); its path part labels the
-// metrics.
+// route registers a handler wrapped in the metrics and tracing
+// middleware. pattern is a Go 1.22 mux pattern ("METHOD /path"); its path
+// part labels the metrics and the trace's route. Every traced request
+// gets a trace — continuing the X-Jobench-Trace ID the router (or a
+// peer) propagated, or minting a fresh one — attached to the request
+// context, echoed in the response header, and added to the ring on
+// completion; requests slower than cfg.SlowQuery log a span summary.
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (status int, err error)
 
 func (s *Server) route(pattern string, h handlerFunc) {
@@ -167,14 +207,54 @@ func (s *Server) route(pattern string, h handlerFunc) {
 	if i := strings.IndexByte(pattern, ' '); i >= 0 {
 		label = pattern[i+1:]
 	}
+	traced := !untraced(label)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		var tr *trace.Trace
+		if traced {
+			id, ok := trace.ParseID(r.Header.Get(trace.Header))
+			if !ok {
+				id = trace.NewID()
+			}
+			tr = trace.New(id, label)
+			r = r.WithContext(trace.NewContext(r.Context(), tr))
+			w.Header().Set(trace.Header, id.String())
+		}
 		status, err := h(w, r)
 		if err != nil {
 			writeError(w, status, err)
 		}
 		s.metrics.Observe(label, status, time.Since(start))
+		if tr != nil {
+			d := tr.Finish()
+			s.traces.Add(tr)
+			if s.cfg.SlowQuery > 0 && d >= s.cfg.SlowQuery {
+				s.cfg.logger().Warn("slow request",
+					"trace_id", tr.ID().String(),
+					"route", label,
+					"duration_ms", float64(d)/float64(time.Millisecond),
+					"status", status,
+					"spans", spanSummary(tr))
+			}
+		}
 	})
+}
+
+// spanSummary renders a trace's spans as "name=dur name=dur ..." for the
+// slow-query log line.
+func spanSummary(tr *trace.Trace) string {
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		return "(none)"
+	}
+	var b strings.Builder
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", sp.Name, sp.Dur.Round(time.Microsecond))
+	}
+	return b.String()
 }
 
 // ListenAndServe binds cfg.Addr and serves until ctx is cancelled, then
@@ -241,6 +321,17 @@ func (s *Server) key(wl string, seed int64, scale float64) Key {
 		scale = s.cfg.DefaultScale
 	}
 	return Key{World: workload.NewKey(wl, seed, scale), CacheDir: s.cfg.CacheDir}
+}
+
+// system resolves the resident System for a request's world under a
+// "pool.lookup" span (covering both the single-flight wait and, for the
+// initiating request, the cold open inside it).
+func (s *Server) system(ctx context.Context, wl string, seed int64, scale float64) (*jobench.System, error) {
+	k := s.key(wl, seed, scale)
+	sp := trace.StartSpan(ctx, "pool.lookup")
+	sys, err := s.pool.System(ctx, k)
+	sp.End(trace.String("key", k.String()))
+	return sys, err
 }
 
 func decodeJSON(r *http.Request, dst any) error {
@@ -320,7 +411,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) (int, er
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	sys, err := s.pool.System(s.key(req.Workload, req.Seed, req.Scale))
+	sys, err := s.system(r.Context(), req.Workload, req.Seed, req.Scale)
 	if err != nil {
 		return statusOf(err), err
 	}
@@ -360,9 +451,29 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) (int, err
 	if req.Rehash != nil {
 		rehash = *req.Rehash
 	}
-	sys, err := s.pool.System(s.key(req.Workload, req.Seed, req.Scale))
+	if req.Explain != "" && req.Explain != "analyze" {
+		return http.StatusBadRequest, fmt.Errorf("unknown explain mode %q (want \"analyze\")", req.Explain)
+	}
+	if req.Explain == "analyze" && req.Adaptive {
+		return http.StatusBadRequest, errors.New("explain=analyze cannot be combined with adaptive")
+	}
+	sys, err := s.system(r.Context(), req.Workload, req.Seed, req.Scale)
 	if err != nil {
 		return statusOf(err), err
+	}
+	if req.Explain == "analyze" {
+		res, err := sys.ExplainAnalyzeContext(r.Context(), req.Query, jobench.RunOptions{
+			PlanOptions: opts, Rehash: rehash, WorkLimit: req.WorkLimit,
+		})
+		if err != nil {
+			return statusOf(err), err
+		}
+		writeJSON(w, http.StatusOK, ExecuteResponse{
+			Workload: sys.Workload(), Query: req.Query, Rows: res.Rows, Work: res.Work,
+			TimedOut: res.TimedOut,
+			Analyze:  res.Text, Nodes: explainNodes(res.Nodes),
+		})
+		return http.StatusOK, nil
 	}
 	if req.Adaptive {
 		res, err := sys.ExecuteAdaptiveContext(r.Context(), req.Query, jobench.AdaptiveOptions{
@@ -394,12 +505,83 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) (int, err
 	return http.StatusOK, nil
 }
 
+// explainNodes maps the facade's analyzed operators onto the wire type.
+func explainNodes(nodes []plan.AnalyzedNode) []ExplainNode {
+	out := make([]ExplainNode, len(nodes))
+	for i, n := range nodes {
+		out[i] = ExplainNode{
+			ID: n.ID, Depth: n.Depth, Op: n.Op, Cond: n.Cond,
+			EstRows: n.EstRows, ActualRows: n.ActualRows, QError: n.QError,
+			WorkUnits: n.WorkUnits,
+			WallMS:    float64(n.WallNanos) / float64(time.Millisecond),
+		}
+	}
+	return out
+}
+
+// handleExplain is EXPLAIN ANALYZE as its own endpoint: execute with
+// per-operator stats collection and return estimates vs actuals per node.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) (int, error) {
+	var req ExecuteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return http.StatusBadRequest, err
+	}
+	if req.Adaptive {
+		return http.StatusBadRequest, errors.New("explain analyze cannot be combined with adaptive")
+	}
+	if req.Explain != "" && req.Explain != "analyze" {
+		return http.StatusBadRequest, fmt.Errorf("unknown explain mode %q (want \"analyze\")", req.Explain)
+	}
+	opts, err := planOptions(req.PlanRequest)
+	if err != nil {
+		return http.StatusBadRequest, err
+	}
+	rehash := true
+	if req.Rehash != nil {
+		rehash = *req.Rehash
+	}
+	sys, err := s.system(r.Context(), req.Workload, req.Seed, req.Scale)
+	if err != nil {
+		return statusOf(err), err
+	}
+	res, err := sys.ExplainAnalyzeContext(r.Context(), req.Query, jobench.RunOptions{
+		PlanOptions: opts, Rehash: rehash, WorkLimit: req.WorkLimit,
+	})
+	if err != nil {
+		return statusOf(err), err
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Workload: sys.Workload(), Query: req.Query,
+		Text: res.Text, Nodes: explainNodes(res.Nodes),
+		Rows: res.Rows, Work: res.Work, TimedOut: res.TimedOut,
+	})
+	return http.StatusOK, nil
+}
+
+// handleTraces serves the ring of recently finished request traces,
+// newest first; ?min_ms=N keeps only slower traces and ?route=/v1/execute
+// filters by route label.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) (int, error) {
+	q := r.URL.Query()
+	var minDur time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 || math.IsNaN(ms) || math.IsInf(ms, 0) {
+			return http.StatusBadRequest, fmt.Errorf("invalid min_ms %q", v)
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
+	}
+	recs := s.traces.Snapshot(minDur, q.Get("route"))
+	writeJSON(w, http.StatusOK, TracesResponse{Count: len(recs), Traces: recs})
+	return http.StatusOK, nil
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) (int, error) {
 	var req EstimateRequest
 	if err := decodeJSON(r, &req); err != nil {
 		return http.StatusBadRequest, err
 	}
-	sys, err := s.pool.System(s.key(req.Workload, req.Seed, req.Scale))
+	sys, err := s.system(r.Context(), req.Workload, req.Seed, req.Scale)
 	if err != nil {
 		return statusOf(err), err
 	}
@@ -422,7 +604,7 @@ func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) (int, err
 	if err != nil {
 		return http.StatusBadRequest, err
 	}
-	sys, err := s.pool.System(s.key(wl, seed, scale))
+	sys, err := s.system(r.Context(), wl, seed, scale)
 	if err != nil {
 		return statusOf(err), err
 	}
@@ -453,7 +635,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) (int, 
 		}
 	}
 	key := s.key(wl, seed, scale)
-	text, err := s.report(reportKey{key: key, name: name, samples: normalizeSamples(name, samples)})
+	text, err := s.report(r.Context(), reportKey{key: key, name: name, samples: normalizeSamples(name, samples)})
 	if err != nil {
 		return statusOf(err), err
 	}
@@ -566,10 +748,14 @@ func (c *reportCache) put(k reportKey, text string) {
 // under single-flight on a miss. The computation runs under the server's
 // lifetime context, not the triggering request's: concurrent waiters share
 // the flight, so one client's disconnect must not cancel work the others
-// (and the cache) still want — while shutdown still aborts it. Only
-// successful renders are cached, so a cancelled or failed run never
+// (and the cache) still want — while shutdown still aborts it. ctx is
+// observability-only: the flight initiator's trace records the peer-fill,
+// admission-wait and experiment spans (waiters joined an in-flight
+// computation and record nothing).
+//
+// Only successful renders are cached, so a cancelled or failed run never
 // poisons the cache.
-func (s *Server) report(k reportKey) (string, error) {
+func (s *Server) report(ctx context.Context, k reportKey) (string, error) {
 	if text, ok := s.reports.get(k); ok {
 		s.metrics.ReportObserve(k.key.World.Workload, true)
 		return text, nil
@@ -583,7 +769,7 @@ func (s *Server) report(k reportKey) (string, error) {
 		// fleet's hash ring, it has probably rendered the report already —
 		// one cheap peek beats recomputing a whole sweep. Any failure falls
 		// through to the local computation.
-		if text, ok := s.peerFill(k); ok {
+		if text, ok := s.peerFill(ctx, k); ok {
 			s.reports.put(k, text)
 			return text, nil
 		}
@@ -591,15 +777,20 @@ func (s *Server) report(k reportKey) (string, error) {
 		// acquires (cache hits and flight waiters never queue), under the
 		// server lifetime context so shutdown unblocks the queue.
 		weight := experimentWeight(k.name)
-		if err := s.admit.acquire(s.serverCtx(), weight); err != nil {
-			return "", err
-		}
-		defer s.admit.release(weight)
-		lab, err := s.pool.Lab(k.key)
+		asp := trace.StartSpan(ctx, "admission.wait")
+		err := s.admit.acquire(s.serverCtx(), weight)
+		asp.End(trace.Int64("weight", int64(weight)))
 		if err != nil {
 			return "", err
 		}
+		defer s.admit.release(weight)
+		lab, err := s.pool.Lab(ctx, k.key)
+		if err != nil {
+			return "", err
+		}
+		esp := trace.StartSpan(ctx, "experiment.run")
 		text, err := experiments.RunExperiment(s.serverCtx(), lab, k.name, experiments.Params{Samples: k.samples})
+		esp.End(trace.String("experiment", k.name))
 		if err != nil {
 			return "", err
 		}

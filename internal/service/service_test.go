@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -16,7 +17,13 @@ import (
 
 	"jobench"
 	"jobench/internal/experiments"
+	"jobench/internal/trace"
 )
+
+// discardLogger silences service logs in tests.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // One shared test server (and its pooled instances) across every test in
 // the file: the world is deterministic, so sharing costs nothing and saves
@@ -39,7 +46,7 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 			DefaultSeed:  testSeed,
 			DefaultScale: testScale,
 			PoolSize:     2,
-			Logf:         func(string, ...any) {},
+			Logger:       discardLogger(),
 		})
 		testHTTP = httptest.NewServer(testSrv.Handler())
 	})
@@ -336,7 +343,7 @@ func TestServeGracefulShutdown(t *testing.T) {
 	srv := New(Config{
 		DefaultSeed: testSeed, DefaultScale: testScale,
 		ShutdownGrace: 2 * time.Second,
-		Logf:          func(string, ...any) {},
+		Logger:        discardLogger(),
 	})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -455,5 +462,147 @@ func TestAdaptiveFeedbackRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(text, "jobench_feedback_cache_hits_total 1") {
 		t.Errorf("feedback hit not counted:\n%s", text)
+	}
+}
+
+// TestTraceMiddleware: traced routes echo X-Jobench-Trace (minting an ID
+// when the caller sent none, continuing it otherwise), finished traces
+// land in /v1/traces with the request-path spans, and the ops surface
+// stays out of the ring.
+func TestTraceMiddleware(t *testing.T) {
+	srv, ts := testServer(t)
+
+	// Caller-supplied ID: continued, recorded, and carrying spans.
+	const want = "0000feedfacebeef"
+	data, _ := json.Marshal(map[string]any{"query": "1a"})
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/optimize", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, want)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(trace.Header); got != want {
+		t.Fatalf("trace header %q, want %q", got, want)
+	}
+	var rec *trace.Record
+	for _, r := range srv.Traces().Snapshot(0, "/v1/optimize") {
+		if r.TraceID == want {
+			rec = &r
+			break
+		}
+	}
+	if rec == nil {
+		t.Fatalf("trace %s not in /v1/traces ring", want)
+	}
+	spans := make(map[string]bool)
+	for _, sp := range rec.Spans {
+		spans[sp.Name] = true
+	}
+	for _, name := range []string{"pool.lookup", "optimize"} {
+		if !spans[name] {
+			t.Errorf("trace lacks span %q (has %v)", name, rec.Spans)
+		}
+	}
+
+	// No caller ID: the middleware mints a valid one.
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", map[string]any{"query": "1a"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if _, ok := trace.ParseID(resp.Header.Get(trace.Header)); !ok {
+		t.Fatalf("minted trace header %q invalid", resp.Header.Get(trace.Header))
+	}
+
+	// The trace endpoint itself serves the ring and is untraced.
+	resp, body = getBody(t, ts.URL+"/v1/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/traces status %d", resp.StatusCode)
+	}
+	var tr TracesResponse
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count == 0 || len(tr.Traces) != tr.Count {
+		t.Fatalf("traces response %d/%d", tr.Count, len(tr.Traces))
+	}
+	for _, r := range tr.Traces {
+		if untraced(r.Route) {
+			t.Fatalf("untraced route %q found in the ring", r.Route)
+		}
+	}
+
+	// min_ms filtering: an impossible threshold yields nothing.
+	resp, body = getBody(t, ts.URL+"/v1/traces?min_ms=3600000")
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || tr.Count != 0 {
+		t.Fatalf("min_ms filter returned %d traces", tr.Count)
+	}
+}
+
+// TestExplainEndpoint: /v1/explain executes with stats collection; the
+// per-node actuals are internally consistent (root actual == executed
+// rows) and the rendering shows estimates vs actuals.
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/explain", map[string]any{"query": "1a"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out ExplainResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Nodes) == 0 {
+		t.Fatal("no analyzed nodes")
+	}
+	if out.Nodes[0].ID != 0 || out.Nodes[0].ActualRows != out.Rows {
+		t.Fatalf("root node %+v disagrees with executed rows %d", out.Nodes[0], out.Rows)
+	}
+	for _, n := range out.Nodes {
+		if n.QError < 1 {
+			t.Errorf("node %d: q-error %g below 1", n.ID, n.QError)
+		}
+	}
+	for _, wantStr := range []string{"est", "actual", "q-err"} {
+		if !strings.Contains(out.Text, wantStr) {
+			t.Errorf("text missing %q:\n%s", wantStr, out.Text)
+		}
+	}
+
+	// Adaptive + explain is a contradiction: 400.
+	resp, _ = postJSON(t, ts.URL+"/v1/explain", map[string]any{"query": "1a", "adaptive": true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("explain+adaptive status %d, want 400", resp.StatusCode)
+	}
+
+	// The same instrumented run is reachable via the execute knob.
+	resp, body = postJSON(t, ts.URL+"/v1/execute", map[string]any{"query": "1a", "explain": "analyze"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("execute explain=analyze status %d: %s", resp.StatusCode, body)
+	}
+	var eres ExecuteResponse
+	if err := json.Unmarshal(body, &eres); err != nil {
+		t.Fatal(err)
+	}
+	if eres.Analyze == "" || len(eres.Nodes) == 0 {
+		t.Fatalf("execute explain=analyze returned no analyze fields: %s", body)
+	}
+	if eres.Nodes[0].ActualRows != out.Nodes[0].ActualRows {
+		t.Fatalf("execute/explain actuals disagree: %d vs %d",
+			eres.Nodes[0].ActualRows, out.Nodes[0].ActualRows)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/execute", map[string]any{"query": "1a", "explain": "verbose"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown explain mode status %d, want 400", resp.StatusCode)
 	}
 }

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanRecord is the JSON shape of one span in /v1/traces output. Start
+// is the offset from the trace start so readers line spans up without
+// parsing timestamps.
+type SpanRecord struct {
+	Name       string            `json:"name"`
+	StartUS    int64             `json:"start_us"`
+	DurationUS int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Record is the JSON shape of one finished trace.
+type Record struct {
+	TraceID    string       `json:"trace_id"`
+	Route      string       `json:"route"`
+	Start      time.Time    `json:"start"`
+	DurationMS float64      `json:"duration_ms"`
+	Spans      []SpanRecord `json:"spans"`
+}
+
+// Snapshot renders the trace into its JSON record shape.
+func (t *Trace) Snapshot() Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec := Record{
+		TraceID:    t.id.String(),
+		Route:      t.route,
+		Start:      t.start,
+		DurationMS: float64(t.dur) / float64(time.Millisecond),
+		Spans:      make([]SpanRecord, len(t.spans)),
+	}
+	for i, s := range t.spans {
+		sr := SpanRecord{
+			Name:       s.Name,
+			StartUS:    s.Start.Sub(t.start).Microseconds(),
+			DurationUS: s.Dur.Microseconds(),
+		}
+		if len(s.Attrs) > 0 {
+			sr.Attrs = make(map[string]string, len(s.Attrs))
+			for _, a := range s.Attrs {
+				sr.Attrs[a.Key] = a.Value
+			}
+		}
+		rec.Spans[i] = sr
+	}
+	return rec
+}
+
+// Store is a fixed-capacity ring buffer of recently finished traces.
+// Add evicts the oldest entry once full; Snapshot reads newest-first.
+// It is safe for concurrent use.
+type Store struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int // next write position
+	n    int // live entries
+}
+
+// DefaultStoreCapacity is the ring size processes use unless configured
+// otherwise: large enough to cover the recent past under load, small
+// enough that retained span slices stay in the low megabytes.
+const DefaultStoreCapacity = 256
+
+// NewStore returns a ring buffer holding up to capacity traces
+// (DefaultStoreCapacity if capacity <= 0).
+func NewStore(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultStoreCapacity
+	}
+	return &Store{buf: make([]*Trace, capacity)}
+}
+
+// Add appends a finished trace, evicting the oldest when full.
+func (s *Store) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	s.mu.Lock()
+	s.buf[s.next] = t
+	s.next = (s.next + 1) % len(s.buf)
+	if s.n < len(s.buf) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// Len returns the number of traces currently held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Snapshot returns the stored traces newest-first, keeping only those
+// with duration >= minDur (pass 0 for all) and, when route is non-empty,
+// only those whose route matches exactly.
+func (s *Store) Snapshot(minDur time.Duration, route string) []Record {
+	s.mu.Lock()
+	traces := make([]*Trace, 0, s.n)
+	for i := 1; i <= s.n; i++ {
+		traces = append(traces, s.buf[(s.next-i+len(s.buf))%len(s.buf)])
+	}
+	s.mu.Unlock()
+	out := make([]Record, 0, len(traces))
+	for _, t := range traces {
+		if route != "" && t.Route() != route {
+			continue
+		}
+		if t.Duration() < minDur {
+			continue
+		}
+		out = append(out, t.Snapshot())
+	}
+	return out
+}

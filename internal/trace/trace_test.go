@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIDRoundTrip(t *testing.T) {
+	for _, id := range []ID{1, 0xdeadbeefcafe, ^ID(0)} {
+		s := id.String()
+		if len(s) != 16 {
+			t.Fatalf("ID %d rendered as %q (len %d)", id, s, len(s))
+		}
+		got, ok := ParseID(s)
+		if !ok || got != id {
+			t.Fatalf("ParseID(%q) = %v, %v; want %v, true", s, got, ok, id)
+		}
+	}
+	for _, bad := range []string{"", "xyz", "0000000000000000", "00000000000000001", "g000000000000000"} {
+		if _, ok := ParseID(bad); ok {
+			t.Fatalf("ParseID(%q) accepted", bad)
+		}
+	}
+	if NewID() == 0 {
+		t.Fatal("NewID returned zero")
+	}
+}
+
+func TestContextCarrier(t *testing.T) {
+	ctx := context.Background()
+	if FromContext(ctx) != nil || IDFromContext(ctx) != 0 {
+		t.Fatal("empty context carries a trace")
+	}
+	// No trace attached: spans are no-ops, not panics.
+	StartSpan(ctx, "noop").End(String("k", "v"))
+	Annotate(ctx, "noop")
+
+	tr := New(42, "/v1/execute")
+	ctx = NewContext(ctx, tr)
+	if FromContext(ctx) != tr || IDFromContext(ctx) != 42 {
+		t.Fatal("trace not recovered from context")
+	}
+	sp := StartSpan(ctx, "work")
+	sp.End(Int64("units", 7), Bool("hit", true))
+	Annotate(ctx, "replan", String("why", "qerr"))
+	spans := tr.Spans()
+	if len(spans) != 2 || spans[0].Name != "work" || spans[1].Name != "replan" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Attrs[0].Value != "7" || spans[0].Attrs[1].Value != "true" {
+		t.Fatalf("attrs = %+v", spans[0].Attrs)
+	}
+}
+
+func TestFinishSealsDuration(t *testing.T) {
+	tr := New(NewID(), "/v1/optimize")
+	if tr.Duration() != 0 {
+		t.Fatal("duration set before Finish")
+	}
+	d1 := tr.Finish()
+	time.Sleep(time.Millisecond)
+	if d2 := tr.Finish(); d2 != d1 {
+		t.Fatalf("second Finish changed duration: %v -> %v", d1, d2)
+	}
+}
+
+func TestStoreEvictionOrder(t *testing.T) {
+	s := NewStore(3)
+	for i := 1; i <= 5; i++ {
+		tr := New(ID(i), fmt.Sprintf("/r%d", i))
+		tr.Finish()
+		s.Add(tr)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	recs := s.Snapshot(0, "")
+	// Newest first; 1 and 2 evicted.
+	want := []ID{5, 4, 3}
+	if len(recs) != len(want) {
+		t.Fatalf("Snapshot returned %d records, want %d", len(recs), len(want))
+	}
+	for i, w := range want {
+		if recs[i].TraceID != w.String() {
+			t.Fatalf("recs[%d].TraceID = %s, want %s", i, recs[i].TraceID, w.String())
+		}
+	}
+}
+
+func TestStoreFilters(t *testing.T) {
+	s := NewStore(8)
+	slow := New(1, "/v1/execute")
+	slow.mu.Lock()
+	slow.dur, slow.done = 50*time.Millisecond, true
+	slow.mu.Unlock()
+	fast := New(2, "/v1/optimize")
+	fast.mu.Lock()
+	fast.dur, fast.done = time.Millisecond, true
+	fast.mu.Unlock()
+	s.Add(slow)
+	s.Add(fast)
+	if got := s.Snapshot(10*time.Millisecond, ""); len(got) != 1 || got[0].TraceID != ID(1).String() {
+		t.Fatalf("min-duration filter: %+v", got)
+	}
+	if got := s.Snapshot(0, "/v1/optimize"); len(got) != 1 || got[0].TraceID != ID(2).String() {
+		t.Fatalf("route filter: %+v", got)
+	}
+	if got := s.Snapshot(0, "/nope"); len(got) != 0 {
+		t.Fatalf("route filter should drop all: %+v", got)
+	}
+}
+
+// TestStoreConcurrency exercises concurrent Add/Snapshot plus concurrent
+// span recording on a shared trace; run under -race it is the safety
+// proof for the ring and the trace mutex.
+func TestStoreConcurrency(t *testing.T) {
+	s := NewStore(16)
+	shared := New(NewID(), "/shared")
+	ctx := NewContext(context.Background(), shared)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := StartSpan(ctx, "op")
+				sp.End(Int64("i", int64(i)))
+				tr := New(NewID(), "/r")
+				tr.Finish()
+				s.Add(tr)
+				if i%10 == 0 {
+					s.Snapshot(0, "")
+					shared.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	shared.Finish()
+	if got := len(shared.Spans()); got != 800 {
+		t.Fatalf("shared trace has %d spans, want 800", got)
+	}
+	if s.Len() != 16 {
+		t.Fatalf("store Len = %d, want 16", s.Len())
+	}
+}

@@ -17,7 +17,6 @@ import (
 	"context"
 	"fmt"
 	"log"
-	"strings"
 	"sync"
 
 	"jobench/internal/cardest"
@@ -33,6 +32,7 @@ import (
 	"jobench/internal/snapshot"
 	"jobench/internal/stats"
 	"jobench/internal/storage"
+	"jobench/internal/trace"
 	"jobench/internal/truecard"
 	"jobench/internal/workload"
 )
@@ -389,63 +389,69 @@ func (s *System) AddQuery(id, sql string) error {
 	return nil
 }
 
-// ExplainAnalyze optimizes a query, executes it, and renders the plan with
-// the optimizer's estimated cardinality next to the true cardinality of
-// every operator — the classic way to see where estimates collapse.
-func (s *System) ExplainAnalyze(queryID string, opts RunOptions) (string, error) {
-	root, g, err := s.optimizeCtx(context.Background(), queryID, opts.PlanOptions)
-	if err != nil {
-		return "", err
-	}
-	st, err := s.TruthStore(queryID)
-	if err != nil {
-		return "", err
-	}
-	idxCfg := opts.Indexes
-	if _, ok := s.idx[idxCfg]; !ok {
-		idxCfg = PKFK
-	}
-	res, err := engine.Run(s.db, s.idx[idxCfg], g, root, engine.Config{
-		Rehash: opts.Rehash, WorkLimit: opts.WorkLimit,
-	})
-	if err != nil && !res.TimedOut {
-		return "", err
-	}
-	var b strings.Builder
-	var walk func(n *plan.Node, depth int)
-	walk = func(n *plan.Node, depth int) {
-		if n == nil {
-			return
-		}
-		truth, _ := st.Card(n.S)
-		label := "scan"
-		if !n.IsLeaf() {
-			label = n.Algo.String()
-		} else {
-			rel := g.Q.Rels[n.Rel]
-			label = "Scan " + rel.Table + " " + rel.Alias
-		}
-		fmt.Fprintf(&b, "%s%-40s est %12.0f   true %12.0f   q-err %8.1f\n",
-			strings.Repeat("  ", depth), label, n.ECard, truth, qerr(n.ECard, truth))
-		walk(n.Left, depth+1)
-		walk(n.Right, depth+1)
-	}
-	walk(root, 0)
-	fmt.Fprintf(&b, "executed: %d rows, %d work units (timed out: %v)\n", res.Rows, res.Work, res.TimedOut)
-	return b.String(), nil
+// ExplainResult reports one instrumented (EXPLAIN ANALYZE) execution:
+// the rendered tree plus the structured per-node actuals behind it.
+type ExplainResult struct {
+	// Text is the plan.ExplainAnalyze rendering with an executed-summary
+	// footer.
+	Text string
+	// Nodes lists every operator in preorder with estimates, actuals,
+	// q-error, work units, and wall time.
+	Nodes []plan.AnalyzedNode
+	// Rows, Work and TimedOut summarise the execution.
+	Rows     int64
+	Work     int64
+	TimedOut bool
 }
 
-func qerr(est, truth float64) float64 {
-	if est < 1 {
-		est = 1
+// ExplainAnalyze optimizes a query, executes it with per-operator stats
+// collection, and renders the plan with the optimizer's estimated
+// cardinality next to the *measured* cardinality of every operator — the
+// classic way to see where estimates collapse, now from real execution
+// rather than the truth store.
+func (s *System) ExplainAnalyze(queryID string, opts RunOptions) (string, error) {
+	res, err := s.ExplainAnalyzeContext(context.Background(), queryID, opts)
+	if err != nil {
+		return "", err
 	}
-	if truth < 1 {
-		truth = 1
+	return res.Text, nil
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze with cancellation and the
+// structured result; see OptimizeContext.
+func (s *System) ExplainAnalyzeContext(ctx context.Context, queryID string, opts RunOptions) (ExplainResult, error) {
+	root, g, err := s.optimizeCtx(ctx, queryID, opts.PlanOptions)
+	if err != nil {
+		return ExplainResult{}, err
 	}
-	if est > truth {
-		return est / truth
+	stats := make([]plan.NodeStats, plan.NumNodes(root))
+	sp := trace.StartSpan(ctx, "engine.execute")
+	res, err := engine.Run(s.db, s.idx[s.indexConfig(opts.Indexes)], g, root, engine.Config{
+		Rehash: opts.Rehash, WorkLimit: opts.WorkLimit, Stats: stats,
+	})
+	sp.End(trace.String("query", queryID), trace.Int64("work", res.Work),
+		trace.Int64("rows", res.Rows), trace.Bool("analyze", true))
+	if err != nil && !res.TimedOut {
+		return ExplainResult{}, err
 	}
-	return truth / est
+	text := plan.ExplainAnalyze(root, g, stats) +
+		fmt.Sprintf("executed: %d rows, %d work units (timed out: %v)\n", res.Rows, res.Work, res.TimedOut)
+	return ExplainResult{
+		Text:     text,
+		Nodes:    plan.Analyze(root, g, stats),
+		Rows:     res.Rows,
+		Work:     res.Work,
+		TimedOut: res.TimedOut,
+	}, nil
+}
+
+// indexConfig clamps a requested physical design to one the system built
+// (unknown configs fall back to PKFK, the paper's default).
+func (s *System) indexConfig(cfg IndexConfig) IndexConfig {
+	if _, ok := s.idx[cfg]; !ok {
+		return PKFK
+	}
+	return cfg
 }
 
 // QueryIDs lists the registered queries in family order (the 113 workload
@@ -563,7 +569,11 @@ func (s *System) truthStore(ctx context.Context, queryID string) (*truecard.Stor
 	// Single-flight per query: a burst of concurrent requests for one
 	// uncached truth store runs the (expensive) DP exactly once and shares
 	// the result. Errors are not latched — a cancelled or failed
-	// computation leaves the next caller free to retry.
+	// computation leaves the next caller free to retry. The span covers
+	// the flight wait, so joiners record how long they blocked on the
+	// shared computation too.
+	sp := trace.StartSpan(ctx, "truecard")
+	defer func() { sp.End(trace.String("query", queryID)) }()
 	st, err, _ = s.truthFlight.Do(queryID, func() (*truecard.Store, error) {
 		s.truthMu.Lock()
 		st, ok := s.truth[queryID]
@@ -692,20 +702,18 @@ func (s *System) optimizeCtx(ctx context.Context, queryID string, opts PlanOptio
 	if err != nil {
 		return nil, nil, err
 	}
-	idxCfg := opts.Indexes
-	if _, ok := s.idx[idxCfg]; !ok {
-		idxCfg = PKFK
-	}
 	o := &optimizer.Optimizer{
 		DB:         s.db,
 		Model:      model,
-		Indexes:    s.idx[idxCfg],
+		Indexes:    s.idx[s.indexConfig(opts.Indexes)],
 		DisableNLJ: opts.DisableNestedLoops,
 		Shape:      opts.Shape,
 		Algorithm:  opts.Algorithm,
 		Seed:       opts.Seed,
 	}
+	sp := trace.StartSpan(ctx, "optimize")
 	root, err := o.Optimize(g, prov)
+	sp.End(trace.String("query", queryID))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -723,14 +731,13 @@ func (s *System) ExecuteContext(ctx context.Context, queryID string, opts RunOpt
 	if err != nil {
 		return Result{}, err
 	}
-	idxCfg := opts.Indexes
-	if _, ok := s.idx[idxCfg]; !ok {
-		idxCfg = PKFK
-	}
-	res, err := engine.Run(s.db, s.idx[idxCfg], g, root, engine.Config{
+	sp := trace.StartSpan(ctx, "engine.execute")
+	res, err := engine.Run(s.db, s.idx[s.indexConfig(opts.Indexes)], g, root, engine.Config{
 		Rehash:    opts.Rehash,
 		WorkLimit: opts.WorkLimit,
 	})
+	sp.End(trace.String("query", queryID), trace.Int64("work", res.Work),
+		trace.Int64("rows", res.Rows), trace.Bool("timed_out", res.TimedOut))
 	out := Result{
 		Rows:     res.Rows,
 		Work:     res.Work,

@@ -1,6 +1,7 @@
 package jobench_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -206,9 +207,43 @@ func TestAddQueryAndExplainAnalyze(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"est", "true", "q-err", "executed:"} {
+	for _, want := range []string{"est", "actual", "q-err", "work", "executed:"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("ExplainAnalyze missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainAnalyzeActualsMatchTruth pins EXPLAIN ANALYZE's measured
+// per-operator cardinalities against the true-cardinality DP: every
+// operator's actual row count must equal the truth store's value for its
+// relation set — the engine-side half of the paper's estimated-vs-true
+// comparison.
+func TestExplainAnalyzeActualsMatchTruth(t *testing.T) {
+	s := system(t)
+	for _, qid := range []string{"1a", "6a", "13d"} {
+		res, err := s.ExplainAnalyzeContext(context.Background(), qid, jobench.RunOptions{
+			PlanOptions: jobench.PlanOptions{DisableNestedLoops: true},
+			Rehash:      true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		st, err := s.TruthStore(qid)
+		if err != nil {
+			t.Fatalf("%s: %v", qid, err)
+		}
+		if len(res.Nodes) == 0 {
+			t.Fatalf("%s: no analyzed nodes", qid)
+		}
+		for _, n := range res.Nodes {
+			truth, ok := st.Card(n.Set)
+			if !ok {
+				t.Fatalf("%s node %d (%s): truth store has no cardinality for %v", qid, n.ID, n.Op, n.Set)
+			}
+			if n.ActualRows != int64(truth) {
+				t.Errorf("%s node %d (%s): actual %d rows, truth %.0f", qid, n.ID, n.Op, n.ActualRows, truth)
+			}
 		}
 	}
 }

@@ -12,7 +12,7 @@ SNAPSHOT_SCALE ?= 0.3
 # Where `make serve` listens.
 SERVE_ADDR ?= :8080
 
-.PHONY: build test test-short race-short bench bench-smoke bench-json bench-service fmt fmt-check vet docs-check ci snapshot serve smoke-serve
+.PHONY: build test test-short race-short bench bench-smoke bench-json bench-service chaos chaos-short chaos-fleet fmt fmt-check vet docs-check ci snapshot serve smoke-serve
 
 # bench-service knobs: how long the mixed load runs, how many concurrent
 # workers fire it, which scale the replica fleet serves, and which worlds
@@ -165,6 +165,99 @@ bench-service:
 	test $$rc -eq 0; \
 	echo "bench-service: OK ($(BENCH_DIR)/BENCH_service.json)"
 
+# Chaos knobs: how long the faulted load runs, how many workers fire it,
+# the fleet's scale (0.1 matches the CI snapshot cache so opens are warm),
+# and the fault spec every replica misbehaves under — injected 500s and
+# rare hangs on the optimize path, injected latency on half the execute
+# path. Health probes and /v1/estimate stay clean, so liveness reflects
+# the process, not the injected faults.
+CHAOS_DURATION ?= 8s
+CHAOS_CONCURRENCY ?= 6
+CHAOS_SCALE ?= 0.1
+CHAOS_FAULT_SPEC ?= route=/v1/optimize,error=0.15,hang=0.02;route=/v1/execute,latency=20ms,jitter=20ms,latency_p=0.5
+
+# Chaos suite: the in-process fleet test (internal/chaos, under -race)
+# plus a real-process fleet run under injected faults (chaos-fleet).
+# `chaos-short` is the CI variant: the -short test (skips the report
+# byte-comparison sweep) and a shorter load window.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos
+	$(MAKE) chaos-fleet
+
+chaos-short:
+	$(GO) test -race -short -count=1 ./internal/chaos
+	$(MAKE) chaos-fleet CHAOS_DURATION=4s
+
+# Real-process chaos: 3 faulted replicas behind the router (retries,
+# deadlines and breakers on), a classified load through it, and jsoncheck
+# asserting the resilience contract on $(BENCH_DIR)/BENCH_chaos.json —
+# bounded client-visible error rate, zero deadline overruns — plus metrics
+# proving faults were actually injected and accounted for. All four
+# processes must still exit cleanly on SIGTERM.
+chaos-fleet:
+	@set -e; \
+	mkdir -p $(BENCH_DIR) .smoke; \
+	$(GO) build -o .smoke/jobench ./cmd/jobench; \
+	$(GO) build -o .smoke/jsoncheck ./cmd/jsoncheck; \
+	base=$$(( 21000 + $$$$ % 20000 )); \
+	peers="http://127.0.0.1:$$base,http://127.0.0.1:$$((base+1)),http://127.0.0.1:$$((base+2))"; \
+	rport=$$((base+3)); \
+	pids=""; \
+	for i in 0 1 2; do \
+		port=$$((base+i)); \
+		.smoke/jobench serve -addr 127.0.0.1:$$port -scale $(CHAOS_SCALE) \
+			-cache-dir $(CACHE_DIR) -pool 4 -replica-id chaos-$$i \
+			-fault-spec '$(CHAOS_FAULT_SPEC)' -fault-seed $$((100+i)) & \
+		pids="$$pids $$!"; \
+	done; \
+	.smoke/jobench router -addr 127.0.0.1:$$rport -replicas "$$peers" \
+		-request-timeout 10s -attempt-timeout 1s -max-retries 2 -retry-budget 0.2 & \
+	pids="$$pids $$!"; \
+	trap 'kill $$pids 2>/dev/null || true' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 90); do \
+		if curl -fsS "http://127.0.0.1:$$rport/healthz" >/dev/null 2>&1 \
+			&& curl -fsS "http://127.0.0.1:$$base/healthz" >/dev/null 2>&1 \
+			&& curl -fsS "http://127.0.0.1:$$((base+1))/healthz" >/dev/null 2>&1 \
+			&& curl -fsS "http://127.0.0.1:$$((base+2))/healthz" >/dev/null 2>&1; then ok=1; break; fi; \
+		sleep 1; \
+	done; \
+	test $$ok -eq 1 || { echo "chaos-fleet: fleet never became healthy"; exit 1; }; \
+	warmpids=""; \
+	for i in 0 1 2; do \
+		curl -fsS -X POST -H 'Content-Type: application/json' -d '{"query":"1a"}' \
+			"http://127.0.0.1:$$((base+i))/v1/estimate" >/dev/null & \
+		warmpids="$$warmpids $$!"; \
+	done; \
+	for pid in $$warmpids; do \
+		wait $$pid || { echo "chaos-fleet: replica warm-up failed"; exit 1; }; \
+	done; \
+	.smoke/jobench loadgen -target "http://127.0.0.1:$$rport" \
+		-duration $(CHAOS_DURATION) -concurrency $(CHAOS_CONCURRENCY) \
+		-scale $(CHAOS_SCALE) -queries 1a,13d \
+		-mix optimize=3,execute=2,estimate=2 \
+		-request-timeout 3s -deadline-grace 1s \
+		-out $(BENCH_DIR)/BENCH_chaos.json; \
+	.smoke/jsoncheck schema=jobench-loadgen/v1 \
+		'total.requests>=10' 'total.error_rate<=0.1' 'total.deadline_overruns<=0' \
+		classes.optimize.latency_ms.p50 classes.execute.latency_ms.p50 \
+		< $(BENCH_DIR)/BENCH_chaos.json; \
+	curl -fsS "http://127.0.0.1:$$base/metrics" | grep -q '^jobench_fault_injected_total' \
+		|| { echo "chaos-fleet: replica metrics missing injected-fault counters"; exit 1; }; \
+	routermetrics=$$(curl -fsS "http://127.0.0.1:$$rport/metrics"); \
+	echo "$$routermetrics" | grep -q '^jobench_router_replica_retries_total' \
+		|| { echo "chaos-fleet: router metrics missing retry counters"; exit 1; }; \
+	echo "$$routermetrics" | grep -q '^jobench_router_breaker_throttled' \
+		|| { echo "chaos-fleet: router metrics missing breaker gauges"; exit 1; }; \
+	curl -fsS "http://127.0.0.1:$$rport/v1/traces" | .smoke/jsoncheck 'count>=1' \
+		|| { echo "chaos-fleet: router traces empty after load"; exit 1; }; \
+	for pid in $$pids; do kill -TERM $$pid 2>/dev/null || true; done; \
+	rc=0; \
+	for pid in $$pids; do wait $$pid || { echo "chaos-fleet: pid $$pid exited uncleanly"; rc=1; }; done; \
+	trap - EXIT; \
+	test $$rc -eq 0; \
+	echo "chaos-fleet: OK ($(BENCH_DIR)/BENCH_chaos.json)"
+
 fmt:
 	gofmt -w .
 
@@ -180,7 +273,8 @@ vet:
 docs-check:
 	$(GO) run ./cmd/docscheck ./internal/hashtab ./internal/service ./internal/engine \
 		./internal/parallel ./internal/router ./internal/loadgen ./internal/reopt \
-		./internal/workload ./internal/index ./internal/trace
+		./internal/workload ./internal/index ./internal/trace \
+		./internal/fault ./internal/deadline
 
 # Everything the CI checks job runs, in order.
 ci: fmt-check vet docs-check build test bench-smoke

@@ -81,6 +81,7 @@ import (
 
 	"jobench"
 	"jobench/internal/experiments"
+	"jobench/internal/fault"
 	"jobench/internal/loadgen"
 	"jobench/internal/router"
 	"jobench/internal/service"
@@ -398,6 +399,9 @@ func cmdServe(args []string) error {
 	peers := fs.String("peers", "", "comma-separated base URLs of every fleet replica (including this one); enables report-cache peer-fill")
 	self := fs.String("self", "", "this replica's own entry in -peers (required with -peers)")
 	slowMS := fs.Float64("slow-query-ms", 0, "log a span summary for requests at least this slow (0 disables)")
+	maxQueue := fs.Int("max-queue", 0, "experiment admission-queue cap; arrivals past it are shed with 429 (0 = default 16)")
+	faultSpec := fs.String("fault-spec", "", "fault-injection spec for chaos runs, e.g. 'route=/v1/execute,error=0.1,latency=50ms' (empty = injection compiled out)")
+	faultSeed := fs.Int64("fault-seed", 0, "seed for the fault spec's random draws (0 = the spec's own seed)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6060); never on the public listener")
 	logLevel := logFlags(fs)
 	wl, scale, seed, par, cacheDir := openFlags(fs)
@@ -409,6 +413,17 @@ func cmdServe(args []string) error {
 	logger, err := buildLogger(*logLevel)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
+	}
+	spec, err := fault.ParseSpec(*faultSpec)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if spec != nil && *faultSeed != 0 {
+		spec.Seed = *faultSeed
+	}
+	injector := fault.New(spec) // nil spec -> nil injector -> zero request-path cost
+	if injector != nil {
+		logger.Warn("fault injection ACTIVE — this replica will misbehave on purpose", "spec", *faultSpec)
 	}
 	startPprof(*pprofAddr, logger)
 	// SIGINT/SIGTERM cancel the context; the server stops listening,
@@ -429,6 +444,8 @@ func cmdServe(args []string) error {
 		Peers:           splitList(*peers),
 		SelfURL:         *self,
 		SlowQuery:       time.Duration(*slowMS * float64(time.Millisecond)),
+		MaxQueue:        *maxQueue,
+		Fault:           injector,
 		Logger:          logger,
 	})
 	return srv.ListenAndServe(ctx)
@@ -441,6 +458,10 @@ func cmdRouter(args []string) error {
 	inflight := fs.Int("inflight", 32, "max in-flight forwards per replica; excess requests queue")
 	healthEvery := fs.Duration("health-interval", 2*time.Second, "period of the per-replica /healthz probe")
 	markDown := fs.Int("mark-down-after", 2, "consecutive failures that mark a replica down")
+	requestTimeout := fs.Duration("request-timeout", 0, "end-to-end deadline minted per request as X-Jobench-Deadline (0 = forward timeout)")
+	attemptTimeout := fs.Duration("attempt-timeout", 0, "per-attempt bound so a hung replica burns one attempt, not the whole deadline (0 = request timeout)")
+	maxRetries := fs.Int("max-retries", 2, "max re-attempts per request (transport errors and retryable 5xx)")
+	retryBudget := fs.Float64("retry-budget", 0.2, "per-client retry tokens earned per request (bucket capped at 10)")
 	slowMS := fs.Float64("slow-query-ms", 0, "log a span summary for forwarded requests at least this slow (0 disables)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this extra address (e.g. 127.0.0.1:6070); never on the public listener")
 	logLevel := logFlags(fs)
@@ -457,6 +478,10 @@ func cmdRouter(args []string) error {
 		InFlightPerReplica: *inflight,
 		HealthInterval:     *healthEvery,
 		MarkDownAfter:      *markDown,
+		RequestTimeout:     *requestTimeout,
+		AttemptTimeout:     *attemptTimeout,
+		MaxRetries:         *maxRetries,
+		RetryBudget:        *retryBudget,
 		SlowQuery:          time.Duration(*slowMS * float64(time.Millisecond)),
 		Logger:             logger,
 	})
@@ -480,6 +505,8 @@ func cmdLoadgen(args []string) error {
 	queries := fs.String("queries", "", "comma-separated workload ids (default: fetch from target)")
 	expNames := fs.String("experiments", "fig3", "comma-separated experiment names for the experiment class")
 	worldSeeds := fs.String("world-seeds", "", "comma-separated generator seeds to spread the load across (overrides -seed; the experiment class always uses the first)")
+	requestTimeout := fs.Duration("request-timeout", 0, "per-request deadline, enforced client-side and sent as X-Jobench-Deadline (0 = none)")
+	deadlineGrace := fs.Duration("deadline-grace", 0, "slack over -request-timeout before a request counts as a deadline overrun (default 500ms)")
 	logLevel := logFlags(fs)
 	wl, scale, seed, _, _ := openFlags(fs)
 	fs.Parse(args)
@@ -503,18 +530,20 @@ func cmdLoadgen(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	res, err := loadgen.Run(ctx, loadgen.Config{
-		Target:      *target,
-		Duration:    *duration,
-		Concurrency: *concurrency,
-		Mix:         mix,
-		Seed:        *loadSeed,
-		Workloads:   splitList(*wl),
-		WorldSeed:   *seed,
-		WorldSeeds:  seeds,
-		Scale:       *scale,
-		Queries:     splitList(*queries),
-		Experiments: splitList(*expNames),
-		Logger:      logger,
+		Target:         *target,
+		Duration:       *duration,
+		Concurrency:    *concurrency,
+		Mix:            mix,
+		Seed:           *loadSeed,
+		Workloads:      splitList(*wl),
+		WorldSeed:      *seed,
+		WorldSeeds:     seeds,
+		Scale:          *scale,
+		Queries:        splitList(*queries),
+		Experiments:    splitList(*expNames),
+		RequestTimeout: *requestTimeout,
+		DeadlineGrace:  *deadlineGrace,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func decode(t *testing.T, s string) map[string]any {
+	t.Helper()
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(s), &obj); err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func TestCheckOperators(t *testing.T) {
+	obj := decode(t, `{
+		"schema": "jobench-loadgen/v1",
+		"total": {"requests": 120, "error_rate": 0.05, "deadline_overruns": 0},
+		"classes": {"optimize": {"failures": {"shed": 3}}}
+	}`)
+	pass := []string{
+		"schema=jobench-loadgen/v1",
+		"total.requests",
+		"total.requests>=10",
+		"total.requests<=120",
+		"total.error_rate<=0.2",
+		"total.deadline_overruns<=0",
+		"classes.optimize.failures.shed>=1",
+	}
+	for _, arg := range pass {
+		if err := check(obj, arg); err != nil {
+			t.Errorf("check(%q) = %v, want pass", arg, err)
+		}
+	}
+	fail := []string{
+		"schema=other",
+		"total.missing",
+		"total.requests>=121",
+		"total.error_rate<=0.01",
+		"total.deadline_overruns<=-1",
+		"schema<=3", // not a number
+		"total.requests<=abc",
+	}
+	for _, arg := range fail {
+		if err := check(obj, arg); err == nil {
+			t.Errorf("check(%q) passed, want failure", arg)
+		}
+	}
+}
+
+func TestLookupArrayIndexing(t *testing.T) {
+	obj := decode(t, `{"nodes": [{"actual_rows": 42}]}`)
+	got, err := lookup(obj, "nodes.0.actual_rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(float64) != 42 {
+		t.Fatalf("nodes.0.actual_rows = %v, want 42", got)
+	}
+	if _, err := lookup(obj, "nodes.1.actual_rows"); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+}

@@ -1,0 +1,312 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jobench/internal/fault"
+	"jobench/internal/loadgen"
+	"jobench/internal/router"
+	"jobench/internal/service"
+)
+
+const (
+	chaosScale = 0.05
+	chaosSeed  = 7
+
+	// chaosSpec is the shared misbehavior every fleet replica runs under:
+	// 15% injected 500s on the optimize path, 15–30ms of injected latency
+	// on half the execute path. Routes the rules don't match (/healthz,
+	// /v1/estimate, /v1/experiment) stay clean, so health probes and the
+	// report byte-comparison see only organic behavior.
+	chaosSpec = "route=/v1/optimize,error=0.15;route=/v1/execute,latency=15ms,jitter=15ms,latency_p=0.5"
+
+	// crashRule rides on one replica only: its /healthz is probed by the
+	// router every HealthInterval, so the one-shot crash trips a known
+	// number of probes after the router starts — a deterministic
+	// mid-run replica death without killing a process.
+	crashRule = ";route=/healthz,crash_after=8"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// newReplica builds one service replica wrapped in the given fault spec
+// ("" = fault-free) and serves it over a real socket.
+func newReplica(t *testing.T, spec string) (*httptest.Server, *fault.Injector) {
+	t.Helper()
+	parsed, err := fault.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New(parsed)
+	srv := service.New(service.Config{
+		DefaultSeed:  chaosSeed,
+		DefaultScale: chaosScale,
+		PoolSize:     2,
+		Fault:        inj,
+		Logger:       discardLogger(),
+	})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs, inj
+}
+
+// warm opens the replica's default world via /v1/estimate — a route no
+// chaos rule matches — so the load phase measures fault handling, not
+// cold-open latency racing the attempt timeout.
+func warm(t *testing.T, base string) error {
+	resp, err := http.Post(base+"/v1/estimate", "application/json",
+		strings.NewReader(`{"query":"1a"}`))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("warm %s: status %d: %s", base, resp.StatusCode, body)
+	}
+	return nil
+}
+
+// waitFor polls cond until it holds or the timeout expires.
+func waitFor(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// liveCount reports the router's /healthz live-replica count (-1 while
+// unreachable or not yet serving).
+func liveCount(base string) int {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return -1
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Live int `json:"live"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return -1
+	}
+	return h.Live
+}
+
+// getOK fetches url and requires a 200, returning the body.
+func getOK(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body
+}
+
+// sumMetric sums the values of every Prometheus text line starting with
+// name whose label set contains each given substring.
+func sumMetric(text, name string, labelSubstrs ...string) float64 {
+	var sum float64
+line:
+	for _, l := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(l, name+"{") {
+			continue
+		}
+		for _, sub := range labelSubstrs {
+			if !strings.Contains(l, sub) {
+				continue line
+			}
+		}
+		fields := strings.Fields(l)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err == nil {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestChaosFleet is the chaos suite's core scenario: a 3-replica fleet
+// behind the router, every replica injecting errors and latency, one
+// replica crashing mid-run. The fleet must hide nearly all of it — and
+// what it cannot hide must be accounted for.
+func TestChaosFleet(t *testing.T) {
+	r0, i0 := newReplica(t, chaosSpec)
+	r1, i1 := newReplica(t, chaosSpec)
+	r2, i2 := newReplica(t, chaosSpec+crashRule)
+	clean, _ := newReplica(t, "") // the fault-free reference replica
+
+	// Warm every world before the router's probes start the crash clock.
+	var wg sync.WaitGroup
+	for _, s := range []*httptest.Server{r0, r1, r2, clean} {
+		wg.Add(1)
+		go func(base string) {
+			defer wg.Done()
+			if err := warm(t, base); err != nil {
+				t.Errorf("warm %s: %v", base, err)
+			}
+		}(s.URL)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("warm-up failed")
+	}
+
+	// The router's own timeouts are backstops sized for the fig3 sweep (the
+	// slowest thing forwarded here, ~a minute cold under -race); the load
+	// phase's real deadline is the 5s X-Jobench-Deadline each loadgen
+	// request carries, which the router takes the minimum of.
+	rt, err := router.New(router.Config{
+		Replicas:       []string{r0.URL, r1.URL, r2.URL},
+		HealthInterval: 50 * time.Millisecond,
+		MarkDownAfter:  2,
+		RequestTimeout: 240 * time.Second,
+		AttemptTimeout: 180 * time.Second,
+		MaxRetries:     2,
+		Logger:         discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- rt.Serve(ctx, ln) }()
+	t.Cleanup(func() {
+		cancel()
+		if err := <-done; err != nil {
+			t.Errorf("router serve: %v", err)
+		}
+	})
+	base := "http://" + ln.Addr().String()
+
+	// The crash replica dies a deterministic number of probes in; the
+	// router must notice and take it out of rotation before the load run.
+	waitFor(t, "one-shot replica crash", 10*time.Second, func() bool {
+		return i2.Stats().Crashed
+	})
+	waitFor(t, "crashed replica marked down", 10*time.Second, func() bool {
+		return liveCount(base) == 2
+	})
+
+	// Reports through the chaotic fleet must be byte-identical to the
+	// fault-free replica's: injected faults may cost retries and latency,
+	// never answers. (Skipped under -short: the report is a full
+	// estimation sweep.)
+	reportPath := "/v1/experiment/fig3?format=json"
+	if !testing.Short() {
+		want := getOK(t, clean.URL+reportPath)
+		got := getOK(t, base+reportPath)
+		if !bytes.Equal(got, want) {
+			t.Errorf("report through chaotic fleet differs from fault-free run:\nfleet: %.200s\nclean: %.200s", got, want)
+		}
+	}
+
+	dur := 4 * time.Second
+	if testing.Short() {
+		dur = 1500 * time.Millisecond
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		Target:      base,
+		Duration:    dur,
+		Concurrency: 4,
+		Seed:        11,
+		Mix: map[string]int{
+			loadgen.ClassOptimize: 3, loadgen.ClassExecute: 2, loadgen.ClassEstimate: 2,
+		},
+		Queries:        []string{"1a", "13d"},
+		WorldSeed:      chaosSeed,
+		Scale:          chaosScale,
+		RequestTimeout: 5 * time.Second,
+		DeadlineGrace:  2 * time.Second,
+		Logger:         discardLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Requests == 0 {
+		t.Fatal("load run issued no requests")
+	}
+
+	// Deadline enforcement: nothing escapes RequestTimeout + grace.
+	if res.Total.DeadlineOverruns != 0 {
+		t.Errorf("deadline overruns = %d, want 0", res.Total.DeadlineOverruns)
+	}
+	// Error budget: 15% of optimize attempts fail server-side, but the
+	// router's retries mean the *client-visible* rate stays at or below
+	// the injected per-attempt rate (in practice near zero).
+	if res.Total.ErrorRate > 0.15 {
+		t.Errorf("client-visible error rate %.3f exceeds the injected budget 0.15 (failures: %v)",
+			res.Total.ErrorRate, res.Total.Failures)
+	}
+
+	// Accounting. Every 500 the router observed was injected (the fleet
+	// has no organic 5xx at this load), and the injectors can be ahead
+	// only by requests a worker abandoned mid-flight at the window edge —
+	// at most one per worker.
+	injected := i0.Stats().Errors + i1.Stats().Errors + i2.Stats().Errors
+	if injected == 0 {
+		t.Fatal("no injected errors despite a 15% optimize error rate")
+	}
+	metrics := string(getOK(t, base+"/metrics"))
+	observed := sumMetric(metrics, "jobench_router_replica_requests_total", `code="500"`)
+	if int64(observed) > injected || injected-int64(observed) > 4 {
+		t.Errorf("router observed %.0f 500s, injectors produced %d (allowed lag: one in-flight per worker)",
+			observed, injected)
+	}
+	// Every observed 500 triggered a retry (budget never drains at this
+	// error rate), so retries must show up in the router's metrics.
+	if retries := sumMetric(metrics, "jobench_router_replica_retries_total"); observed > 0 && retries == 0 {
+		t.Errorf("router observed %.0f 500s but recorded no retries", observed)
+	}
+	// The crashed replica's death is a markdown, visible in /metrics.
+	if md := sumMetric(metrics, "jobench_router_replica_markdowns_total", `replica="`+r2.URL+`"`); md < 1 {
+		t.Errorf("crashed replica %s has %v markdowns, want >= 1", r2.URL, md)
+	}
+	// The router's trace store saw the run.
+	var traces struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(getOK(t, base+"/v1/traces"), &traces); err != nil {
+		t.Fatalf("decoding /v1/traces: %v", err)
+	}
+	if traces.Count == 0 {
+		t.Error("router /v1/traces is empty after the load run")
+	}
+
+	// Recovery: reviving the crashed injector models a replica restart;
+	// the router's probes must bring it back into rotation unassisted.
+	i2.Revive()
+	waitFor(t, "revived replica back in rotation", 10*time.Second, func() bool {
+		return liveCount(base) == 3
+	})
+}

@@ -1,0 +1,20 @@
+// Package chaos is the fault-injection test suite for the distributed
+// tier. It stands up a 3-replica service fleet behind the consistent-hash
+// router — all in one process — with internal/fault injectors misbehaving
+// on purpose (injected 500s on the optimize path, latency on the execute
+// path, a one-shot crash of one replica), and asserts the resilience
+// contract end to end:
+//
+//   - no request overruns its propagated deadline beyond the grace window,
+//   - the client-visible error rate stays within the injected budget
+//     (retries absorb almost all injected failures),
+//   - experiment reports fetched through the chaotic fleet are
+//     byte-identical to a fault-free replica's,
+//   - /metrics and /v1/traces account for every injected fault, retry and
+//     markdown, and
+//   - the crashed replica rejoins the fleet after Revive.
+//
+// The package holds no production code; `make chaos` (and the -short CI
+// variant `make chaos-short`) additionally runs the same shape against
+// real processes via cmd/jobench.
+package chaos

@@ -1,0 +1,51 @@
+// Package deadline defines the wire form of end-to-end request deadlines
+// for the distributed tier: the router mints an absolute deadline from its
+// `-request-timeout` (or honors an earlier one supplied by the client),
+// stamps it on the forwarded request as the X-Jobench-Deadline header, and
+// every replica turns the header back into a context deadline that bounds
+// pool lookup, admission wait, truecard DP, reopt probes, and engine
+// execution. Absolute epoch time — not a relative timeout — is what makes
+// the deadline end-to-end: queueing and retries upstream consume budget
+// instead of resetting it.
+package deadline
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Header carries the absolute request deadline as integer epoch
+// milliseconds (UTC). Milliseconds keep the value human-readable in traces
+// and logs while staying far finer than any meaningful service timeout.
+const Header = "X-Jobench-Deadline"
+
+// Format renders t for the Header.
+func Format(t time.Time) string {
+	return strconv.FormatInt(t.UnixMilli(), 10)
+}
+
+// Parse decodes a Header value; ok is false for absent or malformed input.
+func Parse(s string) (t time.Time, ok bool) {
+	if s == "" {
+		return time.Time{}, false
+	}
+	ms, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || ms <= 0 {
+		return time.Time{}, false
+	}
+	return time.UnixMilli(ms), true
+}
+
+// FromRequest extracts the deadline header from r; ok is false when the
+// request carries none (or a malformed one — a garbled deadline must not
+// turn into an unbounded request, so callers treat it like "absent" and
+// apply their own default).
+func FromRequest(r *http.Request) (t time.Time, ok bool) {
+	return Parse(r.Header.Get(Header))
+}
+
+// Set stamps t on h, overwriting any existing value.
+func Set(h http.Header, t time.Time) {
+	h.Set(Header, Format(t))
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -184,6 +185,38 @@ func TestWorkLimitTimesOut(t *testing.T) {
 	}
 	if res.Work <= 10000 {
 		t.Fatalf("work %d not past the limit", res.Work)
+	}
+}
+
+// TestContextCancellationAborts: a cancelled Config.Ctx aborts execution
+// at a block boundary with the context's error, while a live context
+// changes nothing — neither the result nor the metered work.
+func TestContextCancellationAborts(t *testing.T) {
+	l := lab(t)
+	g, root := l.planFor(t, "17e", plan.Bushy)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(l.db, l.pkfk, g, root, Config{Rehash: true, Ctx: cancelled})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if res.TimedOut {
+		t.Fatal("cancellation must not masquerade as a work-limit timeout")
+	}
+
+	// A live context is inert: work and rows identical to no context.
+	bare, err := Run(l.db, l.pkfk, g, root, Config{Rehash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Run(l.db, l.pkfk, g, root, Config{Rehash: true, Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Rows != bounded.Rows || bare.Work != bounded.Work {
+		t.Fatalf("live ctx changed execution: (%d rows, %d work) vs (%d rows, %d work)",
+			bare.Rows, bare.Work, bounded.Rows, bounded.Work)
 	}
 }
 

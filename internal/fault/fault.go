@@ -1,0 +1,359 @@
+// Package fault is a deterministic, seed-driven fault-injection layer for
+// the distributed tier: an HTTP middleware that — per matched route —
+// injects latency (with jitter), error responses, hangs that last until
+// the client gives up, TCP connection resets, and a one-shot replica
+// "crash" after which every request (health probes included) sees its
+// connection severed, exactly as if the process had died.
+//
+// The package exists so the chaos suite (internal/chaos, `make chaos`)
+// can drive the router's retries, circuit breakers, deadline propagation
+// and the replicas' load shedding against *reproducible* misbehavior: all
+// randomness comes from one seeded generator, so a chaos run is replayable
+// given the same spec, seed and request order.
+//
+// Production safety is structural, not conventional: a nil *Injector is
+// the off state, its Wrap returns the wrapped handler unchanged (same
+// pointer, no closure, no allocation on the request path), and the only
+// way to obtain a non-nil Injector is an explicit non-empty spec — the
+// `-fault-spec` flag or the test API.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header marks an injected fault on the response so clients (and the chaos
+// assertions) can tell injected errors from organic ones.
+const Header = "X-Jobench-Fault"
+
+// Rule is one route's fault configuration. All probabilities are in
+// [0, 1] and are drawn independently per matched request, in a fixed
+// order (hang, reset, error, latency), from the injector's seeded
+// generator — which is what makes a run reproducible.
+type Rule struct {
+	// Route is a URL path prefix the rule applies to; "" and "*" match
+	// every path.
+	Route string
+	// Latency is the injected delay; Jitter adds a uniform random extra
+	// on top of it. The delay is bounded by the request context, so a
+	// cancelled (or deadline-exceeded) request never keeps sleeping.
+	Latency time.Duration
+	Jitter  time.Duration
+	// LatencyP is the probability a matched request is delayed; 0 with a
+	// non-zero Latency or Jitter means 1 (always).
+	LatencyP float64
+	// ErrorRate is the probability of an injected 500 (body and the
+	// X-Jobench-Fault header say "injected").
+	ErrorRate float64
+	// HangRate is the probability the handler blocks until the client
+	// gives up (request context done) and writes nothing.
+	HangRate float64
+	// ResetRate is the probability the TCP connection is severed before a
+	// response line is written — the client observes a connection reset,
+	// not an HTTP status.
+	ResetRate float64
+	// CrashAfter, when positive, "crashes" the replica after this many
+	// requests matched the rule: every later request on any route —
+	// health probes included — has its connection severed, exactly like a
+	// dead process, until Revive is called.
+	CrashAfter int
+}
+
+// validate bounds-checks the rule's probabilities and durations.
+func (r Rule) validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"latency_p", r.LatencyP}, {"error", r.ErrorRate}, {"hang", r.HangRate}, {"reset", r.ResetRate}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("fault: %s=%g out of [0,1]", p.name, p.v)
+		}
+	}
+	if r.Latency < 0 || r.Jitter < 0 {
+		return fmt.Errorf("fault: negative latency/jitter")
+	}
+	if r.CrashAfter < 0 {
+		return fmt.Errorf("fault: negative crash_after")
+	}
+	return nil
+}
+
+// Spec is a parsed fault specification: a seed and an ordered rule list
+// (first matching route wins).
+type Spec struct {
+	// Seed drives every probability draw and jitter choice (default 1).
+	Seed int64
+	// Rules are matched in order; the first rule whose Route prefixes the
+	// request path applies.
+	Rules []Rule
+}
+
+// ParseSpec parses the -fault-spec grammar: rules separated by ';', each
+// rule a comma-separated list of key=value pairs. Keys: route (path
+// prefix, default "*"), latency (duration), jitter (duration), latency_p,
+// error, hang, reset (probabilities in [0,1]), crash_after (request
+// count), and seed (spec-wide, settable in any rule). An empty spec
+// returns (nil, nil) — fault injection off.
+//
+//	latency on the execute path, 10% errors everywhere else:
+//	  "route=/v1/execute,latency=200ms,jitter=100ms,latency_p=0.5;route=*,error=0.1"
+//	crash after 500 requests:
+//	  "route=*,crash_after=500"
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &Spec{Seed: 1}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rule := Rule{Route: "*"}
+		for _, kv := range strings.Split(part, ",") {
+			kv = strings.TrimSpace(kv)
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: %q is not key=value", kv)
+			}
+			var err error
+			switch key {
+			case "route":
+				rule.Route = val
+			case "latency":
+				rule.Latency, err = time.ParseDuration(val)
+			case "jitter":
+				rule.Jitter, err = time.ParseDuration(val)
+			case "latency_p":
+				rule.LatencyP, err = strconv.ParseFloat(val, 64)
+			case "error":
+				rule.ErrorRate, err = strconv.ParseFloat(val, 64)
+			case "hang":
+				rule.HangRate, err = strconv.ParseFloat(val, 64)
+			case "reset":
+				rule.ResetRate, err = strconv.ParseFloat(val, 64)
+			case "crash_after":
+				rule.CrashAfter, err = strconv.Atoi(val)
+			case "seed":
+				spec.Seed, err = strconv.ParseInt(val, 10, 64)
+			default:
+				return nil, fmt.Errorf("fault: unknown key %q (route|latency|jitter|latency_p|error|hang|reset|crash_after|seed)", key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: invalid %s=%q: %w", key, val, err)
+			}
+		}
+		if err := rule.validate(); err != nil {
+			return nil, err
+		}
+		spec.Rules = append(spec.Rules, rule)
+	}
+	if len(spec.Rules) == 0 {
+		return nil, nil
+	}
+	return spec, nil
+}
+
+// Stats counts injected faults by kind, for /metrics and the chaos
+// accounting assertions.
+type Stats struct {
+	// Delays, Errors, Hangs and Resets count injected faults of each kind.
+	Delays int64
+	Errors int64
+	Hangs  int64
+	Resets int64
+	// Crashed reports whether the one-shot crash has fired.
+	Crashed bool
+}
+
+// Injector applies a Spec to an HTTP handler. A nil *Injector is the off
+// state: every method is a no-op and Wrap returns its argument unchanged.
+// A non-nil Injector is safe for concurrent use; its draws are serialized
+// behind a mutex so a single seed reproduces a run.
+type Injector struct {
+	rules []Rule
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	matched []int // per-rule matched-request counts (for crash_after)
+
+	delays  atomic.Int64
+	errors  atomic.Int64
+	hangs   atomic.Int64
+	resets  atomic.Int64
+	crashed atomic.Bool
+}
+
+// New builds an Injector from spec; a nil spec yields a nil Injector
+// (fault injection off).
+func New(spec *Spec) *Injector {
+	if spec == nil || len(spec.Rules) == 0 {
+		return nil
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{
+		rules:   spec.Rules,
+		rng:     rand.New(rand.NewSource(seed)),
+		matched: make([]int, len(spec.Rules)),
+	}
+}
+
+// Stats returns the injected-fault counters; the zero Stats on a nil
+// Injector.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return Stats{
+		Delays:  in.delays.Load(),
+		Errors:  in.errors.Load(),
+		Hangs:   in.hangs.Load(),
+		Resets:  in.resets.Load(),
+		Crashed: in.crashed.Load(),
+	}
+}
+
+// Revive clears the one-shot crash state and resets the per-rule match
+// counters, so a chaos script can model a replica restart without
+// restarting the process: the revived replica serves again and any
+// crash_after clock starts over, exactly as a fresh process's would.
+func (in *Injector) Revive() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	for i := range in.matched {
+		in.matched[i] = 0
+	}
+	in.mu.Unlock()
+	in.crashed.Store(false)
+}
+
+// decision is one request's drawn faults, computed under the mutex so the
+// draw order (and therefore the whole run) is deterministic in the seed.
+type decision struct {
+	hang  bool
+	reset bool
+	fail  bool
+	delay time.Duration
+}
+
+// decide matches path against the rules and draws the request's faults.
+func (in *Injector) decide(path string) decision {
+	var d decision
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, r := range in.rules {
+		if r.Route != "" && r.Route != "*" && !strings.HasPrefix(path, r.Route) {
+			continue
+		}
+		in.matched[i]++
+		if r.CrashAfter > 0 && in.matched[i] > r.CrashAfter {
+			// The tripping request is the first casualty: sever it too.
+			in.crashed.Store(true)
+			d.reset = true
+			return d
+		}
+		// Fixed draw order: hang, reset, error, latency. Every configured
+		// probability draws exactly once whether or not an earlier fault
+		// already fired, so one request consumes a spec-determined number
+		// of variates and the stream stays aligned across runs.
+		if r.HangRate > 0 && in.rng.Float64() < r.HangRate {
+			d.hang = true
+		}
+		if r.ResetRate > 0 && in.rng.Float64() < r.ResetRate {
+			d.reset = true
+		}
+		if r.ErrorRate > 0 && in.rng.Float64() < r.ErrorRate {
+			d.fail = true
+		}
+		if r.Latency > 0 || r.Jitter > 0 {
+			p := r.LatencyP
+			if p == 0 {
+				p = 1
+			}
+			if p >= 1 || in.rng.Float64() < p {
+				d.delay = r.Latency
+				if r.Jitter > 0 {
+					d.delay += time.Duration(in.rng.Int63n(int64(r.Jitter)))
+				}
+			}
+		}
+		break
+	}
+	return d
+}
+
+// Wrap returns h decorated with the injector's faults. On a nil Injector
+// it returns h itself — the production path carries no wrapper, no
+// closure, and no per-request allocation.
+func (in *Injector) Wrap(h http.Handler) http.Handler {
+	if in == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// A crashed replica is indistinguishable from a dead process:
+		// every connection — /healthz probes included — is severed.
+		if in.crashed.Load() {
+			in.resets.Add(1)
+			abort(w)
+			return
+		}
+		d := in.decide(r.URL.Path)
+		if d.hang {
+			in.hangs.Add(1)
+			// Hold the request open until the client gives up (deadline,
+			// disconnect, or server shutdown); write nothing.
+			<-r.Context().Done()
+			return
+		}
+		if d.reset {
+			in.resets.Add(1)
+			abort(w)
+			return
+		}
+		if d.delay > 0 {
+			in.delays.Add(1)
+			t := time.NewTimer(d.delay)
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				t.Stop()
+				return
+			}
+		}
+		if d.fail {
+			in.errors.Add(1)
+			w.Header().Set(Header, "injected")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			_, _ = w.Write([]byte(`{"error":"injected fault"}` + "\n"))
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// abort severs the client's TCP connection without writing a response
+// line: hijack and close when the server supports it, otherwise panic
+// with http.ErrAbortHandler (net/http's sanctioned mid-request abort).
+func abort(w http.ResponseWriter) {
+	if hj, ok := w.(http.Hijacker); ok {
+		if conn, _, err := hj.Hijack(); err == nil {
+			conn.Close()
+			return
+		}
+	}
+	panic(http.ErrAbortHandler)
+}

@@ -1,0 +1,274 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("route=/v1/execute,latency=200ms,jitter=100ms,latency_p=0.5;route=*,error=0.1,seed=7")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if spec.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", spec.Seed)
+	}
+	if len(spec.Rules) != 2 {
+		t.Fatalf("rules = %d, want 2", len(spec.Rules))
+	}
+	r := spec.Rules[0]
+	if r.Route != "/v1/execute" || r.Latency != 200*time.Millisecond || r.Jitter != 100*time.Millisecond || r.LatencyP != 0.5 {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if spec.Rules[1].Route != "*" || spec.Rules[1].ErrorRate != 0.1 {
+		t.Fatalf("rule 1 = %+v", spec.Rules[1])
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, s := range []string{"", "   ", ";"} {
+		spec, err := ParseSpec(s)
+		if err != nil || spec != nil {
+			t.Fatalf("ParseSpec(%q) = %v, %v; want nil, nil", s, spec, err)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, s := range []string{
+		"error=1.5",          // probability out of range
+		"latency=oops",       // bad duration
+		"frobnicate=1",       // unknown key
+		"route",              // not key=value
+		"crash_after=-1",     // negative count
+		"error=0.1,hang=-.2", // negative probability
+	} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestNilInjectorIsIdentity(t *testing.T) {
+	var in *Injector
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	wrapped := in.Wrap(h)
+	// Must be the identical function value — no wrapper on the production
+	// path (func values aren't ==-comparable, so compare code pointers).
+	if reflect.ValueOf(wrapped).Pointer() != reflect.ValueOf(h).Pointer() {
+		t.Fatalf("nil injector Wrap changed the handler: %T", wrapped)
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("nil injector Stats = %+v, want zero", s)
+	}
+	in.Revive() // must not panic
+}
+
+func TestNilInjectorNoAllocations(t *testing.T) {
+	var in *Injector
+	h := http.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = in.Wrap(h)
+		_ = in.Stats()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil injector allocates %v per wrap+stats, want 0", allocs)
+	}
+}
+
+func TestDeterministicDraws(t *testing.T) {
+	spec := &Spec{Seed: 42, Rules: []Rule{{Route: "*", ErrorRate: 0.3}}}
+	run := func() []bool {
+		in := New(spec)
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = in.decide("/v1/optimize").fail
+		}
+		return out
+	}
+	a, b := run(), run()
+	errs := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs between identical seeds", i)
+		}
+		if a[i] {
+			errs++
+		}
+	}
+	// 200 draws at p=0.3: expect ~60; a wide band guards the plumbing,
+	// not the RNG.
+	if errs < 30 || errs > 100 {
+		t.Fatalf("injected %d/200 errors at p=0.3; draw stream looks wrong", errs)
+	}
+}
+
+func TestInjectedError(t *testing.T) {
+	in := New(&Spec{Seed: 1, Rules: []Rule{{Route: "/v1/", ErrorRate: 1}}})
+	ok := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	srv := httptest.NewServer(in.Wrap(ok))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/optimize")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	if resp.Header.Get(Header) != "injected" {
+		t.Fatalf("missing %s header; body %q", Header, body)
+	}
+	if !strings.Contains(string(body), "injected fault") {
+		t.Fatalf("body = %q", body)
+	}
+
+	// Unmatched route passes through untouched.
+	resp2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("get healthz: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d, want 200", resp2.StatusCode)
+	}
+
+	if s := in.Stats(); s.Errors != 1 || s.Delays != 0 || s.Resets != 0 || s.Hangs != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInjectedLatencyBoundedByContext(t *testing.T) {
+	in := New(&Spec{Seed: 1, Rules: []Rule{{Route: "*", Latency: time.Hour}}})
+	srv := httptest.NewServer(in.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+	start := time.Now()
+	_, err := http.DefaultClient.Do(req)
+	if err == nil {
+		t.Fatal("expected context-deadline error through injected latency")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("injected sleep ignored the context (took %v)", elapsed)
+	}
+	if s := in.Stats(); s.Delays != 1 {
+		t.Fatalf("stats = %+v, want 1 delay", s)
+	}
+}
+
+func TestInjectedReset(t *testing.T) {
+	in := New(&Spec{Seed: 1, Rules: []Rule{{Route: "*", ResetRate: 1}}})
+	srv := httptest.NewServer(in.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer srv.Close()
+
+	_, err := http.Get(srv.URL + "/x")
+	if err == nil {
+		t.Fatal("expected transport error from injected reset")
+	}
+	if s := in.Stats(); s.Resets != 1 {
+		t.Fatalf("stats = %+v, want 1 reset", s)
+	}
+}
+
+func TestInjectedHangEndsWithClient(t *testing.T) {
+	in := New(&Spec{Seed: 1, Rules: []Rule{{Route: "*", HangRate: 1}}})
+	srv := httptest.NewServer(in.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+	_, err := http.DefaultClient.Do(req)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if s := in.Stats(); s.Hangs != 1 {
+		t.Fatalf("stats = %+v, want 1 hang", s)
+	}
+}
+
+func TestCrashAfterSeversEverything(t *testing.T) {
+	in := New(&Spec{Seed: 1, Rules: []Rule{{Route: "/v1/", CrashAfter: 2}}})
+	srv := httptest.NewServer(in.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, error) {
+		resp, err := http.Get(srv.URL + path)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return resp, err
+	}
+
+	// First two matched requests survive.
+	for i := 0; i < 2; i++ {
+		if resp, err := get("/v1/optimize"); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d before crash: %v / %v", i, resp, err)
+		}
+	}
+	// Third matched request trips the crash.
+	if _, err := get("/v1/optimize"); err == nil {
+		t.Fatal("expected reset on crash-tripping request")
+	}
+	// After the crash even unmatched routes (health probes) are severed.
+	if _, err := get("/healthz"); err == nil {
+		t.Fatal("expected reset on /healthz after crash")
+	}
+	if s := in.Stats(); !s.Crashed || s.Resets < 2 {
+		t.Fatalf("stats = %+v, want crashed with >=2 resets", s)
+	}
+
+	// Revive restores service, like a restarted replica.
+	in.Revive()
+	if resp, err := get("/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("after revive: %v / %v", resp, err)
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	in := New(&Spec{Seed: 1, Rules: []Rule{
+		{Route: "/v1/execute", ErrorRate: 1},
+		{Route: "*", ErrorRate: 0},
+	}})
+	srv := httptest.NewServer(in.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/optimize")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize should fall through to the catch-all: %v / %v", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/v1/execute")
+	if err != nil {
+		t.Fatalf("execute: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("execute status = %d, want injected 500", resp.StatusCode)
+	}
+}

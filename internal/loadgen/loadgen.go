@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -23,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"jobench/internal/deadline"
 	"jobench/internal/trace"
 )
 
@@ -38,6 +40,39 @@ const (
 	// repeat traffic.
 	ClassReopt = "reopt"
 )
+
+// Failure class names in ClassResult.Failures. Lumping everything into
+// one error count hides exactly the distinction chaos runs exist to make:
+// a 429 is the system protecting itself (correct behavior under overload),
+// a timeout is a deadline doing its job, and a transport error or stray
+// 5xx is an actual failure.
+const (
+	FailTimeout   = "timeout"      // client deadline expired, or a 504 from the target
+	FailShed      = "shed"         // 429: load shed by admission control
+	FailServer    = "server_error" // other 5xx
+	FailClient    = "client_error" // 4xx other than 429
+	FailTransport = "transport"    // connection-level error, no HTTP response
+)
+
+// classifyFailure buckets one request outcome; "" means success.
+func classifyFailure(status int, err error) string {
+	switch {
+	case err != nil:
+		if errors.Is(err, context.DeadlineExceeded) {
+			return FailTimeout
+		}
+		return FailTransport
+	case status == http.StatusTooManyRequests:
+		return FailShed
+	case status == http.StatusGatewayTimeout:
+		return FailTimeout
+	case status >= 500:
+		return FailServer
+	case status >= 400:
+		return FailClient
+	}
+	return ""
+}
 
 // Config configures one load run.
 type Config struct {
@@ -82,6 +117,15 @@ type Config struct {
 	// Experiments are the names the experiment class picks from (default
 	// fig3, the cheapest estimation sweep).
 	Experiments []string
+	// RequestTimeout, when positive, bounds every request client-side AND
+	// rides along as an absolute X-Jobench-Deadline header, so the target
+	// tier can enforce the same deadline internally. Latencies beyond
+	// RequestTimeout+DeadlineGrace count as deadline overruns — the
+	// deadline-enforcement check a chaos run asserts on.
+	RequestTimeout time.Duration
+	// DeadlineGrace is the slack allowed over RequestTimeout before a
+	// request counts as a deadline overrun (default 500ms).
+	DeadlineGrace time.Duration
 	// Client is the HTTP client used for every request (default: one
 	// client with sensible connection reuse).
 	Client *http.Client
@@ -104,6 +148,16 @@ type ClassResult struct {
 	Errors        int64     `json:"errors"`
 	ThroughputRPS float64   `json:"throughput_rps"`
 	Latency       LatencyMS `json:"latency_ms"`
+	// ErrorRate is Errors/Requests (0 when no requests ran).
+	ErrorRate float64 `json:"error_rate"`
+	// Failures breaks Errors down by failure class (timeout, shed,
+	// server_error, client_error, transport); absent when everything
+	// succeeded.
+	Failures map[string]int64 `json:"failures,omitempty"`
+	// DeadlineOverruns counts requests observed to take longer than
+	// Config.RequestTimeout+DeadlineGrace — each one is a deadline the
+	// serving tier failed to enforce (always 0 without a RequestTimeout).
+	DeadlineOverruns int64 `json:"deadline_overruns"`
 	// SlowTraces are the class's slowest requests with the trace IDs the
 	// generator stamped on them (X-Jobench-Trace) — p99 exemplars to look
 	// up in the target's /v1/traces.
@@ -232,18 +286,27 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	if cfg.DeadlineGrace <= 0 {
+		cfg.DeadlineGrace = 500 * time.Millisecond
+	}
+
 	type workerState struct {
 		hists     map[string]*Histogram
 		errors    map[string]int64
+		failures  map[string]map[string]int64
+		overruns  map[string]int64
 		exemplars map[string][]TraceExemplar
 	}
 	states := make([]workerState, cfg.Concurrency)
 	for i := range states {
 		states[i].hists = make(map[string]*Histogram, len(classes))
 		states[i].errors = make(map[string]int64, len(classes))
+		states[i].failures = make(map[string]map[string]int64, len(classes))
+		states[i].overruns = make(map[string]int64, len(classes))
 		states[i].exemplars = make(map[string][]TraceExemplar, len(classes))
 		for _, c := range classes {
 			states[i].hists[c] = &Histogram{}
+			states[i].failures[c] = make(map[string]int64)
 		}
 	}
 
@@ -262,9 +325,20 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			st := &states[w]
 			for runCtx.Err() == nil {
 				class := pickClass(rng, classes, weights, totalWeight)
-				req, err := buildRequest(runCtx, cfg, queries, rng, class)
+				// Each request gets its own deadline inside the run window;
+				// the absolute header tells the serving tier to enforce it
+				// end-to-end, and the client-side ctx is the backstop.
+				reqCtx, reqCancel := runCtx, context.CancelFunc(func() {})
+				if cfg.RequestTimeout > 0 {
+					reqCtx, reqCancel = context.WithTimeout(runCtx, cfg.RequestTimeout)
+				}
+				req, err := buildRequest(reqCtx, cfg, queries, rng, class)
 				if err != nil {
+					reqCancel()
 					return // only fails on a broken config; don't spin
+				}
+				if cfg.RequestTimeout > 0 {
+					deadline.Set(req.Header, time.Now().Add(cfg.RequestTimeout))
 				}
 				// Stamp a trace ID on every request so slow outliers can be
 				// looked up in the target's /v1/traces afterwards.
@@ -273,24 +347,30 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				t0 := time.Now()
 				resp, err := cfg.Client.Do(req)
 				elapsed := time.Since(t0)
-				if err != nil {
-					if runCtx.Err() != nil {
-						return // deadline mid-request, not a real failure
-					}
-					st.errors[class]++
-					st.hists[class].Record(elapsed)
-					continue
+				status := 0
+				if err == nil {
+					status = resp.StatusCode
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				} else if runCtx.Err() != nil {
+					reqCancel()
+					return // run window closed mid-request, not a real failure
 				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode >= 400 {
+				reqCancel()
+				if fail := classifyFailure(status, err); fail != "" {
 					st.errors[class]++
+					st.failures[class][fail]++
+				}
+				if cfg.RequestTimeout > 0 && elapsed > cfg.RequestTimeout+cfg.DeadlineGrace {
+					st.overruns[class]++
 				}
 				st.hists[class].Record(elapsed)
-				st.exemplars[class] = recordExemplar(st.exemplars[class], TraceExemplar{
-					TraceID:   tid.String(),
-					LatencyMS: float64(elapsed.Microseconds()) / 1000,
-				})
+				if err == nil {
+					st.exemplars[class] = recordExemplar(st.exemplars[class], TraceExemplar{
+						TraceID:   tid.String(),
+						LatencyMS: float64(elapsed.Microseconds()) / 1000,
+					})
+				}
 			}
 		}(i)
 	}
@@ -311,34 +391,54 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Classes:         make(map[string]ClassResult, len(classes)),
 	}
 	total := &Histogram{}
-	var totalErrs int64
+	var totalErrs, totalOverruns int64
+	totalFails := make(map[string]int64)
 	for _, c := range classes {
 		h := &Histogram{}
-		var errs int64
+		var errs, overruns int64
+		fails := make(map[string]int64)
 		var slow []TraceExemplar
 		for i := range states {
 			h.Merge(states[i].hists[c])
 			errs += states[i].errors[c]
+			overruns += states[i].overruns[c]
+			for k, n := range states[i].failures[c] {
+				fails[k] += n
+			}
 			for _, e := range states[i].exemplars[c] {
 				slow = recordExemplar(slow, e)
 			}
 		}
-		cr := classResult(h, errs, elapsed)
+		cr := classResult(h, errs, overruns, fails, elapsed)
 		cr.SlowTraces = slow
 		res.Classes[c] = cr
 		total.Merge(h)
 		totalErrs += errs
+		totalOverruns += overruns
+		for k, n := range fails {
+			totalFails[k] += n
+		}
 	}
-	res.Total = classResult(total, totalErrs, elapsed)
+	res.Total = classResult(total, totalErrs, totalOverruns, totalFails, elapsed)
 	return res, nil
 }
 
-func classResult(h *Histogram, errs int64, window time.Duration) ClassResult {
+func classResult(h *Histogram, errs, overruns int64, fails map[string]int64, window time.Duration) ClassResult {
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	var rate float64
+	if h.Count() > 0 {
+		rate = float64(errs) / float64(h.Count())
+	}
+	if len(fails) == 0 {
+		fails = nil
+	}
 	return ClassResult{
-		Requests:      h.Count(),
-		Errors:        errs,
-		ThroughputRPS: float64(h.Count()) / window.Seconds(),
+		Requests:         h.Count(),
+		Errors:           errs,
+		ErrorRate:        rate,
+		Failures:         fails,
+		DeadlineOverruns: overruns,
+		ThroughputRPS:    float64(h.Count()) / window.Seconds(),
 		Latency: LatencyMS{
 			P50:  ms(h.Quantile(0.50)),
 			P90:  ms(h.Quantile(0.90)),

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log/slog"
 	"math/rand"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"jobench/internal/deadline"
 	"jobench/internal/trace"
 )
 
@@ -238,5 +240,78 @@ func TestReoptClass(t *testing.T) {
 	}
 	if cr.Latency.P50 <= 0 {
 		t.Fatalf("reopt histogram empty: %+v", cr.Latency)
+	}
+}
+
+// TestFailureClassification: timeouts, sheds, server errors and deadline
+// overruns land in their own buckets (with the deadline header stamped on
+// every request), so a chaos run can assert on each class separately.
+func TestFailureClassification(t *testing.T) {
+	var n atomic.Int64
+	var sawDeadline atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/queries" {
+			_ = json.NewEncoder(w).Encode(map[string]any{"queries": []string{"1a"}})
+			return
+		}
+		if r.Header.Get(deadline.Header) != "" {
+			sawDeadline.Store(true)
+		}
+		io.Copy(io.Discard, r.Body)
+		switch n.Add(1) % 4 {
+		case 0: // success
+			fmt.Fprint(w, `{"ok":true}`)
+		case 1: // shed
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 2: // server error
+			w.WriteHeader(http.StatusInternalServerError)
+		case 3: // hang past the request deadline -> client-side timeout + overrun
+			select {
+			case <-time.After(2 * time.Second):
+			case <-r.Context().Done():
+			}
+		}
+	}))
+	t.Cleanup(srv.Close)
+
+	res, err := Run(context.Background(), Config{
+		Target:         srv.URL,
+		Duration:       900 * time.Millisecond,
+		Concurrency:    4,
+		Seed:           11,
+		Mix:            map[string]int{ClassOptimize: 1},
+		RequestTimeout: 150 * time.Millisecond,
+		DeadlineGrace:  50 * time.Millisecond,
+		Logger:         testLogger(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawDeadline.Load() {
+		t.Fatal("no request carried the deadline header")
+	}
+	f := res.Total.Failures
+	if f[FailShed] == 0 || f[FailServer] == 0 || f[FailTimeout] == 0 {
+		t.Fatalf("failure classes not all populated: %v", f)
+	}
+	var sum int64
+	for _, v := range f {
+		sum += v
+	}
+	if sum != res.Total.Errors {
+		t.Fatalf("failure classes sum to %d, errors = %d", sum, res.Total.Errors)
+	}
+	if res.Total.ErrorRate <= 0 || res.Total.ErrorRate > 1 {
+		t.Fatalf("error rate %v out of range", res.Total.ErrorRate)
+	}
+	// The hung responses are cut client-side at RequestTimeout, well inside
+	// the grace window — they count as timeouts, NOT as overruns (an
+	// overrun means the latency itself escaped the deadline).
+	if res.Total.DeadlineOverruns != 0 {
+		t.Fatalf("deadline overruns = %d, want 0: the client enforces its own deadline", res.Total.DeadlineOverruns)
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,6 +1,9 @@
 package parallel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Flight is a generic single-flight group: concurrent Do calls for one key
 // collapse into a single execution of fn, whose result every waiter shares.
@@ -52,4 +55,51 @@ func (f *Flight[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared b
 	f.mu.Unlock()
 	close(c.done)
 	return c.v, c.err, false
+}
+
+// DoContext is Do with a bounded wait: if ctx ends before the flight for
+// key finishes, DoContext returns ctx.Err() immediately — but the flight
+// itself keeps running to completion. That asymmetry is deliberate: the
+// winning fn typically populates an external cache (system pool, report
+// cache), and abandoning it halfway because one requester's deadline
+// fired would waste the work every other waiter — and the next request —
+// could have reused. fn receives a context that is NOT the caller's: it
+// stays live until fn returns, so a deadline-bounded requester leaving
+// early never cancels construction out from under later joiners.
+//
+// Unlike Do, fn runs on its own goroutine even for the initiating caller.
+func (f *Flight[K, V]) DoContext(ctx context.Context, key K, fn func() (V, error)) (v V, err error, shared bool) {
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[K]*flightCall[V])
+	}
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.v, c.err, true
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err(), true
+		}
+	}
+	c := &flightCall[V]{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	go func() {
+		c.v, c.err = fn()
+		f.mu.Lock()
+		delete(f.m, key)
+		f.mu.Unlock()
+		close(c.done)
+	}()
+
+	select {
+	case <-c.done:
+		return c.v, c.err, false
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err(), false
+	}
 }

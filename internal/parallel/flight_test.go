@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -88,6 +89,68 @@ func TestFlightDoesNotCacheResultsOrErrors(t *testing.T) {
 	v, _, _ = f.Do("k", func() (int, error) { return 8, nil })
 	if v != 8 {
 		t.Fatalf("third call returned stale value %d", v)
+	}
+}
+
+func TestFlightDoContextReturnsOnDeadline(t *testing.T) {
+	var f Flight[string, int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+	fnDone := make(chan struct{})
+
+	// Initiator with an already-short deadline: it must give up promptly,
+	// while fn keeps running to completion.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err, _ := f.DoContext(ctx, "k", func() (int, error) {
+		close(started)
+		<-release
+		close(fnDone)
+		return 42, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("initiator err = %v, want deadline exceeded", err)
+	}
+
+	// A joiner with its own expired context also leaves immediately.
+	<-started
+	expired, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	_, err, shared := f.DoContext(expired, "k", func() (int, error) { return 0, nil })
+	if !errors.Is(err, context.Canceled) || !shared {
+		t.Fatalf("joiner = (%v, shared=%v), want canceled + shared", err, shared)
+	}
+
+	// The abandoned flight still completes, and a patient joiner gets its
+	// value — the work was not cancelled out from under the cache.
+	got := make(chan int, 1)
+	go func() {
+		v, err, _ := f.DoContext(context.Background(), "k", func() (int, error) { return -1, nil })
+		if err != nil {
+			t.Errorf("patient joiner: %v", err)
+		}
+		got <- v
+	}()
+	// Give the patient joiner time to register on the in-flight call (it is
+	// runnable and nothing else blocks it on the way into DoContext).
+	time.Sleep(300 * time.Millisecond)
+	close(release)
+	<-fnDone
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("patient joiner got %d, want the original flight's 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("patient joiner never returned")
+	}
+}
+
+func TestFlightDoContextCompletesWithoutDeadline(t *testing.T) {
+	var f Flight[string, int]
+	v, err, shared := f.DoContext(context.Background(), "k", func() (int, error) { return 9, nil })
+	if err != nil || v != 9 || shared {
+		t.Fatalf("DoContext = (%d, %v, shared=%v)", v, err, shared)
 	}
 }
 

@@ -157,10 +157,11 @@ type Result struct {
 // whenever an observed intermediate's q-error exceeds the threshold,
 // re-enter plan enumeration over the whole query with the observation
 // pinned. Pinned carries prior knowledge (e.g. a feedback-cache hit) and
-// may be nil; it is not mutated. ctx carries an optional trace: each
+// may be nil; it is not mutated. ctx carries an optional trace (each
 // probe and each replan decision records a span, so /v1/traces shows
-// *why* an adaptive execution replanned. ctx is observability-only —
-// cancellation is governed by the work limit as before.
+// *why* an adaptive execution replanned) and bounds execution: a
+// cancelled or deadline-exceeded ctx aborts the current probe or final
+// execution at the next block boundary with ctx's error.
 func Run(ctx context.Context, g *query.Graph, prov cardest.Provider, pinned map[query.BitSet]float64, cfg Config) (Result, error) {
 	threshold := cfg.QErrThreshold
 	if threshold <= 0 {
@@ -192,7 +193,7 @@ func Run(ctx context.Context, g *query.Graph, prov cardest.Provider, pinned map[
 		Algorithm:  cfg.Algorithm,
 		Seed:       cfg.Seed,
 	}
-	ecfg := engine.Config{Rehash: cfg.Rehash, WorkLimit: cfg.WorkLimit}
+	ecfg := engine.Config{Rehash: cfg.Rehash, WorkLimit: cfg.WorkLimit, Ctx: ctx}
 
 	res := Result{Observed: make(map[query.BitSet]float64)}
 	cur, err := opt.Optimize(g, NewPropagator(prov, overrides))
@@ -371,7 +372,7 @@ func Run(ctx context.Context, g *query.Graph, prov cardest.Provider, pinned map[
 				if rec.sig == signature(n) {
 					return rec.work
 				}
-				m, err := runner.RunSubtree(cfg.DB, cfg.Indexes, g, n, engine.Config{Rehash: cfg.Rehash})
+				m, err := runner.RunSubtree(cfg.DB, cfg.Indexes, g, n, engine.Config{Rehash: cfg.Rehash, Ctx: ctx})
 				if err != nil {
 					rerr = err
 					return 0

@@ -4,9 +4,23 @@
 // for it. The router health-checks each replica's /healthz on an interval,
 // marks a replica down after consecutive failures (its keys move to the
 // next-clockwise neighbor; everyone else's keys stay put) and back up on
-// recovery, bounds per-replica in-flight forwards, fails a transport error
-// over to the next live candidate, and exposes its own /healthz and
-// /metrics (per-replica request counts, latencies, retries, mark-downs).
+// recovery, bounds per-replica in-flight forwards, and exposes its own
+// /healthz and /metrics (per-replica request counts, latencies, retries,
+// mark-downs, breaker state).
+//
+// The router is also the resilience boundary of the distributed tier. It
+// mints an absolute end-to-end deadline (X-Jobench-Deadline) that replicas
+// enforce as context deadlines all the way into engine execution; it
+// retries transport errors and retryable 5xx on the next candidate with
+// exponential backoff and jitter, but only on idempotent routes, only
+// within the remaining deadline, and only while the client's retry budget
+// (a token bucket refilled as a fraction of its request rate) has tokens —
+// so a correlated outage degrades to pass-through instead of a retry
+// storm. A per-replica circuit breaker over a sliding outcome window
+// routes half the traffic around a replica that answers but fails, the
+// step between healthy and probe-driven mark-down. On shutdown the router
+// drains: in-flight forwards get ShutdownGrace to finish before their
+// contexts are cancelled.
 package router
 
 import (
@@ -16,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
@@ -25,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jobench/internal/deadline"
 	"jobench/internal/trace"
 )
 
@@ -49,8 +65,29 @@ type Config struct {
 	// ForwardTimeout bounds one forwarded request, queueing included
 	// (default 5m — experiment sweeps are legitimately slow).
 	ForwardTimeout time.Duration
+	// RequestTimeout is the end-to-end deadline the router mints for every
+	// forwarded request as an absolute X-Jobench-Deadline header, honored
+	// by replicas as a context deadline all the way into engine execution.
+	// A client-supplied earlier deadline wins; a later one is clamped to
+	// this policy. Default: ForwardTimeout.
+	RequestTimeout time.Duration
+	// AttemptTimeout bounds ONE forward attempt, so a hung replica burns
+	// one attempt's worth of budget instead of the whole deadline — the
+	// remaining budget funds a retry on the next candidate. Default:
+	// RequestTimeout (one attempt may use the full budget).
+	AttemptTimeout time.Duration
+	// MaxRetries bounds re-attempts after the first forward (transport
+	// errors and retryable 5xx alike; default 2).
+	MaxRetries int
+	// RetryBudget is the per-client retry allowance as a fraction of its
+	// request rate: each initial request earns this many retry tokens
+	// (bucket capped at 10), each retry spends one, and an empty bucket
+	// means the failure is served as-is — no retry storms under correlated
+	// failure (default 0.2).
+	RetryBudget float64
 	// ShutdownGrace bounds how long a cancelled router waits for in-flight
-	// forwards to flush (default 5s).
+	// forwards to drain — undisturbed — before cancelling the stragglers
+	// (default 5s).
 	ShutdownGrace time.Duration
 	// TraceCapacity bounds the ring buffer of recently finished request
 	// traces served by the router's own /v1/traces (non-positive selects
@@ -79,6 +116,18 @@ func (c Config) logf() func(format string, args ...any) {
 	}
 }
 
+// Circuit-breaker tuning. The breaker watches a sliding window of forward
+// outcomes per replica and sits BETWEEN healthy and marked-down: a replica
+// that still answers probes but fails half its real requests gets half its
+// traffic routed around it (hysteresis keeps it from flapping), while the
+// probe-driven mark-down still handles the fully dead case.
+const (
+	breakerWindow     = 32  // outcomes remembered per replica
+	breakerMinSamples = 16  // don't judge a replica on fewer outcomes
+	breakerOnFrac     = 0.5 // failure fraction that starts throttling
+	breakerOffFrac    = 0.2 // failure fraction that ends it
+)
+
 // replica is one backend and its router-side state.
 type replica struct {
 	url string
@@ -88,11 +137,21 @@ type replica struct {
 
 	slots chan struct{} // in-flight limiter, capacity InFlightPerReplica
 
-	mu        sync.Mutex
-	requests  map[int]int64 // status code -> count (0 = transport error)
-	seconds   float64       // cumulative forward latency
-	retries   int64         // transport errors that triggered failover
-	markDowns int64         // up -> down transitions
+	// Breaker state: throttled/throttleTick are read on the hot path
+	// lock-free; the outcome window is folded into the mu section the
+	// per-request bookkeeping already takes.
+	throttled    atomic.Bool
+	throttleTick atomic.Int64 // alternates admit/defer while throttled
+
+	mu          sync.Mutex
+	requests    map[int]int64 // status code -> count (0 = transport error)
+	seconds     float64       // cumulative forward latency
+	retries     int64         // re-attempts that landed on this replica
+	markDowns   int64         // up -> down transitions
+	outcomes    [breakerWindow]bool
+	outcomeIdx  int
+	outcomeN    int
+	transitions int64 // breaker state flips (both directions)
 }
 
 // Server is the consistent-hash router.
@@ -103,8 +162,11 @@ type Server struct {
 	mux      *http.ServeMux
 	client   *http.Client
 	traces   *trace.Store
+	budget   *budgetPool
 
-	noReplica atomic.Int64 // requests refused because no replica was live
+	noReplica       atomic.Int64 // requests refused because no replica was live
+	deadlineExpired atomic.Int64 // requests that ran out their end-to-end deadline here
+	budgetDenied    atomic.Int64 // retries suppressed by an empty client budget
 }
 
 // New builds a router Server (without binding a socket).
@@ -127,17 +189,41 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ForwardTimeout <= 0 {
 		cfg.ForwardTimeout = 5 * time.Minute
 	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = cfg.ForwardTimeout
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = cfg.RequestTimeout
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 0.2
+	}
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = 5 * time.Second
 	}
 	ring := NewRingFromConfig(cfg.Replicas)
+	// Tuned transport: the stdlib default of 2 idle conns per host forces
+	// reconnect churn the moment fan-out exceeds 2, and an unbounded dial
+	// lets a black-holed replica eat a whole attempt. Size the keep-alive
+	// pool to the in-flight bound so steady state never redials; the
+	// per-attempt timeout still comes from request contexts.
+	transport := &http.Transport{
+		DialContext:         (&net.Dialer{Timeout: 2 * time.Second, KeepAlive: 30 * time.Second}).DialContext,
+		MaxIdleConns:        len(cfg.Replicas) * cfg.InFlightPerReplica,
+		MaxIdleConnsPerHost: cfg.InFlightPerReplica,
+		IdleConnTimeout:     90 * time.Second,
+	}
 	s := &Server{
 		cfg:      cfg,
 		ring:     ring,
 		replicas: make(map[string]*replica, len(ring.Replicas())),
 		mux:      http.NewServeMux(),
-		client:   &http.Client{}, // per-attempt timeouts come from request contexts
+		client:   &http.Client{Transport: transport},
 		traces:   trace.NewStore(cfg.TraceCapacity),
+		budget:   newBudgetPool(cfg.RetryBudget),
 	}
 	for _, u := range ring.Replicas() {
 		rep := &replica{
@@ -194,15 +280,25 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	return s.Serve(ctx, ln)
 }
 
-// Serve runs the router on an existing listener until ctx is cancelled.
+// Serve runs the router on an existing listener until ctx is cancelled,
+// then drains: it stops accepting, lets in-flight forwards finish
+// undisturbed for up to ShutdownGrace, and only then cancels the
+// stragglers — a deploy-time SIGTERM doesn't fail requests that were
+// about to succeed.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
 	go s.healthLoop(hctx)
 
+	// Request contexts are detached from the serve ctx (WithoutCancel) so
+	// cancellation reaches them only via cancelRequests, after the grace
+	// window — not the instant SIGTERM lands.
+	reqCtx, cancelRequests := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancelRequests()
+
 	srv := &http.Server{
 		Handler:     s.Handler(),
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		BaseContext: func(net.Listener) context.Context { return reqCtx },
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -210,11 +306,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		s.cfg.logf()("jobench router: shutting down (%v)", context.Cause(ctx))
+		s.cfg.logf()("jobench router: draining in-flight forwards (%v)", context.Cause(ctx))
 		shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 		defer cancel()
 		err := srv.Shutdown(shutCtx)
+		cancelRequests() // grace spent: cut off whatever is still running
 		<-errc
+		if err != nil {
+			// Shutdown gave up waiting; close the remaining conns now that
+			// their handlers have lost their contexts.
+			_ = srv.Close()
+		}
 		return err
 	}
 }
@@ -292,6 +394,168 @@ func (s *Server) isLive(url string) bool {
 	return rep != nil && rep.up.Load()
 }
 
+// recordOutcome feeds one forward result into rep's breaker window and
+// flips the breaker with hysteresis: throttling starts at breakerOnFrac
+// over at least breakerMinSamples and ends only below breakerOffFrac, so
+// a replica hovering around the threshold doesn't flap.
+func (s *Server) recordOutcome(rep *replica, failure bool) {
+	rep.mu.Lock()
+	rep.outcomes[rep.outcomeIdx] = failure
+	rep.outcomeIdx = (rep.outcomeIdx + 1) % breakerWindow
+	if rep.outcomeN < breakerWindow {
+		rep.outcomeN++
+	}
+	fails := 0
+	for i := 0; i < rep.outcomeN; i++ {
+		if rep.outcomes[i] {
+			fails++
+		}
+	}
+	frac := float64(fails) / float64(rep.outcomeN)
+	var flip string
+	switch {
+	case !rep.throttled.Load() && rep.outcomeN >= breakerMinSamples && frac >= breakerOnFrac:
+		rep.throttled.Store(true)
+		rep.transitions++
+		flip = "throttling"
+	case rep.throttled.Load() && frac < breakerOffFrac:
+		rep.throttled.Store(false)
+		rep.transitions++
+		flip = "restored"
+	}
+	n := rep.outcomeN
+	rep.mu.Unlock()
+	if flip != "" {
+		s.cfg.logf()("jobench router: breaker %s replica %s (failure fraction %.2f over %d outcomes)",
+			flip, rep.url, frac, n)
+	}
+}
+
+// --- retry budget -----------------------------------------------------------
+
+const (
+	budgetBurst      = 10   // max banked retry tokens per client
+	budgetMaxClients = 1024 // bound on tracked clients (arbitrary eviction past it)
+)
+
+// budgetPool is the per-client retry-token store: each initial request
+// earns ratio tokens, each retry spends one, and a new client starts with
+// a full bucket so cold-start failovers aren't penalized. Under sustained
+// correlated failure the bucket drains and retries stop — the router
+// amplifies load by at most (1 + ratio) instead of (1 + MaxRetries).
+type budgetPool struct {
+	ratio float64
+	mu    sync.Mutex
+	m     map[string]float64
+}
+
+func newBudgetPool(ratio float64) *budgetPool {
+	return &budgetPool{ratio: ratio, m: make(map[string]float64)}
+}
+
+// earn credits one initial request from client.
+func (p *budgetPool) earn(client string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.m[client]
+	if !ok {
+		if len(p.m) >= budgetMaxClients {
+			for k := range p.m { // bound the map; precision isn't the point
+				delete(p.m, k)
+				break
+			}
+		}
+		v = budgetBurst
+	} else if v += p.ratio; v > budgetBurst {
+		v = budgetBurst
+	}
+	p.m[client] = v
+}
+
+// spend takes one retry token; false means the budget is exhausted.
+func (p *budgetPool) spend(client string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m[client] < 1 {
+		return false
+	}
+	p.m[client]--
+	return true
+}
+
+// clientHost is the budget key: the peer address without the ephemeral
+// port, so one misbehaving host shares one bucket across connections.
+func clientHost(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}
+
+// retryableRoute reports whether a request is safe to re-send after a
+// failed attempt. Every route here is a deterministic read over immutable
+// snapshots (replaying cannot double-apply anything); unknown POSTs get no
+// retries, only the response they earned.
+func retryableRoute(r *http.Request) bool {
+	if r.Method == http.MethodGet {
+		return true
+	}
+	if r.Method != http.MethodPost {
+		return false
+	}
+	switch r.URL.Path {
+	case "/v1/optimize", "/v1/estimate", "/v1/explain", "/v1/execute":
+		return true
+	}
+	return false
+}
+
+// retryableStatus reports whether a replica response is worth re-sending
+// elsewhere: 500/502/503 are replica-local failures another candidate may
+// not share. 429 is load shedding — retrying defeats it — and 504 means
+// the shared deadline budget ran out, which no retry can beat.
+func retryableStatus(code int) bool {
+	return code == http.StatusInternalServerError ||
+		code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable
+}
+
+// mayRetry decides (and charges for) one more attempt: the route must be
+// replayable, attempts must remain, enough deadline must be left to be
+// worth spending, and the client's budget must have a token.
+func (s *Server) mayRetry(ctx context.Context, client string, tried int, dl time.Time, routeOK bool) bool {
+	if !routeOK || tried > s.cfg.MaxRetries || ctx.Err() != nil {
+		return false
+	}
+	if time.Until(dl) < 10*time.Millisecond {
+		return false
+	}
+	if !s.budget.spend(client) {
+		s.budgetDenied.Add(1)
+		trace.Annotate(ctx, "retry.budget_exhausted")
+		return false
+	}
+	return true
+}
+
+// backoff sleeps before retry number n (1-based): 25ms·2^(n-1) with ±50%
+// jitter, capped at 1s and bounded by ctx; false means the deadline won.
+func backoff(ctx context.Context, n int) bool {
+	d := 25 * time.Millisecond << (n - 1)
+	if d > time.Second {
+		d = time.Second
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d))) // [d/2, 3d/2)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // --- forwarding -------------------------------------------------------------
 
 // maxBodyBytes bounds a forwarded request body; the /v1 bodies are small
@@ -352,59 +616,155 @@ func (s *Server) handleForward(w http.ResponseWriter, r *http.Request) {
 	}
 	key := AffinityKey(ss.Workload, ss.Seed, ss.Scale)
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ForwardTimeout)
+	// End-to-end deadline: honor a client-supplied X-Jobench-Deadline when
+	// it is earlier than the router's own policy, otherwise mint one from
+	// RequestTimeout. The ABSOLUTE header travels with every attempt, so
+	// replica-side queueing and router-side retries consume one shared
+	// budget instead of each resetting the clock.
+	dl := time.Now().Add(s.cfg.RequestTimeout)
+	if cdl, ok := deadline.FromRequest(r); ok && cdl.Before(dl) {
+		dl = cdl
+	}
+	ctx, cancel := context.WithDeadline(r.Context(), dl)
 	defer cancel()
 
-	// Owner first, then clockwise failover candidates; skip replicas that
-	// are marked down, and treat a transport error as both a failure signal
-	// and a reason to try the next candidate.
-	tried := 0
+	clientKey := clientHost(r.RemoteAddr)
+	s.budget.earn(clientKey)
+	routeOK := retryableRoute(r)
+
+	// Owner first, then clockwise failover candidates. Down replicas are
+	// skipped entirely; breaker-throttled replicas serve every other
+	// request and are demoted to last resort on the rest, so a half-broken
+	// replica sheds half its load without losing cache affinity (and still
+	// gets tried when it is all that's left).
+	var candidates, throttledLast []*replica
 	for _, url := range s.ring.Sequence(key) {
 		rep := s.replicas[url]
 		if !rep.up.Load() {
 			continue
 		}
+		if rep.throttled.Load() && rep.throttleTick.Add(1)%2 == 0 {
+			throttledLast = append(throttledLast, rep)
+			continue
+		}
+		candidates = append(candidates, rep)
+	}
+	candidates = append(candidates, throttledLast...)
+
+	tried := 0
+	var lastErr error
+	for i, rep := range candidates {
+		// A spent deadline is the client's answer, not the replica's fault:
+		// don't burn an attempt (or a failure mark) on it.
+		if ctx.Err() != nil {
+			s.deadlineExpired.Add(1)
+			httpError(w, http.StatusGatewayTimeout, ctx.Err())
+			return
+		}
 		if tried > 0 {
 			rep.mu.Lock()
-			// Counted on the replica that receives the retried request: the
-			// metric answers "how much failover traffic landed here".
+			// Counted on the replica that receives the re-attempt: the
+			// metric answers "how much retry traffic landed here".
 			rep.retries++
 			rep.mu.Unlock()
 		}
 		tried++
-		done, err := s.forwardOnce(ctx, rep, r, body, w)
-		if done {
-			return
+		pr, err := s.forwardOnce(ctx, rep, r, body, dl)
+		if err != nil {
+			lastErr = err
+			s.noteFailure(rep)
+			s.recordOutcome(rep, true)
+			if ctx.Err() != nil {
+				s.deadlineExpired.Add(1)
+				httpError(w, http.StatusGatewayTimeout, ctx.Err())
+				return
+			}
+			s.cfg.logger().Warn("forward failed, trying next replica",
+				"replica", rep.url, "err", err,
+				"trace_id", tr.ID().String(), "route", r.URL.Path)
+			if i+1 < len(candidates) && s.mayRetry(ctx, clientKey, tried, dl, routeOK) {
+				trace.Annotate(ctx, "retry",
+					trace.String("from", rep.url), trace.String("reason", "transport"))
+				if !backoff(ctx, tried) {
+					s.deadlineExpired.Add(1)
+					httpError(w, http.StatusGatewayTimeout, ctx.Err())
+					return
+				}
+				continue
+			}
+			break
 		}
-		s.noteFailure(rep)
-		if ctx.Err() != nil {
-			httpError(w, http.StatusGatewayTimeout, ctx.Err())
-			return
+		// A response arrived: the replica is alive even if unhappy.
+		s.noteSuccess(rep)
+		s.recordOutcome(rep, pr.status >= http.StatusInternalServerError)
+		if retryableStatus(pr.status) && i+1 < len(candidates) &&
+			s.mayRetry(ctx, clientKey, tried, dl, routeOK) {
+			lastErr = fmt.Errorf("replica %s answered %d", rep.url, pr.status)
+			trace.Annotate(ctx, "retry",
+				trace.String("from", rep.url), trace.Int64("status", int64(pr.status)))
+			s.cfg.logger().Warn("retryable status, trying next replica",
+				"replica", rep.url, "status", pr.status,
+				"trace_id", tr.ID().String(), "route", r.URL.Path)
+			if !backoff(ctx, tried) {
+				s.deadlineExpired.Add(1)
+				httpError(w, http.StatusGatewayTimeout, ctx.Err())
+				return
+			}
+			continue
 		}
-		s.cfg.logger().Warn("forward failed, trying next replica",
-			"replica", url, "err", err,
-			"trace_id", tr.ID().String(), "route", r.URL.Path)
+		pr.commit(w)
+		return
+	}
+	if lastErr != nil {
+		httpError(w, http.StatusBadGateway, fmt.Errorf("all forward attempts failed: %w", lastErr))
+		return
 	}
 	s.noReplica.Add(1)
 	httpError(w, http.StatusServiceUnavailable, fmt.Errorf("no live replica for key %s", key))
 }
 
-// forwardOnce proxies one attempt to rep. done reports whether a response
-// (of any status) was written to w — after the first byte is committed
-// there is no failing over.
-func (s *Server) forwardOnce(ctx context.Context, rep *replica, r *http.Request, body []byte, w http.ResponseWriter) (done bool, err error) {
+// proxyResponse is one fully buffered replica response: buffering is what
+// lets the router inspect the status and retry BEFORE committing a byte
+// downstream (after WriteHeader there is no failing over).
+type proxyResponse struct {
+	status  int
+	header  http.Header
+	body    []byte
+	replica string
+}
+
+func (pr *proxyResponse) commit(w http.ResponseWriter) {
+	if ct := pr.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := pr.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Jobench-Replica", pr.replica)
+	w.WriteHeader(pr.status)
+	_, _ = w.Write(pr.body)
+}
+
+// forwardOnce proxies one attempt to rep and returns the buffered
+// response. The attempt — slot wait excluded — is bounded by
+// AttemptTimeout inside the request's overall deadline, so a hung replica
+// burns one attempt's budget, not all of it; dl rides along as the
+// deadline header the replica enforces on its side.
+func (s *Server) forwardOnce(ctx context.Context, rep *replica, r *http.Request, body []byte, dl time.Time) (*proxyResponse, error) {
 	// Per-replica in-flight bound: queue for a slot rather than piling
 	// unbounded concurrency onto one backend.
 	select {
 	case rep.slots <- struct{}{}:
 	case <-ctx.Done():
-		return false, ctx.Err()
+		return nil, ctx.Err()
 	}
 	defer func() { <-rep.slots }()
 
-	req, err := http.NewRequestWithContext(ctx, r.Method, rep.url+r.URL.RequestURI(), bytes.NewReader(body))
+	actx, acancel := context.WithTimeout(ctx, s.cfg.AttemptTimeout)
+	defer acancel()
+	req, err := http.NewRequestWithContext(actx, r.Method, rep.url+r.URL.RequestURI(), bytes.NewReader(body))
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
@@ -412,6 +772,7 @@ func (s *Server) forwardOnce(ctx context.Context, rep *replica, r *http.Request,
 	if accept := r.Header.Get("Accept"); accept != "" {
 		req.Header.Set("Accept", accept)
 	}
+	deadline.Set(req.Header, dl)
 	// Propagate the trace ID so the replica's spans land under the same
 	// trace the router records.
 	if id := trace.IDFromContext(ctx); id != 0 {
@@ -421,30 +782,37 @@ func (s *Server) forwardOnce(ctx context.Context, rep *replica, r *http.Request,
 	sp := trace.StartSpan(ctx, "forward")
 	start := time.Now()
 	resp, err := s.client.Do(req)
-	elapsed := time.Since(start).Seconds()
 	if err != nil {
+		elapsed := time.Since(start).Seconds()
 		sp.End(trace.String("replica", rep.url), trace.String("err", err.Error()))
 		rep.mu.Lock()
 		rep.requests[0]++
 		rep.seconds += elapsed
 		rep.mu.Unlock()
-		return false, err
+		return nil, err
 	}
-	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	elapsed := time.Since(start).Seconds()
+	if err != nil {
+		// A truncated body is a transport failure, not a servable response.
+		sp.End(trace.String("replica", rep.url), trace.String("err", err.Error()))
+		rep.mu.Lock()
+		rep.requests[0]++
+		rep.seconds += elapsed
+		rep.mu.Unlock()
+		return nil, fmt.Errorf("reading replica response: %w", err)
+	}
 	sp.End(trace.String("replica", rep.url), trace.Int64("status", int64(resp.StatusCode)))
 
 	rep.mu.Lock()
 	rep.requests[resp.StatusCode]++
 	rep.seconds += elapsed
 	rep.mu.Unlock()
-
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
-	}
-	w.Header().Set("X-Jobench-Replica", rep.url)
-	w.WriteHeader(resp.StatusCode)
-	_, _ = io.Copy(w, resp.Body)
-	return true, nil
+	return &proxyResponse{
+		status: resp.StatusCode, header: resp.Header,
+		body: respBody, replica: rep.url,
+	}, nil
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
@@ -540,7 +908,7 @@ func (s *Server) renderMetrics() string {
 		fmt.Fprintf(&b, "jobench_router_replica_request_seconds_total{replica=%q} %g\n", u, rep.seconds)
 		rep.mu.Unlock()
 	}
-	b.WriteString("# HELP jobench_router_replica_retries_total Failover requests that landed on this replica after another replica's transport error.\n")
+	b.WriteString("# HELP jobench_router_replica_retries_total Re-attempts (transport failover or retryable 5xx) that landed on this replica.\n")
 	b.WriteString("# TYPE jobench_router_replica_retries_total counter\n")
 	for _, u := range urls {
 		rep := s.replicas[u]
@@ -561,8 +929,31 @@ func (s *Server) renderMetrics() string {
 	for _, u := range urls {
 		fmt.Fprintf(&b, "jobench_router_replica_inflight{replica=%q} %d\n", u, len(s.replicas[u].slots))
 	}
+	b.WriteString("# HELP jobench_router_breaker_throttled Circuit-breaker state per replica (1 = half of its traffic is routed around it).\n")
+	b.WriteString("# TYPE jobench_router_breaker_throttled gauge\n")
+	for _, u := range urls {
+		throttled := 0
+		if s.replicas[u].throttled.Load() {
+			throttled = 1
+		}
+		fmt.Fprintf(&b, "jobench_router_breaker_throttled{replica=%q} %d\n", u, throttled)
+	}
+	b.WriteString("# HELP jobench_router_breaker_transitions_total Circuit-breaker state flips per replica (both directions).\n")
+	b.WriteString("# TYPE jobench_router_breaker_transitions_total counter\n")
+	for _, u := range urls {
+		rep := s.replicas[u]
+		rep.mu.Lock()
+		fmt.Fprintf(&b, "jobench_router_breaker_transitions_total{replica=%q} %d\n", u, rep.transitions)
+		rep.mu.Unlock()
+	}
 	b.WriteString("# HELP jobench_router_no_replica_total Requests refused because no replica was live.\n")
 	b.WriteString("# TYPE jobench_router_no_replica_total counter\n")
 	fmt.Fprintf(&b, "jobench_router_no_replica_total %d\n", s.noReplica.Load())
+	b.WriteString("# HELP jobench_router_deadline_expired_total Requests whose end-to-end deadline expired at the router.\n")
+	b.WriteString("# TYPE jobench_router_deadline_expired_total counter\n")
+	fmt.Fprintf(&b, "jobench_router_deadline_expired_total %d\n", s.deadlineExpired.Load())
+	b.WriteString("# HELP jobench_router_retry_budget_exhausted_total Retries suppressed because the client's retry budget was empty.\n")
+	b.WriteString("# TYPE jobench_router_retry_budget_exhausted_total counter\n")
+	fmt.Fprintf(&b, "jobench_router_retry_budget_exhausted_total %d\n", s.budgetDenied.Load())
 	return b.String()
 }

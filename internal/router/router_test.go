@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"jobench/internal/deadline"
 	"jobench/internal/trace"
 )
 
@@ -295,5 +297,405 @@ func TestForwardPropagatesTraceID(t *testing.T) {
 	}
 	if got := seen.Load(); got != want {
 		t.Fatalf("backend saw trace %q, want %q", got, want)
+	}
+}
+
+// flakyBackend answers /v1/* with the configured status while failing is
+// true and 200 otherwise; /healthz is always 200 so only the breaker (not
+// the probe loop) reacts to the failures.
+func flakyBackend(t *testing.T, status int) (*httptest.Server, *atomic.Bool, *atomic.Int64) {
+	t.Helper()
+	var failing atomic.Bool
+	var hits atomic.Int64
+	failing.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		hits.Add(1)
+		if failing.Load() {
+			w.WriteHeader(status)
+			fmt.Fprint(w, `{"error":"injected"}`)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &failing, &hits
+}
+
+// ownedSeed finds a seed whose ring owner is url.
+func ownedSeed(t *testing.T, urls []string, url string) int64 {
+	t.Helper()
+	ring := NewRingFromConfig(urls)
+	for i := int64(0); i < 1000; i++ {
+		if ring.Owner(AffinityKey("imdb", i, 0.1)) == strings.TrimRight(url, "/") {
+			return i
+		}
+	}
+	t.Fatalf("no key owned by %s in 1000 tries", url)
+	return -1
+}
+
+// TestRetryOn5xx: a retryable 500 from the owner is retried (with backoff,
+// within budget) on the next candidate BEFORE anything is committed to the
+// client, who sees only the eventual 200; the retry is visible in the
+// trace and the retries counter.
+func TestRetryOn5xx(t *testing.T) {
+	bad, _, badHits := flakyBackend(t, http.StatusInternalServerError)
+	good, _ := echoBackend(t, "good")
+	urls := []string{bad.URL, good.URL}
+	s := newTestRouter(t, Config{Addr: ":0", Replicas: urls, Logger: testLogger(t)})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	seed := ownedSeed(t, urls, bad.URL)
+	resp, err := http.Post(front.URL+"/v1/optimize", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"workload":"imdb","seed":%d,"scale":0.1}`, seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 via retry", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Jobench-Replica"); got != good.URL {
+		t.Fatalf("landed on %s, want retry to %s", got, good.URL)
+	}
+	if badHits.Load() == 0 {
+		t.Fatal("failing owner was never tried")
+	}
+	recs := s.Traces().Snapshot(0, "")
+	var sawRetry bool
+	for _, sp := range recs[0].Spans {
+		if sp.Name == "retry" {
+			sawRetry = true
+		}
+	}
+	if !sawRetry {
+		t.Fatalf("trace lacks a retry annotation: %+v", recs[0].Spans)
+	}
+	if want := fmt.Sprintf("jobench_router_replica_retries_total{replica=%q} 1", good.URL); !strings.Contains(s.renderMetrics(), want) {
+		t.Fatalf("metrics missing %q", want)
+	}
+}
+
+// TestRetryBudgetExhausted: sustained failure drains the per-client token
+// bucket, after which 500s are served as-is instead of amplified into
+// retries — and the suppression is counted.
+func TestRetryBudgetExhausted(t *testing.T) {
+	bad, _, _ := flakyBackend(t, http.StatusInternalServerError)
+	good, _ := echoBackend(t, "good")
+	urls := []string{bad.URL, good.URL}
+	s := newTestRouter(t, Config{Addr: ":0", Replicas: urls, Logger: testLogger(t)})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	seed := ownedSeed(t, urls, bad.URL)
+	body := fmt.Sprintf(`{"workload":"imdb","seed":%d,"scale":0.1}`, seed)
+	got500 := 0
+	for i := 0; i < 20; i++ {
+		resp, err := http.Post(front.URL+"/v1/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == http.StatusInternalServerError {
+			got500++
+		}
+		resp.Body.Close()
+	}
+	if got500 == 0 {
+		t.Fatal("budget never ran out: every 500 was retried away")
+	}
+	if s.budgetDenied.Load() == 0 {
+		t.Fatal("suppressed retries not counted")
+	}
+	if !strings.Contains(s.renderMetrics(), "jobench_router_retry_budget_exhausted_total") {
+		t.Fatal("metrics missing jobench_router_retry_budget_exhausted_total")
+	}
+}
+
+// TestBreakerThrottleAndRecovery: a replica that answers its probes but
+// fails its requests gets throttled (half its traffic routed around it)
+// once the outcome window condemns it, and is restored with hysteresis
+// after it heals — no mark-down involved at any point.
+func TestBreakerThrottleAndRecovery(t *testing.T) {
+	bad, failing, _ := flakyBackend(t, http.StatusInternalServerError)
+	good, _ := echoBackend(t, "good")
+	urls := []string{bad.URL, good.URL}
+	s := newTestRouter(t, Config{Addr: ":0", Replicas: urls, Logger: testLogger(t)})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	seed := ownedSeed(t, urls, bad.URL)
+	body := fmt.Sprintf(`{"workload":"imdb","seed":%d,"scale":0.1}`, seed)
+	post := func() {
+		resp, err := http.Post(front.URL+"/v1/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	rep := s.replicas[strings.TrimRight(bad.URL, "/")]
+	for i := 0; i < 2*breakerWindow && !rep.throttled.Load(); i++ {
+		post()
+	}
+	if !rep.throttled.Load() {
+		t.Fatal("breaker never throttled a replica failing every request")
+	}
+	if want := fmt.Sprintf("jobench_router_breaker_throttled{replica=%q} 1", strings.TrimRight(bad.URL, "/")); !strings.Contains(s.renderMetrics(), want) {
+		t.Fatalf("metrics missing %q", want)
+	}
+	if s.isLive(bad.URL) != true {
+		t.Fatal("breaker must throttle, not mark down")
+	}
+
+	// Heal it: successes wash the failures out of the window (the throttle
+	// still admits every other request, which is how it observes recovery).
+	failing.Store(false)
+	for i := 0; i < 4*breakerWindow && rep.throttled.Load(); i++ {
+		post()
+	}
+	if rep.throttled.Load() {
+		t.Fatal("breaker never restored a healed replica")
+	}
+	rep.mu.Lock()
+	transitions := rep.transitions
+	rep.mu.Unlock()
+	if transitions != 2 {
+		t.Fatalf("breaker transitions = %d, want 2 (throttle + restore)", transitions)
+	}
+}
+
+// TestDeadlineMintedAndPropagated: the router stamps an absolute
+// X-Jobench-Deadline derived from RequestTimeout on every forward, honors
+// an earlier client-supplied one, and answers 504 itself when the deadline
+// is already spent — without charging a replica for it.
+func TestDeadlineMintedAndPropagated(t *testing.T) {
+	var seen atomic.Value // deadline header the backend received
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		seen.Store(r.Header.Get(deadline.Header))
+		fmt.Fprint(w, `{}`)
+	}))
+	defer backend.Close()
+
+	s := newTestRouter(t, Config{
+		Addr: ":0", Replicas: []string{backend.URL},
+		RequestTimeout: 5 * time.Second, Logger: testLogger(t),
+	})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	// Minted: absolute, within (now, now+RequestTimeout].
+	before := time.Now()
+	resp, err := http.Post(front.URL+"/v1/optimize", "application/json", strings.NewReader(`{"query":"1a"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	dl, ok := deadline.Parse(seen.Load().(string))
+	if !ok {
+		t.Fatalf("backend saw no parseable deadline header, got %q", seen.Load())
+	}
+	if dl.Before(before) || dl.After(before.Add(6*time.Second)) {
+		t.Fatalf("minted deadline %v outside (now, now+5s]", dl.Sub(before))
+	}
+
+	// Client-supplied earlier deadline wins.
+	req, _ := http.NewRequest(http.MethodPost, front.URL+"/v1/optimize", strings.NewReader(`{"query":"1a"}`))
+	want := time.Now().Add(time.Second)
+	deadline.Set(req.Header, want)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	dl, ok = deadline.Parse(seen.Load().(string))
+	if !ok || !dl.Equal(want.Truncate(time.Millisecond)) {
+		t.Fatalf("client deadline %v not honored: backend saw %v", want, dl)
+	}
+
+	// Already-expired deadline: 504 from the router, replica untouched.
+	req, _ = http.NewRequest(http.MethodPost, front.URL+"/v1/optimize", strings.NewReader(`{"query":"1a"}`))
+	deadline.Set(req.Header, time.Now().Add(-time.Second))
+	seen.Store("")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired deadline got %d, want 504", resp.StatusCode)
+	}
+	if seen.Load() != "" {
+		t.Fatal("expired-deadline request still reached the replica")
+	}
+	if s.deadlineExpired.Load() == 0 {
+		t.Fatal("router-side deadline expiry not counted")
+	}
+}
+
+// TestAttemptTimeoutRetriesHungReplica: a hung replica burns one
+// AttemptTimeout, not the whole deadline — the remaining budget funds a
+// retry that succeeds on the next candidate.
+func TestAttemptTimeoutRetriesHungReplica(t *testing.T) {
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		// Drain the body so the server watches the connection: that is how
+		// it notices the router abandoning the attempt (context cancel).
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // hang until the router gives up on the attempt
+	}))
+	defer hung.Close()
+	good, _ := echoBackend(t, "good")
+	urls := []string{hung.URL, good.URL}
+	s := newTestRouter(t, Config{
+		Addr: ":0", Replicas: urls,
+		RequestTimeout: 5 * time.Second, AttemptTimeout: 100 * time.Millisecond,
+		Logger: testLogger(t),
+	})
+	front := httptest.NewServer(s.Handler())
+	defer front.Close()
+
+	seed := ownedSeed(t, urls, hung.URL)
+	start := time.Now()
+	resp, err := http.Post(front.URL+"/v1/optimize", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"workload":"imdb","seed":%d,"scale":0.1}`, seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 via attempt-timeout retry", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Jobench-Replica"); got != good.URL {
+		t.Fatalf("landed on %s, want %s", got, good.URL)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("took %v; the hung attempt must be cut at ~100ms", elapsed)
+	}
+}
+
+// TestGracefulDrain: SIGTERM (ctx cancel) stops accepting but lets an
+// in-flight forward finish within ShutdownGrace; the client sees its 200,
+// not a reset.
+func TestGracefulDrain(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		select {
+		case <-time.After(300 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprint(w, `{"slow":true}`)
+	}))
+	defer slow.Close()
+
+	s := newTestRouter(t, Config{
+		Addr: ":0", Replicas: []string{slow.URL},
+		ShutdownGrace: 3 * time.Second, Logger: testLogger(t),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	type result struct {
+		status int
+		err    error
+	}
+	results := make(chan result, 1)
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/optimize",
+			"application/json", strings.NewReader(`{"query":"1a"}`))
+		if err != nil {
+			results <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		results <- result{status: resp.StatusCode}
+	}()
+
+	time.Sleep(100 * time.Millisecond) // request is in flight at the backend
+	cancel()                           // "SIGTERM"
+
+	r := <-results
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request got %d during drain, want 200", r.status)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve never returned after drain")
+	}
+}
+
+// TestDrainCancelsStragglers: a forward still running when ShutdownGrace
+// expires is cancelled rather than held forever — Serve returns promptly
+// with the shutdown context's error.
+func TestDrainCancelsStragglers(t *testing.T) {
+	stuck := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			fmt.Fprint(w, `{"status":"ok"}`)
+			return
+		}
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	}))
+	defer stuck.Close()
+
+	s := newTestRouter(t, Config{
+		Addr: ":0", Replicas: []string{stuck.URL},
+		ShutdownGrace: 200 * time.Millisecond, Logger: testLogger(t),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/v1/optimize",
+			"application/json", strings.NewReader(`{"query":"1a"}`))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case <-served:
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("drain of a stuck forward took %v, grace is 200ms", elapsed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve never returned with a stuck in-flight forward")
 	}
 }

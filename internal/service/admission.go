@@ -2,8 +2,17 @@ package service
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// errShed is returned by acquire when the admission queue is already at
+// its waiter cap: the request is rejected immediately (the handler maps it
+// to 429 + Retry-After) instead of joining an unbounded line. Shedding at
+// the queue, not at capacity, is deliberate — a full queue means the
+// backlog already covers several multiples of the service time, so a new
+// waiter would only time out more expensively later.
+var errShed = errors.New("admission queue full")
 
 // admission is the weighted semaphore in front of the experiment report
 // flight: a burst of distinct uncached reports must queue for capacity
@@ -17,12 +26,14 @@ import (
 // touch the semaphore: only the single goroutine actually computing a
 // report acquires.
 type admission struct {
-	mu      sync.Mutex
-	cap     int64
-	used    int64
-	waiters []*admitWaiter
+	mu         sync.Mutex
+	cap        int64
+	maxWaiting int
+	used       int64
+	waiters    []*admitWaiter
 
 	admitted int64 // total grants, for /metrics
+	shed     int64 // total queue-full rejections, for /metrics
 }
 
 type admitWaiter struct {
@@ -31,14 +42,21 @@ type admitWaiter struct {
 	granted bool
 }
 
-func newAdmission(capacity int64) *admission {
+// newAdmission builds a semaphore with capacity weight units and at most
+// maxWaiting queued acquirers (non-positive selects the default of 16);
+// an acquire beyond that cap is shed with errShed instead of queued.
+func newAdmission(capacity int64, maxWaiting int) *admission {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &admission{cap: capacity}
+	if maxWaiting <= 0 {
+		maxWaiting = 16
+	}
+	return &admission{cap: capacity, maxWaiting: maxWaiting}
 }
 
-// acquire blocks until weight units are available (or ctx is cancelled).
+// acquire blocks until weight units are available (or ctx is cancelled),
+// returning errShed without blocking when the waiter queue is full.
 // Weights above the total capacity clamp to it, so an over-weighted
 // request degrades to "the only thing running" instead of deadlocking.
 func (a *admission) acquire(ctx context.Context, weight int64) error {
@@ -54,6 +72,11 @@ func (a *admission) acquire(ctx context.Context, weight int64) error {
 		a.admitted++
 		a.mu.Unlock()
 		return nil
+	}
+	if len(a.waiters) >= a.maxWaiting {
+		a.shed++
+		a.mu.Unlock()
+		return errShed
 	}
 	w := &admitWaiter{weight: weight, ready: make(chan struct{})}
 	a.waiters = append(a.waiters, w)
@@ -115,11 +138,12 @@ func (a *admission) grantLocked() {
 	}
 }
 
-// stats reports (current waiters, units in use, total admissions).
-func (a *admission) stats() (waiting int, inUse, admitted int64) {
+// stats reports (current waiters, units in use, total admissions, total
+// sheds).
+func (a *admission) stats() (waiting int, inUse, admitted, shed int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return len(a.waiters), a.used, a.admitted
+	return len(a.waiters), a.used, a.admitted, a.shed
 }
 
 // experimentWeight prices an experiment in admission units: the full

@@ -2,13 +2,16 @@ package service
 
 import (
 	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 )
 
 func TestAdmissionWeightsAndFIFO(t *testing.T) {
-	a := newAdmission(4)
+	a := newAdmission(4, 0)
 	ctx := context.Background()
 
 	// Two heavy sweeps fill the capacity.
@@ -48,7 +51,7 @@ func TestAdmissionWeightsAndFIFO(t *testing.T) {
 	<-started
 	waitForWaiters(t, a, 2)
 
-	if w, inUse, admitted := a.stats(); w != 2 || inUse != 4 || admitted != 2 {
+	if w, inUse, admitted, _ := a.stats(); w != 2 || inUse != 4 || admitted != 2 {
 		t.Fatalf("stats = (%d, %d, %d), want (2, 4, 2)", w, inUse, admitted)
 	}
 
@@ -58,7 +61,7 @@ func TestAdmissionWeightsAndFIFO(t *testing.T) {
 	if first := <-order; first != 1 {
 		t.Fatalf("first admission was waiter %d, want 1", first)
 	}
-	if w, _, _ := a.stats(); w != 1 {
+	if w, _, _, _ := a.stats(); w != 1 {
 		t.Fatalf("%d waiters after first grant, want 1", w)
 	}
 	a.release(1)
@@ -66,7 +69,7 @@ func TestAdmissionWeightsAndFIFO(t *testing.T) {
 		t.Fatalf("second admission was waiter %d, want 2", second)
 	}
 	wg.Wait()
-	if w, inUse, admitted := a.stats(); w != 0 || inUse != 4 || admitted != 4 {
+	if w, inUse, admitted, _ := a.stats(); w != 0 || inUse != 4 || admitted != 4 {
 		t.Fatalf("stats after grants = (%d, %d, %d), want (0, 4, 4)", w, inUse, admitted)
 	}
 }
@@ -75,7 +78,7 @@ func waitForWaiters(t *testing.T, a *admission, n int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if w, _, _ := a.stats(); w >= n {
+		if w, _, _, _ := a.stats(); w >= n {
 			return
 		}
 		if time.Now().After(deadline) {
@@ -86,7 +89,7 @@ func waitForWaiters(t *testing.T, a *admission, n int) {
 }
 
 func TestAdmissionCancelledWaiterLeavesQueue(t *testing.T) {
-	a := newAdmission(1)
+	a := newAdmission(1, 0)
 	if err := a.acquire(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +101,7 @@ func TestAdmissionCancelledWaiterLeavesQueue(t *testing.T) {
 	if err := <-errc; err != context.Canceled {
 		t.Fatalf("cancelled acquire returned %v", err)
 	}
-	if w, _, _ := a.stats(); w != 0 {
+	if w, _, _, _ := a.stats(); w != 0 {
 		t.Fatalf("cancelled waiter still queued (%d)", w)
 	}
 	// The capacity it never got must still be grantable.
@@ -109,7 +112,7 @@ func TestAdmissionCancelledWaiterLeavesQueue(t *testing.T) {
 }
 
 func TestAdmissionOverweightClampsToCapacity(t *testing.T) {
-	a := newAdmission(2)
+	a := newAdmission(2, 0)
 	// Weight 5 > capacity 2 clamps: it must be admissible at all.
 	done := make(chan error, 1)
 	go func() { done <- a.acquire(context.Background(), 5) }()
@@ -122,8 +125,101 @@ func TestAdmissionOverweightClampsToCapacity(t *testing.T) {
 		t.Fatal("over-weighted acquire deadlocked")
 	}
 	a.release(5)
-	if _, inUse, _ := a.stats(); inUse != 0 {
+	if _, inUse, _, _ := a.stats(); inUse != 0 {
 		t.Fatalf("in-use %d after clamped release, want 0", inUse)
+	}
+}
+
+// TestAdmissionQueueOverflowSheds: concurrent heavy experiments beyond
+// capacity get bounded waits, and one past the queue cap is shed
+// immediately with errShed; after the backlog drains the waiting gauge
+// returns to zero.
+func TestAdmissionQueueOverflowSheds(t *testing.T) {
+	a := newAdmission(2, 2)
+	ctx := context.Background()
+
+	// One heavy sweep fills the capacity; two more fill the queue.
+	if err := a.acquire(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { errs <- a.acquire(ctx, 2) }()
+	}
+	waitForWaiters(t, a, 2)
+
+	// A fourth heavy experiment must be rejected without blocking.
+	start := time.Now()
+	err := a.acquire(ctx, 2)
+	if !errors.Is(err, errShed) {
+		t.Fatalf("overflow acquire = %v, want errShed", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("shed took %v; must be immediate", elapsed)
+	}
+	if _, _, _, shed := a.stats(); shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", shed)
+	}
+
+	// Drain the backlog: both queued waiters get bounded (FIFO) grants and
+	// the waiting gauge returns to zero.
+	a.release(2)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	a.release(2)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	a.release(2)
+	if w, inUse, _, _ := a.stats(); w != 0 || inUse != 0 {
+		t.Fatalf("after drain: waiting=%d inUse=%d, want 0/0", w, inUse)
+	}
+}
+
+// TestExperimentShedReturns429: the HTTP surface of shedding — with the
+// admission capacity and queue both held, /v1/experiment returns a clean
+// 429 with Retry-After, and never touches the pool.
+func TestExperimentShedReturns429(t *testing.T) {
+	srv := New(Config{DefaultScale: 0.05, ReportCapacity: 1, MaxQueue: 1})
+	// Occupy the capacity and the whole waiter queue directly.
+	if err := srv.admit.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	queued := make(chan error, 1)
+	go func() {
+		err := srv.admit.acquire(context.Background(), 1)
+		<-release
+		queued <- err
+	}()
+	waitForWaiters(t, srv.admit, 1)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/experiment/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 carries no Retry-After")
+	}
+	if _, _, _, shed := srv.admit.stats(); shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", shed)
+	}
+
+	srv.admit.release(1) // grants the queued waiter
+	close(release)
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	srv.admit.release(1)
+	if w, inUse, _, _ := srv.admit.stats(); w != 0 || inUse != 0 {
+		t.Fatalf("after drain: waiting=%d inUse=%d, want 0/0", w, inUse)
 	}
 }
 

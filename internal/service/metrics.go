@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"jobench/internal/fault"
 	"jobench/internal/reopt"
 )
 
@@ -31,6 +32,7 @@ type Metrics struct {
 	PeerFillHits    atomic.Int64
 	PeerFillMisses  atomic.Int64
 	Replans         atomic.Int64
+	Panics          atomic.Int64
 
 	// feedbackStats, when set, aggregates the plan-feedback cache counters
 	// across the pool's resident systems for the feedback_cache_* series.
@@ -43,6 +45,11 @@ type Metrics struct {
 	// replicaID, when set, is exported as jobench_replica_info{replica=...}
 	// so a fleet's scraped series are tellable apart.
 	replicaID string
+
+	// faultStats, when set, contributes the injected-fault counters
+	// (jobench_fault_injected_total{kind=...}) so a chaos run can account
+	// for every fault it injected; nil (production) renders nothing.
+	faultStats func() fault.Stats
 }
 
 type routeCode struct {
@@ -205,6 +212,7 @@ func (m *Metrics) Render() string {
 	gauge("peer_fill_hits_total", "Report misses satisfied by the owning replica's cache.", m.PeerFillHits.Load())
 	gauge("peer_fill_misses_total", "Peer-fill peeks that found the owner cold or unreachable.", m.PeerFillMisses.Load())
 	gauge("replans_total", "Mid-execution re-optimizations triggered by adaptive requests.", m.Replans.Load())
+	gauge("panics_total", "Handler panics recovered into 500 responses.", m.Panics.Load())
 	if m.feedbackStats != nil {
 		fs := m.feedbackStats()
 		gauge("feedback_cache_hits_total", "Plan-feedback cache lookups that found observations.", fs.Hits)
@@ -217,10 +225,25 @@ func (m *Metrics) Render() string {
 		fmt.Fprintf(&b, "# HELP jobench_replica_info Identity of this replica (constant 1).\n# TYPE jobench_replica_info gauge\njobench_replica_info{replica=%q} 1\n", m.replicaID)
 	}
 	if m.admission != nil {
-		waiting, inUse, admitted := m.admission.stats()
+		waiting, inUse, admitted, shed := m.admission.stats()
 		gauge("report_admission_waiting", "Report computations queued for admission units.", int64(waiting))
 		gauge("report_admission_in_use", "Admission units held by running report computations.", inUse)
 		gauge("report_admission_admitted_total", "Report computations admitted since start.", admitted)
+		gauge("report_shed_total", "Report requests rejected with 429 because the admission queue was full.", shed)
+	}
+	if m.faultStats != nil {
+		fs := m.faultStats()
+		b.WriteString("# HELP jobench_fault_injected_total Faults injected by kind (chaos testing only).\n")
+		b.WriteString("# TYPE jobench_fault_injected_total counter\n")
+		fmt.Fprintf(&b, "jobench_fault_injected_total{kind=\"delay\"} %d\n", fs.Delays)
+		fmt.Fprintf(&b, "jobench_fault_injected_total{kind=\"error\"} %d\n", fs.Errors)
+		fmt.Fprintf(&b, "jobench_fault_injected_total{kind=\"hang\"} %d\n", fs.Hangs)
+		fmt.Fprintf(&b, "jobench_fault_injected_total{kind=\"reset\"} %d\n", fs.Resets)
+		crashed := int64(0)
+		if fs.Crashed {
+			crashed = 1
+		}
+		gauge("fault_crashed", "Whether the injected one-shot crash has fired.", crashed)
 	}
 	return b.String()
 }

@@ -95,16 +95,19 @@ func NewPool(cfg Config, metrics *Metrics) *Pool {
 }
 
 // System returns the resident System for key, constructing it (exactly
-// once under concurrency) on a miss. ctx is observability-only: the
-// request that actually initiates a cold construction records a
-// "system.open" span covering the Open (snapshot load or data
-// generation); joiners share the instance without recording it.
+// once under concurrency) on a miss. ctx bounds the caller's WAIT — a
+// deadline-carrying request stops waiting at its deadline — but never the
+// construction itself, which runs detached so it always completes and
+// populates the pool for the next request. The request that actually
+// initiates a cold construction records a "system.open" span covering the
+// Open (snapshot load or data generation); joiners share the instance
+// without recording it.
 func (p *Pool) System(ctx context.Context, key Key) (*jobench.System, error) {
 	if e := p.entries.get(key); e != nil && e.sys != nil {
 		p.metrics.PoolObserve(key.World.Workload, true)
 		return e.sys, nil
 	}
-	sys, err, shared := p.sysFlight.Do(key, func() (*jobench.System, error) {
+	sys, err, shared := p.sysFlight.DoContext(ctx, key, func() (*jobench.System, error) {
 		// A flight that completed between our miss and entering Do already
 		// populated the entry; don't rebuild.
 		if e := p.entries.get(key); e != nil && e.sys != nil {
@@ -134,14 +137,14 @@ func (p *Pool) System(ctx context.Context, key Key) (*jobench.System, error) {
 }
 
 // Lab returns the resident experiments Lab for key, constructing it
-// (exactly once under concurrency) on a miss; ctx is observability-only,
-// as in System.
+// (exactly once under concurrency) on a miss; ctx bounds the caller's
+// wait (never the construction), as in System.
 func (p *Pool) Lab(ctx context.Context, key Key) (*experiments.Lab, error) {
 	if e := p.entries.get(key); e != nil && e.lab != nil {
 		p.metrics.PoolObserve(key.World.Workload, true)
 		return e.lab, nil
 	}
-	lab, err, shared := p.labFlight.Do(key, func() (*experiments.Lab, error) {
+	lab, err, shared := p.labFlight.DoContext(ctx, key, func() (*experiments.Lab, error) {
 		if e := p.entries.get(key); e != nil && e.lab != nil {
 			p.metrics.PoolObserve(key.World.Workload, true)
 			return e.lab, nil

@@ -19,6 +19,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"slices"
 	"strconv"
 	"strings"
@@ -26,7 +27,9 @@ import (
 	"time"
 
 	"jobench"
+	"jobench/internal/deadline"
 	"jobench/internal/experiments"
+	"jobench/internal/fault"
 	"jobench/internal/parallel"
 	"jobench/internal/plan"
 	"jobench/internal/trace"
@@ -86,6 +89,15 @@ type Config struct {
 	// SlowQuery logs a span summary for every request at least this slow
 	// (0 disables outlier logging).
 	SlowQuery time.Duration
+	// MaxQueue bounds how many report computations may wait for admission
+	// units at once; a request beyond the cap is shed immediately with
+	// 429 + Retry-After instead of joining an unbounded line (non-positive
+	// selects the default of 16).
+	MaxQueue int
+	// Fault, when non-nil, wraps the handler in the chaos fault injector
+	// (-fault-spec). nil — the production default — adds nothing to the
+	// request path.
+	Fault *fault.Injector
 	// Logger receives serve-loop and snapshot diagnostics (default
 	// slog.Default()). Request-scoped lines carry trace_id, workload and
 	// route attrs.
@@ -153,13 +165,16 @@ func New(cfg Config) *Server {
 		metrics: m,
 		mux:     http.NewServeMux(),
 		reports: newReportCache(),
-		admit:   newAdmission(int64(cfg.ReportCapacity)),
+		admit:   newAdmission(int64(cfg.ReportCapacity), cfg.MaxQueue),
 		peers:   newPeerSet(cfg),
 		traces:  trace.NewStore(cfg.TraceCapacity),
 	}
 	m.admission = s.admit
 	m.replicaID = cfg.ReplicaID
 	m.feedbackStats = s.pool.FeedbackStats
+	if cfg.Fault != nil {
+		m.faultStats = cfg.Fault.Stats
+	}
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	s.route("POST /v1/optimize", s.handleOptimize)
@@ -187,8 +202,11 @@ func untraced(route string) bool {
 }
 
 // Handler returns the service's HTTP handler (also useful under
-// httptest).
-func (s *Server) Handler() http.Handler { return s.mux }
+// httptest). When cfg.Fault is set the mux is wrapped in the chaos
+// injector — outermost, so an injected connection reset or crash hits
+// even /healthz, and an injected panic (http.ErrAbortHandler) bypasses
+// the per-route panic recovery exactly like a real transport failure.
+func (s *Server) Handler() http.Handler { return s.cfg.Fault.Wrap(s.mux) }
 
 // Metrics exposes the server's counters (for tests and embedding).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -220,9 +238,22 @@ func (s *Server) route(pattern string, h handlerFunc) {
 			r = r.WithContext(trace.NewContext(r.Context(), tr))
 			w.Header().Set(trace.Header, id.String())
 		}
-		status, err := h(w, r)
+		// End-to-end deadline: an X-Jobench-Deadline header (minted by the
+		// router from -request-timeout, or sent by the client directly)
+		// becomes the request context's deadline, which every downstream
+		// stage — pool lookup, admission wait, truecard DP, reopt probes,
+		// engine execution — already honors. An absolute deadline means
+		// upstream queueing and retries consumed budget instead of
+		// resetting it.
+		if dl, ok := deadline.FromRequest(r); ok {
+			ctx, cancel := context.WithDeadline(r.Context(), dl)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		status, err := s.recovered(sw, r, h, label, tr)
 		if err != nil {
-			writeError(w, status, err)
+			writeError(sw, status, err)
 		}
 		s.metrics.Observe(label, status, time.Since(start))
 		if tr != nil {
@@ -238,6 +269,60 @@ func (s *Server) route(pattern string, h handlerFunc) {
 			}
 		}
 	})
+}
+
+// statusWriter remembers whether the handler has started writing a
+// response, so panic recovery knows whether a 500 can still be sent or
+// the connection is beyond saving.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.wrote = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// recovered runs h with panic recovery: a handler panic becomes a 500
+// (with the trace ID in the body and a logged stack) instead of tearing
+// down the whole replica's connection. http.ErrAbortHandler re-panics —
+// it is net/http's sanctioned "sever this connection" and must reach the
+// server loop.
+func (s *Server) recovered(w *statusWriter, r *http.Request, h handlerFunc, label string, tr *trace.Trace) (status int, err error) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if p == http.ErrAbortHandler {
+			panic(p)
+		}
+		s.metrics.Panics.Add(1)
+		traceID := ""
+		if tr != nil {
+			traceID = tr.ID().String()
+		}
+		s.cfg.logger().Error("handler panic recovered",
+			"route", label,
+			"trace_id", traceID,
+			"panic", fmt.Sprint(p),
+			"stack", string(debug.Stack()))
+		status = http.StatusInternalServerError
+		err = nil
+		if !w.wrote {
+			writeError(w, status, fmt.Errorf("internal error (trace %s)", traceID))
+		}
+	}()
+	return h(w, r)
 }
 
 // spanSummary renders a trace's spans as "name=dur name=dur ..." for the
@@ -357,12 +442,18 @@ func writeError(w http.ResponseWriter, status int, err error) {
 
 // statusOf maps a pipeline error onto an HTTP status: unknown names are
 // client errors (404 for queries/experiments, 400 for knob vocabulary),
-// cancellation means the server is going away or the client left (503),
-// anything else is a 500.
+// an exceeded deadline is 504 (the end-to-end deadline ran out mid-work —
+// the router reports its own expiry the same way), cancellation means the
+// server is going away or the client left (503), a shed admission queue
+// is 429, anything else is a 500.
 func statusOf(err error) int {
 	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errShed):
+		return http.StatusTooManyRequests
 	case strings.Contains(err.Error(), "unknown query"),
 		strings.Contains(err.Error(), "unknown experiment"):
 		return http.StatusNotFound
@@ -637,6 +728,12 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) (int, 
 	key := s.key(wl, seed, scale)
 	text, err := s.report(r.Context(), reportKey{key: key, name: name, samples: normalizeSamples(name, samples)})
 	if err != nil {
+		if errors.Is(err, errShed) {
+			// The queue already holds several service times' worth of
+			// work; a fixed coarse hint beats pretending to know better.
+			w.Header().Set("Retry-After", "5")
+			trace.Annotate(r.Context(), "shed")
+		}
 		return statusOf(err), err
 	}
 	// format=json wraps the report with the resolved world so clients (and
@@ -745,13 +842,15 @@ func (c *reportCache) put(k reportKey, text string) {
 }
 
 // report returns the memoized rendering of one experiment, computing it
-// under single-flight on a miss. The computation runs under the server's
-// lifetime context, not the triggering request's: concurrent waiters share
-// the flight, so one client's disconnect must not cancel work the others
-// (and the cache) still want — while shutdown still aborts it. ctx is
-// observability-only: the flight initiator's trace records the peer-fill,
-// admission-wait and experiment spans (waiters joined an in-flight
-// computation and record nothing).
+// under single-flight on a miss. The computation runs detached under the
+// server's lifetime context, not the triggering request's: concurrent
+// waiters share the flight, so one client's disconnect or expired
+// deadline must not cancel work the others (and the cache) still want —
+// while shutdown still aborts it. The requester's own wait IS bounded by
+// its context (DoContext): a deadline-carrying request gets its 504 on
+// time even though the sweep keeps running for the cache. The initiator's
+// trace still records the peer-fill, admission-wait and experiment spans
+// — trace recording is straggler-safe by design.
 //
 // Only successful renders are cached, so a cancelled or failed run never
 // poisons the cache.
@@ -761,7 +860,13 @@ func (s *Server) report(ctx context.Context, k reportKey) (string, error) {
 		return text, nil
 	}
 	s.metrics.ReportObserve(k.key.World.Workload, false)
-	text, err, _ := s.reportFlight.Do(k, func() (string, error) {
+	// The computation context: server lifetime for cancellation, the
+	// requester's trace for observability.
+	cctx := s.serverCtx()
+	if tr := trace.FromContext(ctx); tr != nil {
+		cctx = trace.NewContext(cctx, tr)
+	}
+	text, err, _ := s.reportFlight.DoContext(ctx, k, func() (string, error) {
 		if text, ok := s.reports.get(k); ok {
 			return text, nil
 		}
@@ -769,26 +874,28 @@ func (s *Server) report(ctx context.Context, k reportKey) (string, error) {
 		// fleet's hash ring, it has probably rendered the report already —
 		// one cheap peek beats recomputing a whole sweep. Any failure falls
 		// through to the local computation.
-		if text, ok := s.peerFill(ctx, k); ok {
+		if text, ok := s.peerFill(cctx, k); ok {
 			s.reports.put(k, text)
 			return text, nil
 		}
 		// Admission control: only the goroutine that actually computes
 		// acquires (cache hits and flight waiters never queue), under the
-		// server lifetime context so shutdown unblocks the queue.
+		// server lifetime context so shutdown unblocks the queue. A full
+		// waiter queue sheds immediately (errShed → 429) instead of
+		// joining an unbounded line.
 		weight := experimentWeight(k.name)
-		asp := trace.StartSpan(ctx, "admission.wait")
+		asp := trace.StartSpan(cctx, "admission.wait")
 		err := s.admit.acquire(s.serverCtx(), weight)
 		asp.End(trace.Int64("weight", int64(weight)))
 		if err != nil {
 			return "", err
 		}
 		defer s.admit.release(weight)
-		lab, err := s.pool.Lab(ctx, k.key)
+		lab, err := s.pool.Lab(cctx, k.key)
 		if err != nil {
 			return "", err
 		}
-		esp := trace.StartSpan(ctx, "experiment.run")
+		esp := trace.StartSpan(cctx, "experiment.run")
 		text, err := experiments.RunExperiment(s.serverCtx(), lab, k.name, experiments.Params{Samples: k.samples})
 		esp.End(trace.String("experiment", k.name))
 		if err != nil {

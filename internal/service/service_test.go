@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"jobench"
+	"jobench/internal/deadline"
 	"jobench/internal/experiments"
+	"jobench/internal/fault"
 	"jobench/internal/trace"
 )
 
@@ -226,6 +228,109 @@ func TestErrorMapping(t *testing.T) {
 	}
 }
 
+// TestDeadlineHeaderYields504: a request arriving with an already-expired
+// X-Jobench-Deadline gets a prompt 504, whether the work would have been a
+// pool wait or an engine execution.
+func TestDeadlineHeaderYields504(t *testing.T) {
+	_, ts := testServer(t)
+	body, err := json.Marshal(ExecuteRequest{PlanRequest: PlanRequest{Query: "13d"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/execute", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline.Set(req.Header, time.Now().Add(-time.Second))
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("expired deadline took %v to fail", elapsed)
+	}
+	// A comfortably future deadline changes nothing.
+	req, err = http.NewRequest(http.MethodPost, ts.URL+"/v1/execute", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline.Set(req.Header, time.Now().Add(10*time.Minute))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("future deadline: status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a handler panic becomes a 500 carrying the
+// trace ID — the replica stays up — and is counted in /metrics.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv := New(Config{DefaultScale: testScale, Logger: discardLogger()})
+	srv.route("GET /v1/panic-test", func(w http.ResponseWriter, r *http.Request) (int, error) {
+		panic("boom")
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := getBody(t, ts.URL+"/v1/panic-test")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(body, &e); err != nil || !strings.Contains(e.Error, "internal error") {
+		t.Fatalf("body = %q (%v)", body, err)
+	}
+	traceID := resp.Header.Get(trace.Header)
+	if traceID == "" || !strings.Contains(e.Error, traceID) {
+		t.Fatalf("500 body %q does not carry trace ID %q", e.Error, traceID)
+	}
+	if got := srv.Metrics().Panics.Load(); got != 1 {
+		t.Fatalf("Panics = %d, want 1", got)
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "jobench_panics_total 1") {
+		t.Fatal("/metrics missing jobench_panics_total 1")
+	}
+	// The server must still answer requests after the panic.
+	resp, _ = getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after panic: %d", resp.StatusCode)
+	}
+}
+
+// TestFaultInjectorWiring: a Config.Fault injector fires on matched routes
+// (tagged responses) and surfaces its counters in /metrics; /healthz stays
+// clean under a /v1-scoped rule.
+func TestFaultInjectorWiring(t *testing.T) {
+	inj := fault.New(&fault.Spec{Seed: 1, Rules: []fault.Rule{{Route: "/v1/queries", ErrorRate: 1}}})
+	srv := New(Config{DefaultScale: testScale, Fault: inj, Logger: discardLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, _ := getBody(t, ts.URL+"/v1/queries")
+	if resp.StatusCode != http.StatusInternalServerError || resp.Header.Get(fault.Header) != "injected" {
+		t.Fatalf("injected error: status %d, header %q", resp.StatusCode, resp.Header.Get(fault.Header))
+	}
+	resp, _ = getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `jobench_fault_injected_total{kind="error"} 1`) {
+		t.Fatalf("/metrics missing fault counter:\n%s", metrics)
+	}
+}
+
 // TestExperimentByteIdenticalAndCached is the acceptance test for the
 // experiment surface: /v1/experiment/table1 renders byte-identically to
 // the CLI path (both go through experiments.RunExperiment, compared here
@@ -269,7 +374,7 @@ func TestExperimentByteIdenticalAndCached(t *testing.T) {
 	}
 	// Exactly one computation went through admission control (the cached
 	// second request never queued), and it released its units.
-	if waiting, inUse, admitted := srv.admit.stats(); waiting != 0 || inUse != 0 || admitted != 1 {
+	if waiting, inUse, admitted, _ := srv.admit.stats(); waiting != 0 || inUse != 0 || admitted != 1 {
 		t.Errorf("admission stats = (%d, %d, %d), want (0, 0, 1)", waiting, inUse, admitted)
 	}
 }

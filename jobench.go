@@ -427,7 +427,7 @@ func (s *System) ExplainAnalyzeContext(ctx context.Context, queryID string, opts
 	stats := make([]plan.NodeStats, plan.NumNodes(root))
 	sp := trace.StartSpan(ctx, "engine.execute")
 	res, err := engine.Run(s.db, s.idx[s.indexConfig(opts.Indexes)], g, root, engine.Config{
-		Rehash: opts.Rehash, WorkLimit: opts.WorkLimit, Stats: stats,
+		Rehash: opts.Rehash, WorkLimit: opts.WorkLimit, Stats: stats, Ctx: ctx,
 	})
 	sp.End(trace.String("query", queryID), trace.Int64("work", res.Work),
 		trace.Int64("rows", res.Rows), trace.Bool("analyze", true))
@@ -735,6 +735,7 @@ func (s *System) ExecuteContext(ctx context.Context, queryID string, opts RunOpt
 	res, err := engine.Run(s.db, s.idx[s.indexConfig(opts.Indexes)], g, root, engine.Config{
 		Rehash:    opts.Rehash,
 		WorkLimit: opts.WorkLimit,
+		Ctx:       ctx,
 	})
 	sp.End(trace.String("query", queryID), trace.Int64("work", res.Work),
 		trace.Int64("rows", res.Rows), trace.Bool("timed_out", res.TimedOut))
